@@ -1,0 +1,72 @@
+"""E10 (ablation): order-based absorption vs keep-all (+R union).
+
+The paper "hopes for generating a citation ... which avoids an exhaustive
+materialization of all rewritings" via the order relation.  This ablation
+quantifies the benefit: citation size and rendering work under the
+comprehensive (keep-all) vs focused (absorb) policies, plus the cost of
+Def 2.2 validation itself.
+"""
+
+import pytest
+
+from repro.citation.generator import CitationEngine
+from repro.citation.policy import comprehensive_policy, focused_policy
+from repro.cq.parser import parse_query
+from repro.gtopdb.generator import generate_database
+from repro.rewriting.engine import enumerate_rewritings
+
+QUERY = 'Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = "gpcr"'
+
+
+@pytest.fixture(scope="module")
+def synthetic_db():
+    return generate_database(families=300, persons=120, seed=37)
+
+
+def total_monomials(result):
+    return sum(
+        len(tc.polynomial.monomials()) for tc in result.tuples.values()
+    )
+
+
+def test_e10_comprehensive_policy(benchmark, registry, synthetic_db):
+    engine = CitationEngine(synthetic_db, registry,
+                            policy=comprehensive_policy())
+    result = benchmark(engine.cite, QUERY)
+    benchmark.extra_info["monomials"] = total_monomials(result)
+    assert total_monomials(result) > len(result.tuples)
+
+
+def test_e10_focused_policy(benchmark, registry, synthetic_db):
+    engine = CitationEngine(synthetic_db, registry,
+                            policy=focused_policy(registry))
+    result = benchmark(engine.cite, QUERY)
+    benchmark.extra_info["monomials"] = total_monomials(result)
+    # Absorption: exactly one monomial per tuple.
+    assert total_monomials(result) == len(result.tuples)
+
+
+def test_e10_absorption_shrinks_citations(registry, synthetic_db):
+    comprehensive = CitationEngine(
+        synthetic_db, registry, policy=comprehensive_policy()
+    ).cite(QUERY)
+    focused = CitationEngine(
+        synthetic_db, registry, policy=focused_policy(registry)
+    ).cite(QUERY)
+    assert set(comprehensive.tuples) == set(focused.tuples)
+    # Shape claim: at least a 3x reduction (4 rewritings collapse to 1).
+    assert total_monomials(comprehensive) >= 3 * total_monomials(focused)
+    assert len(focused.records) <= len(comprehensive.records)
+
+
+def test_e10_validation_cost(benchmark, registry):
+    """Def 2.2 validation (equivalence + minimality + maximality) is the
+    expensive part of enumeration; measure it via the validate switch."""
+    query = parse_query(QUERY)
+
+    def with_validation():
+        return enumerate_rewritings(query, registry, validate=True)
+
+    validated = benchmark(with_validation)
+    unvalidated = enumerate_rewritings(query, registry, validate=False)
+    assert len(validated) <= len(unvalidated)

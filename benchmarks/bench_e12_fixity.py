@@ -1,0 +1,68 @@
+"""E12 (fixity, Section 4): versioned citations.
+
+Paper claim: "data sources must support versioning, and citations must
+include timestamps or version numbers" — the same query cited against
+different versions credits the curators of *that* version, and old
+citations remain reproducible after further edits.
+"""
+
+import pytest
+
+from repro.fixity.versioned import VersionedCitationEngine, VersionedDatabase
+from repro.gtopdb.schema import gtopdb_schema
+
+QUERY = "Q(N) :- Family(F, N, Ty)"
+
+
+@pytest.fixture(scope="module")
+def versioned():
+    vdb = VersionedDatabase(gtopdb_schema())
+    vdb.insert("Family", "11", "Calcitonin", "gpcr")
+    vdb.insert("Person", "p1", "Hay", "x")
+    vdb.insert("FC", "11", "p1")
+    vdb.commit("2015.1")
+    vdb.insert("Person", "p2", "Poyner", "y")
+    vdb.insert("FC", "11", "p2")
+    vdb.commit("2016.2")
+    vdb.delete("FC", "11", "p1")
+    vdb.commit("2017.1")
+    return vdb
+
+
+def test_e12_versioned_citation(benchmark, versioned):
+    from repro.gtopdb.views import paper_registry
+    engine = VersionedCitationEngine(versioned, paper_registry())
+    result = benchmark(engine.cite, QUERY, "2016.2")
+    assert all(r["Version"] == "2016.2" for r in result.records)
+    assert "Hay" in str(result.records)
+
+
+def test_e12_citations_differ_across_versions(versioned):
+    from repro.gtopdb.views import paper_registry
+    engine = VersionedCitationEngine(versioned, paper_registry())
+    r2015 = engine.cite(QUERY, "2015.1")
+    r2017 = engine.cite(QUERY, "2017.1")
+    assert "Poyner" not in str(r2015.records)
+    assert "Poyner" in str(r2017.records)
+    assert "Hay" not in str(r2017.records)  # retired in 2017.1
+
+
+def test_e12_reconstruction_cost(benchmark, versioned):
+    versioned._cache.clear()
+
+    def reconstruct():
+        versioned._cache.clear()
+        return versioned.as_of("2016.2")
+
+    db = benchmark(reconstruct)
+    assert len(db.relation("FC")) == 2
+
+
+def test_e12_old_citations_stable_after_new_edits(versioned):
+    from repro.gtopdb.views import paper_registry
+    engine = VersionedCitationEngine(versioned, paper_registry())
+    before = engine.cite(QUERY, "2015.1").records
+    versioned.insert("Family", "99", "NewFamily", "other")
+    versioned.commit("2018.1")
+    after = engine.cite(QUERY, "2015.1").records
+    assert before == after

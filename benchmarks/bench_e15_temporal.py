@@ -1,0 +1,87 @@
+"""E15 (Section 4, second fixity mechanism): timestamps as λ-parameters.
+
+Paper sketch: "including a 'timestamp' attribute in base relations, with
+lambda variables in views corresponding to this attribute.  Then,
+citations could vary across timestamps."  Shape claims: the lifted views
+carry the tag as an ordinary λ-parameter, the tag constant of a pinned
+query is absorbed exactly like Example 2.2's selection, and the same
+query cited at two tags credits different curators.
+"""
+
+import pytest
+
+from repro.citation.generator import CitationEngine
+from repro.citation.policy import comprehensive_policy
+from repro.citation.tokens import ViewCitationToken
+from repro.cq.parser import parse_query
+from repro.fixity.temporal import lift_database, lift_registry, tag_query
+from repro.gtopdb.sample import paper_database
+from repro.gtopdb.schema import gtopdb_schema
+from repro.gtopdb.views import paper_registry
+from repro.relational.database import Database
+from repro.rewriting.engine import enumerate_rewritings
+
+
+@pytest.fixture(scope="module")
+def temporal_setup():
+    old = Database(gtopdb_schema())
+    old.insert("Family", "11", "Calcitonin", "gpcr")
+    old.insert("Person", "p1", "Hay", "x")
+    old.insert("FC", "11", "p1")
+    old.insert("MetaData", "Owner", "Tony Harmar")
+    old.insert("MetaData", "URL", "u")
+    old.insert("MetaData", "Version", "22")
+    temporal = lift_database([("2015.1", old), ("2016.2", paper_database())])
+    registry = lift_registry(paper_registry())
+    return temporal, registry
+
+
+def test_e15_lifting_cost(benchmark):
+    def lift():
+        return lift_registry(paper_registry())
+
+    registry = benchmark(lift)
+    # Every lifted view gained the timestamp λ-parameter.
+    assert all(
+        view.parameters[-1].name.startswith("T") for view in registry
+    )
+
+
+def test_e15_tag_absorbed_like_example_22(benchmark, temporal_setup):
+    temporal, registry = temporal_setup
+    query = tag_query(parse_query("Q(N) :- Family(F, N, Ty)"), "2016.2")
+    rewritings = benchmark(enumerate_rewritings, query, registry)
+    assert rewritings
+    assert all(r.absorbed_parameter_count >= 1 for r in rewritings)
+
+
+def test_e15_citations_vary_across_tags(benchmark, temporal_setup):
+    temporal, registry = temporal_setup
+    engine = CitationEngine(temporal, registry,
+                            policy=comprehensive_policy(),
+                            database_citation=[])
+    base_query = parse_query('Q(N) :- Family(F, N, Ty), Ty = "gpcr"')
+
+    def cite_both_tags():
+        return (
+            engine.cite(tag_query(base_query, "2015.1")),
+            engine.cite(tag_query(base_query, "2016.2")),
+        )
+
+    old_result, new_result = benchmark(cite_both_tags)
+
+    def v1_tokens(result):
+        return {
+            token
+            for tc in result.tuples.values()
+            for m in tc.polynomial.monomials()
+            for token in m.tokens()
+            if isinstance(token, ViewCitationToken)
+            and token.view_name == "V1"
+        }
+
+    assert ViewCitationToken("V1", ("11", "2015.1")) in v1_tokens(old_result)
+    assert ViewCitationToken("V1", ("11", "2016.2")) in v1_tokens(new_result)
+    # The 2015 snapshot has one gpcr family; 2016 has four.
+    assert len(old_result.tuples) == 1
+    assert len(new_result.tuples) == 4

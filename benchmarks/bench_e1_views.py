@@ -1,0 +1,54 @@
+"""E1 (Example 2.1): citation views V1-V5 and their JSON citations.
+
+Paper claim: each view yields the JSON citation shown in Example 2.1.
+Benchmark: time to compute F_V(C_V(params)) per view.
+"""
+
+import pytest
+
+EXPECTED = {
+    ("V1", ("11",)): {
+        "ID": "11", "Name": "Calcitonin", "Committee": ["Hay", "Poyner"],
+    },
+    ("V2", ("11",)): {
+        "ID": "11", "Name": "Calcitonin",
+        "Text": "The calcitonin peptide family",
+        "Contributors": ["Brown", "Smith"],
+    },
+    ("V3", ()): {
+        "Owner": "Tony Harmar", "URL": "guidetopharmacology.org",
+    },
+}
+
+
+@pytest.mark.parametrize("view_name,params", [
+    ("V1", ("11",)),
+    ("V2", ("11",)),
+    ("V3", ()),
+    ("V4", ("gpcr",)),
+    ("V5", ("gpcr",)),
+])
+def test_e1_view_citation(benchmark, db, registry, view_name, params):
+    view = registry.get(view_name)
+    record = benchmark(view.citation_for, db, params)
+    if (view_name, params) in EXPECTED:
+        assert record == EXPECTED[(view_name, params)]
+    else:
+        # V4/V5: nested structure grouping families of the type.
+        assert record["Type"] == "gpcr"
+        assert len(record["Contributors"]) >= 2
+
+
+def test_e1_v4_credits_committees_v5_credits_contributors(
+        benchmark, db, registry):
+    def both():
+        return (
+            registry.get("V4").citation_for(db, ("gpcr",)),
+            registry.get("V5").citation_for(db, ("gpcr",)),
+        )
+
+    v4, v5 = benchmark(both)
+    v4_names = {g["Name"]: g["Committee"] for g in v4["Contributors"]}
+    v5_names = {g["Name"]: g["Committee"] for g in v5["Contributors"]}
+    assert v4_names["Calcitonin"] == ["Hay", "Poyner"]      # committee
+    assert v5_names["Calcitonin"] == ["Brown", "Smith"]     # contributors

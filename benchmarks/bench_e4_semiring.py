@@ -1,0 +1,71 @@
+"""E4 (Examples 3.1-3.3): the citation semiring pipeline.
+
+Paper claims:
+- Def 3.1: one binding contributes the `·` of view citations
+  (FV1("11") · FV2("11") for tuple "Calcitonin");
+- Def 3.2: multiple bindings sum with `+` (duplicate family name);
+- Def 3.3 / Ex 3.3: tuple ("b") gets
+  (CV1("13") +R CV4("gpcr")) · CV2("13"), and citations are
+  plan-independent.
+Benchmark: full comprehensive cite() including rewriting enumeration,
+annotated evaluation, and +R combination.
+"""
+
+from repro.citation.generator import CitationEngine
+from repro.citation.policy import comprehensive_policy
+from repro.citation.polynomial import monomial_from_tokens
+from repro.citation.tokens import ViewCitationToken
+from repro.gtopdb.sample import paper_database
+
+QUERY = 'Q(N) :- Family(F, N, Ty), Ty = "gpcr", FamilyIntro(F, Tx)'
+
+
+def vt(name, *params):
+    return ViewCitationToken(name, params)
+
+
+def test_e4_comprehensive_citation(benchmark, comprehensive_engine):
+    result = benchmark(comprehensive_engine.cite, QUERY)
+
+    # Example 3.1: joint use within one binding.
+    calcitonin = result.tuples[("Calcitonin",)].polynomial
+    assert monomial_from_tokens([vt("V1", "11"), vt("V2", "11")]) in set(
+        calcitonin.monomials()
+    )
+    # Example 3.3: +R across rewritings, distributed over ·.
+    b = result.tuples[("b",)].polynomial
+    monomials = set(b.monomials())
+    assert monomial_from_tokens([vt("V1", "13"), vt("V2", "13")]) \
+        in monomials
+    assert monomial_from_tokens([vt("V4", "gpcr"), vt("V2", "13")]) \
+        in monomials
+
+
+def test_e4_multiple_bindings(benchmark, registry):
+    # Example 3.2: a second family named Calcitonin => two monomial
+    # families in the + for the shared output tuple.
+    db = paper_database(duplicate_calcitonin=True)
+    engine = CitationEngine(db, registry, policy=comprehensive_policy())
+    result = benchmark(engine.cite, QUERY)
+    polynomial = result.tuples[("Calcitonin",)].polynomial
+    v1_params = {
+        t.parameters
+        for m in polynomial.monomials() for t in m.tokens()
+        if isinstance(t, ViewCitationToken) and t.view_name == "V1"
+    }
+    assert v1_params == {("11",), ("19",)}
+
+
+def test_e4_plan_independence(benchmark, comprehensive_engine):
+    variants = [
+        'Q(N) :- Family(F, N, Ty), Ty = "gpcr", FamilyIntro(F, Tx)',
+        'Q(N) :- FamilyIntro(F, Tx), Family(F, N, "gpcr")',
+    ]
+
+    def cite_both():
+        return [comprehensive_engine.cite(text) for text in variants]
+
+    results = benchmark(cite_both)
+    for output in results[0].tuples:
+        assert results[0].tuples[output].polynomial == \
+            results[1].tuples[output].polynomial

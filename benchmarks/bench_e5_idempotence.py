@@ -1,0 +1,45 @@
+"""E5 (Example 3.4): idempotent + and Agg give one citation per result set.
+
+Paper claim: when a preferred rewriting binds every λ-parameter to a
+constant, idempotent `+`/`Agg` collapse the whole result set onto a single
+citation (multiplicand).
+"""
+
+from repro.citation.tokens import ViewCitationToken
+
+QUERY = 'Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = "gpcr"'
+
+
+def test_e5_single_citation_for_result_set(benchmark, focused_engine):
+    result = benchmark(focused_engine.cite, QUERY)
+
+    # Preferred rewriting V5("gpcr") is fully instantiated.
+    preferred = result.rewritings[0]
+    assert preferred.is_fully_instantiated
+
+    # Every tuple carries the identical single-monomial citation ...
+    polynomials = {tc.polynomial for tc in result.tuples.values()}
+    assert len(polynomials) == 1
+    polynomial = polynomials.pop()
+    assert polynomial.monomials()[0].tokens() == [
+        ViewCitationToken("V5", ("gpcr",))
+    ]
+    # ... and the aggregate is that same single citation, coefficient 1.
+    assert result.aggregate_polynomial == polynomial
+    assert list(result.aggregate_polynomial.terms.values()) == [1]
+
+
+def test_e5_counted_plus_keeps_multiplicity(benchmark, db, registry):
+    from repro.citation.generator import CitationEngine
+    from repro.citation.policy import CitationPolicy
+
+    policy = CitationPolicy(name="counted", plus="counted", dot="merge")
+    engine = CitationEngine(db, registry, policy=policy)
+    result = benchmark(engine.cite, "Q(Ty) :- Family(F, N, Ty)")
+    # Without idempotence the aggregate keeps derivation multiplicities:
+    # several gpcr families contribute coefficient > 1 somewhere.
+    assert any(
+        coefficient > 1
+        for tc in result.tuples.values()
+        for coefficient in tc.polynomial.terms.values()
+    )

@@ -1,0 +1,90 @@
+"""E7 (Examples 3.6-3.8): order relations and absorption.
+
+Paper claims: the three order constructions behave as described — fewer
+views preferred (3.6), fewer uncovered C_R atoms preferred (3.7), included
+views preferred (3.8) — and normal forms remove dominated monomials.
+Benchmark: normal-form computation over growing polynomials.
+"""
+
+import pytest
+
+from repro.citation.order import (
+    FewestUncoveredOrder,
+    FewestViewsOrder,
+    ViewInclusionOrder,
+    best_polynomials,
+    normal_form,
+)
+from repro.citation.polynomial import monomial_from_tokens
+from repro.citation.tokens import BaseRelationToken, ViewCitationToken
+from repro.semiring.polynomial import ProvenancePolynomial
+
+
+def vt(name, *params):
+    return ViewCitationToken(name, params)
+
+
+def make_polynomial(size: int) -> ProvenancePolynomial:
+    """A polynomial with `size` monomials of growing view counts."""
+    monomials = {}
+    for index in range(size):
+        tokens = [vt(f"V{1 + index % 5}", str(index // 5 + 10))] * 1
+        tokens += [vt("V2", str(j)) for j in range(index % 4)]
+        if index % 3 == 0:
+            tokens.append(BaseRelationToken("FC"))
+        monomials[monomial_from_tokens(tokens)] = 1
+    return ProvenancePolynomial(monomials)
+
+
+def test_e7_example_36_fewest_views(benchmark):
+    order = FewestViewsOrder()
+    two = monomial_from_tokens([vt("V1", "13"), vt("V2", "13")])
+    one = monomial_from_tokens([vt("V5", "gpcr")])
+    polynomial = ProvenancePolynomial({two: 1, one: 1})
+    nf = benchmark(normal_form, polynomial, order)
+    assert nf.monomials() == [one]
+
+
+def test_e7_example_37_fewest_uncovered(benchmark):
+    order = FewestUncoveredOrder()
+    uncovered = monomial_from_tokens([
+        vt("V1", "13"), BaseRelationToken("FC"),
+    ])
+    covered = monomial_from_tokens([vt("V1", "13"), vt("V2", "13")])
+    polynomial = ProvenancePolynomial({uncovered: 1, covered: 1})
+    nf = benchmark(normal_form, polynomial, order)
+    assert nf.monomials() == [covered]
+
+
+def test_e7_example_38_view_inclusion(benchmark, registry):
+    order = ViewInclusionOrder(registry)
+    general = monomial_from_tokens([vt("V3")])
+    specific = monomial_from_tokens([vt("V1", "11")])
+    polynomial = ProvenancePolynomial({general: 1, specific: 1})
+    nf = benchmark(normal_form, polynomial, order)
+    assert nf.monomials() == [specific]
+
+
+@pytest.mark.parametrize("size", [8, 32, 128])
+def test_e7_normal_form_scaling(benchmark, size):
+    order = FewestViewsOrder()
+    polynomial = make_polynomial(size)
+    nf = benchmark(normal_form, polynomial, order)
+    # Normal form keeps only minimal-view-count monomials.
+    from repro.citation.polynomial import view_token_count
+    minimum = min(view_token_count(m) for m in polynomial.monomials())
+    assert all(view_token_count(m) == minimum for m in nf.monomials())
+
+
+def test_e7_plus_r_best(benchmark, registry):
+    order = FewestViewsOrder()
+    polys = [
+        ProvenancePolynomial({
+            monomial_from_tokens([vt("V1", "13"), vt("V2", "13")]): 1,
+        }),
+        ProvenancePolynomial({
+            monomial_from_tokens([vt("V5", "gpcr")]): 1,
+        }),
+    ]
+    kept = benchmark(best_polynomials, polys, order)
+    assert kept == [polys[1]]

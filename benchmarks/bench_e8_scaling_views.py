@@ -1,0 +1,76 @@
+"""E8 (scaling): rewriting enumeration vs number of views.
+
+Paper claim (Sections 3.2/3.4/4): "going through all rewritings would be
+an impractical implementation" — exhaustive enumeration grows quickly
+with the number of views.  This benchmark measures enumeration time and
+rewriting counts as the registry grows, and asserts the monotone-growth
+shape.
+"""
+
+import pytest
+
+from repro.cq.parser import parse_query
+from repro.gtopdb.schema import gtopdb_schema
+from repro.rewriting.engine import enumerate_rewritings
+from repro.views.citation_view import CitationView
+from repro.views.registry import ViewRegistry
+
+QUERY = 'Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = "gpcr"'
+
+_SHAPES = [
+    # (view body, λ) templates cycled to synthesize registries of any size.
+    ("lambda F. {n}(F, N, Ty) :- Family(F, N, Ty)", None),
+    ("lambda F. {n}(F, Tx) :- FamilyIntro(F, Tx)", None),
+    ("{n}(F, N, Ty) :- Family(F, N, Ty)", None),
+    ("lambda Ty. {n}(F, N, Ty) :- Family(F, N, Ty)", None),
+    ("lambda Ty. {n}(F, N, Ty, Tx) :- Family(F, N, Ty), "
+     "FamilyIntro(F, Tx)", None),
+    ("lambda N. {n}(F, N, Ty) :- Family(F, N, Ty)", None),
+    ("{n}(F, Tx) :- FamilyIntro(F, Tx)", None),
+    ("lambda F. {n}(F, N, Ty, Tx) :- Family(F, N, Ty), "
+     "FamilyIntro(F, Tx)", None),
+]
+
+
+def build_registry(view_count: int) -> ViewRegistry:
+    views = []
+    for index in range(view_count):
+        template, __ = _SHAPES[index % len(_SHAPES)]
+        name = f"W{index}"
+        definition = template.format(n=name)
+        citation = definition.replace(f"{name}(", f"C{name}(", 1)
+        views.append(CitationView.from_strings(definition, citation))
+    return ViewRegistry(gtopdb_schema(), views)
+
+
+@pytest.mark.parametrize("view_count", [4, 8, 16, 32])
+def test_e8_rewriting_time_vs_views(benchmark, view_count):
+    registry = build_registry(view_count)
+    query = parse_query(QUERY)
+    rewritings = benchmark(enumerate_rewritings, query, registry)
+    assert rewritings
+    benchmark.extra_info["views"] = view_count
+    benchmark.extra_info["rewritings"] = len(rewritings)
+
+
+def test_e8_rewriting_count_grows_with_views():
+    """Shape claim: more views => at least as many rewritings, growing
+    superlinearly over this sweep (the paper's impracticality point)."""
+    query = parse_query(QUERY)
+    counts = []
+    for view_count in (4, 8, 16, 32):
+        registry = build_registry(view_count)
+        counts.append(len(enumerate_rewritings(query, registry)))
+    assert counts == sorted(counts)
+    assert counts[-1] > counts[0]
+    # Growth factor across an 8x view increase is itself super-constant.
+    assert counts[-1] >= 4 * counts[0]
+
+
+def test_e8_max_rewritings_caps_work(benchmark):
+    registry = build_registry(32)
+    query = parse_query(QUERY)
+    capped = benchmark(
+        enumerate_rewritings, query, registry, True, True, 5
+    )
+    assert len(capped) == 5

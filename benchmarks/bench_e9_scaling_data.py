@@ -1,0 +1,68 @@
+"""E9 (scaling): citation generation vs database size.
+
+Measures end-to-end cite() time and citation size across synthetic GtoPdb
+instances of growing size (the per-tuple vs aggregated trade-off of
+Defs 3.2/3.4).  Shape claims: output and work grow with data; the focused
+policy's aggregate citation stays *constant-size* regardless of data
+volume (that is the point of λ-absorbed view citations).
+"""
+
+import pytest
+
+from repro.citation.generator import CitationEngine
+from repro.citation.policy import comprehensive_policy, focused_policy
+from repro.gtopdb.generator import generate_database
+
+QUERY = 'Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = "gpcr"'
+
+SIZES = [100, 400, 1600]
+
+
+@pytest.fixture(scope="module")
+def databases():
+    return {size: generate_database(families=size, persons=size // 2,
+                                    seed=29)
+            for size in SIZES}
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_e9_cite_time_vs_data(benchmark, registry, databases, size):
+    db = databases[size]
+    engine = CitationEngine(db, registry, policy=focused_policy(registry))
+    result = benchmark(engine.cite, QUERY)
+    assert result.tuples
+    benchmark.extra_info["families"] = size
+    benchmark.extra_info["tuples"] = len(result.tuples)
+
+
+def test_e9_aggregate_citation_constant_size(registry, databases):
+    sizes = {}
+    for size, db in databases.items():
+        engine = CitationEngine(db, registry,
+                                policy=focused_policy(registry))
+        result = engine.cite(QUERY)
+        sizes[size] = len(result.aggregate_polynomial.monomials())
+    # λTy absorption: one V5("gpcr") citation regardless of data size.
+    assert set(sizes.values()) == {1}
+
+
+def test_e9_per_tuple_citations_grow_with_data(registry, databases):
+    counts = []
+    for size in SIZES:
+        engine = CitationEngine(databases[size], registry,
+                                policy=comprehensive_policy())
+        result = engine.cite(QUERY)
+        counts.append(
+            sum(len(tc.polynomial.monomials())
+                for tc in result.tuples.values())
+        )
+    assert counts == sorted(counts)
+    assert counts[-1] > counts[0]
+
+
+@pytest.mark.parametrize("size", [100, 400])
+def test_e9_view_materialization_cost(benchmark, registry, databases,
+                                      size):
+    db = databases[size]
+    materialized = benchmark(registry.materialize, db)
+    assert len(materialized["V1"]) == size

@@ -1,0 +1,35 @@
+"""Shared fixtures for the experiment benchmarks (see EXPERIMENTS.md).
+
+Every benchmark asserts the paper's *shape* claims in addition to timing,
+so `pytest benchmarks/ --benchmark-only` doubles as the reproduction
+harness: a passing run certifies both behaviour and performance trends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.citation.generator import CitationEngine
+from repro.citation.policy import comprehensive_policy, focused_policy
+from repro.gtopdb.sample import paper_database
+from repro.gtopdb.views import paper_registry
+
+
+@pytest.fixture(scope="session")
+def db():
+    return paper_database()
+
+
+@pytest.fixture(scope="session")
+def registry():
+    return paper_registry()
+
+
+@pytest.fixture(scope="session")
+def comprehensive_engine(db, registry):
+    return CitationEngine(db, registry, policy=comprehensive_policy())
+
+
+@pytest.fixture(scope="session")
+def focused_engine(db, registry):
+    return CitationEngine(db, registry, policy=focused_policy(registry))

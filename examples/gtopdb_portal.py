@@ -1,0 +1,88 @@
+"""The GtoPdb scenario: from hard-coded page citations to general queries.
+
+Walks the paper end to end on its running example:
+
+1. the *status quo* — citations hard-coded into web-page views (the
+   page-view baseline of the introduction);
+2. Example 2.1 — the citation views V1–V5 and their JSON citations;
+3. Examples 2.2/2.3 — rewritings of general queries, with the trade-offs
+   the paper discusses;
+4. Example 3.3 — the citation polynomial combining all rewritings;
+5. the payoff — a general query the baseline cannot cite, cited by the
+   rewriting model.
+
+Run with::
+
+    python examples/gtopdb_portal.py
+"""
+
+from repro import (
+    CitationEngine,
+    PageViewBaseline,
+    comprehensive_policy,
+    parse_query,
+    render_text,
+)
+from repro.gtopdb import paper_database, paper_registry
+
+
+def main() -> None:
+    db = paper_database()
+    registry = paper_registry()
+
+    # -- 1. the status quo: hard-coded page citations ----------------------
+    print("== 1. Page-view baseline (today's GtoPdb) ==")
+    baseline = PageViewBaseline(db, registry)
+    for view_name in ("V1", "V2"):
+        pages = baseline.register_all_pages(view_name)
+        print(f"  registered {pages} {view_name} pages")
+
+    family_page = parse_query(
+        'P(F, N, Ty) :- Family(F, N, Ty), F = "11"'
+    )
+    print("  family-11 landing page:", baseline.cite(family_page))
+
+    general = parse_query(
+        'Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = "gpcr"'
+    )
+    print("  general query:", baseline.cite(general),
+          "<- the baseline cannot cite it")
+
+    # -- 2. Example 2.1: citation views ------------------------------------
+    print("\n== 2. Citation views V1..V5 (Example 2.1) ==")
+    for view in registry:
+        print(f"  {view.name}: {view.view}")
+    print("  FV1(11):", registry.get("V1").citation_for(db, ("11",)))
+    print("  FV2(11):", registry.get("V2").citation_for(db, ("11",)))
+    print("  FV3():  ", registry.get("V3").citation_for(db))
+    print("  FV4(gpcr):", registry.get("V4").citation_for(db, ("gpcr",)))
+
+    # -- 3. Examples 2.2 / 2.3: rewritings ----------------------------------
+    print("\n== 3. Rewritings of the Example 2.3 query ==")
+    engine = CitationEngine(db, registry, policy=comprehensive_policy())
+    result = engine.cite(general)
+    for rewriting in result.rewritings:
+        tags = []
+        tags.append("total" if rewriting.is_total else "partial")
+        tags.append(f"{rewriting.view_count} view(s)")
+        tags.append(
+            f"{rewriting.residual_comparison_count} residual comparison(s)"
+        )
+        print(f"  {rewriting.query}   [{', '.join(tags)}]")
+
+    # -- 4. Example 3.3: the citation polynomial -----------------------------
+    print("\n== 4. Citation polynomials (Example 3.3) ==")
+    example_33 = engine.cite(
+        'Q(N) :- Family(F, N, Ty), Ty = "gpcr", FamilyIntro(F, Tx)'
+    )
+    for output, tc in example_33.tuples.items():
+        print(f"  cite({output}) = {tc.polynomial}")
+
+    # -- 5. the payoff --------------------------------------------------------
+    print("\n== 5. Citation for the general query ==")
+    focused = CitationEngine(db, registry)
+    print(render_text(focused.cite(general)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+"""Quickstart: declare citation views over your own schema and cite queries.
+
+Run with::
+
+    python examples/quickstart.py
+
+The scenario: a small bibliographic repository where per-collection curator
+credits should appear in citations of any query touching a collection.
+"""
+
+from repro import (
+    CitationEngine,
+    CitationView,
+    Database,
+    RelationSchema,
+    Schema,
+    ViewRegistry,
+    render_json,
+    render_text,
+)
+
+
+def build_database() -> Database:
+    """A toy repository: collections, datasets, curators."""
+    schema = Schema([
+        RelationSchema("Collection", ["CID", "CName", "Topic"], key=["CID"]),
+        RelationSchema("Dataset", ["DID", "CID", "DName"], key=["DID"]),
+        RelationSchema("Curator", ["CID", "Name"], key=["CID", "Name"]),
+        RelationSchema("MetaData", ["Type", "Value"], key=["Type"]),
+    ])
+    db = Database(schema)
+    db.insert_all("Collection", [
+        ("c1", "Proteomics", "bio"),
+        ("c2", "Astronomy Surveys", "astro"),
+        ("c3", "Genome Annotations", "bio"),
+    ])
+    db.insert_all("Dataset", [
+        ("d1", "c1", "Human proteome v2"),
+        ("d2", "c1", "Yeast proteome"),
+        ("d3", "c2", "Deep sky survey"),
+        ("d4", "c3", "GRCh38 annotations"),
+    ])
+    db.insert_all("Curator", [
+        ("c1", "Ada"), ("c1", "Grace"),
+        ("c2", "Edsger"),
+        ("c3", "Barbara"), ("c3", "Ada"),
+    ])
+    db.insert_all("MetaData", [
+        ("Owner", "Open Repository Consortium"),
+        ("URL", "repository.example.org"),
+        ("Version", "7"),
+    ])
+    return db
+
+
+def build_registry(db: Database) -> ViewRegistry:
+    """Two citation views: per-collection and per-topic."""
+    per_collection = CitationView.from_strings(
+        view="lambda C. VColl(C, N, T) :- Collection(C, N, T)",
+        citation_query=(
+            "lambda C. CVColl(C, N, P) :- Collection(C, N, T), "
+            "Curator(C, P)"
+        ),
+        labels=("Collection", "Name", "Curators"),
+        description="One collection, credited to its curators.",
+    )
+    per_topic = CitationView.from_strings(
+        view="lambda T. VTopic(C, N, T) :- Collection(C, N, T)",
+        citation_query=(
+            "lambda T. CVTopic(T, N, P) :- Collection(C, N, T), "
+            "Curator(C, P)"
+        ),
+        labels=("Topic", "Name", "Curators"),
+        description="All collections on one topic.",
+    )
+    datasets = CitationView.from_strings(
+        view="lambda C. VData(D, C, N) :- Dataset(D, C, N)",
+        citation_query=(
+            "lambda C. CVData(C, N, P) :- Collection(C, N, T), Curator(C, P)"
+        ),
+        labels=("Collection", "Name", "Curators"),
+        description="The datasets of one collection.",
+    )
+    return ViewRegistry(db.schema, [per_collection, per_topic, datasets])
+
+
+def main() -> None:
+    db = build_database()
+    registry = build_registry(db)
+    engine = CitationEngine(db, registry)
+
+    # A general query no one attached a citation to: names of bio
+    # collections together with their dataset names.
+    query = (
+        'Q(N, DN) :- Collection(C, N, T), T = "bio", Dataset(D, C, DN)'
+    )
+    result = engine.cite(query)
+
+    print("=== rewritings ===")
+    for rewriting in result.rewritings:
+        print(" ", rewriting.query)
+
+    print("\n=== per-tuple citation polynomials ===")
+    for output, tc in result.tuples.items():
+        print(f"  {output}: {tc.polynomial}")
+
+    print("\n=== rendered citation ===")
+    print(render_text(result))
+
+    print("\n=== JSON ===")
+    print(render_json(result))
+
+    # SQL front-end: the same pipeline from a SELECT statement.
+    sql_result = engine.cite_sql(
+        "SELECT c.CName FROM Collection c, Curator k "
+        "WHERE c.CID = k.CID AND k.Name = 'Ada'"
+    )
+    print("\n=== SQL query citation (text) ===")
+    print(render_text(sql_result))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Fixity: citations that bring back the data as it was cited (Section 4).
+
+"Data may evolve over time, and citations should bring back the data as
+seen at the time it was cited."  This example simulates GtoPdb curation
+across three releases — committee members join and leave, introductions
+get written — and cites the same query against each release.  Citations
+carry the version tag; old citations keep crediting the people who were
+responsible *then*.
+
+Run with::
+
+    python examples/versioned_citations.py
+"""
+
+from repro import VersionedCitationEngine, VersionedDatabase, render_text
+from repro.gtopdb import gtopdb_schema, paper_registry
+
+QUERY = 'Q(N) :- Family(F, N, Ty), Ty = "gpcr"'
+
+
+def main() -> None:
+    vdb = VersionedDatabase(gtopdb_schema(), initial_tag="empty")
+
+    # Release 2015.1: the calcitonin family appears, curated by Hay alone.
+    vdb.insert("Family", "11", "Calcitonin", "gpcr")
+    vdb.insert("Person", "p1", "Hay", "U. Auckland")
+    vdb.insert("FC", "11", "p1")
+    vdb.insert("MetaData", "Owner", "Tony Harmar")
+    vdb.insert("MetaData", "URL", "guidetopharmacology.org")
+    vdb.insert("MetaData", "Version", "2015.1")
+    release_2015 = vdb.commit("2015.1")
+
+    # Release 2016.2: Poyner joins the committee; an introduction is
+    # written by Brown; a second family appears.
+    vdb.insert("Person", "p2", "Poyner", "Aston U.")
+    vdb.insert("FC", "11", "p2")
+    vdb.insert("FamilyIntro", "11", "The calcitonin peptide family")
+    vdb.insert("Person", "p3", "Brown", "U. Cambridge")
+    vdb.insert("FIC", "11", "p3")
+    vdb.insert("Family", "14", "Orexin", "gpcr")
+    vdb.insert("Person", "p9", "Palmer", "U. Bristol")
+    vdb.insert("FC", "14", "p9")
+    release_2016 = vdb.commit("2016.2")
+
+    # Release 2017.1: Hay retires from the committee.
+    vdb.delete("FC", "11", "p1")
+    release_2017 = vdb.commit("2017.1")
+
+    engine = VersionedCitationEngine(vdb, paper_registry())
+    for release in (release_2015, release_2016, release_2017):
+        result = engine.cite(QUERY, version=release)
+        print(f"===== as of release {release} =====")
+        print(render_text(result))
+        print()
+
+    # Fixity check: the old citation still credits Hay even though the
+    # working database no longer lists him.
+    old = engine.cite(QUERY, version="2016.2")
+    credited = [
+        record for record in old.records
+        if "Hay" in str(record.get("Contributors", ""))
+        or "Hay" in str(record.get("Committee", ""))
+    ]
+    print("2016.2 citation still credits Hay:", bool(credited))
+
+
+if __name__ == "__main__":
+    main()

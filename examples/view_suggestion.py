@@ -1,0 +1,63 @@
+"""Log-driven citation-view suggestion (Section 4 open problem).
+
+"Our future work will also study ... using logs to understand database
+usage and decide what citation views should be specified."  This example
+simulates a query log against GtoPdb, mines it for frequent patterns, and
+suggests parameterized citation views; the suggested views are then
+registered and shown rewriting the logged queries.
+
+Run with::
+
+    python examples/view_suggestion.py
+"""
+
+from repro import CitationEngine, ViewRegistry, enumerate_rewritings
+from repro.gtopdb import gtopdb_schema, paper_database
+from repro.workload import QueryLog, coverage_of_views, suggest_views
+
+
+def main() -> None:
+    db = paper_database()
+
+    # A plausible usage log: family lookups by type dominate; intro reads
+    # and committee lookups follow.
+    log = QueryLog()
+    log.record('Q(N) :- Family(F, N, Ty), Ty = "gpcr"', frequency=40)
+    log.record('Q(N) :- Family(F, N, Ty), Ty = "vgic"', frequency=12)
+    log.record('Q(Tx) :- FamilyIntro(F, Tx), F = "11"', frequency=25)
+    log.record(
+        'Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)', frequency=9
+    )
+    log.record(
+        'Q(Pn) :- FC(F, C), Person(C, Pn, A), F = "11"', frequency=18
+    )
+    print(f"log: {len(log)} distinct queries, "
+          f"{log.total_frequency} executions")
+
+    suggested = suggest_views(
+        log, ViewRegistry(gtopdb_schema()), k=4, max_view_atoms=2
+    )
+    print("\nsuggested citation views:")
+    for view in suggested:
+        print(f"  {view.view}")
+    print(f"\nlog coverage: {coverage_of_views(suggested, log):.0%}")
+
+    # Register the suggestions and rewrite the logged queries with them.
+    registry = ViewRegistry(gtopdb_schema(), suggested)
+    print("\nrewritings of the logged queries using suggested views:")
+    for entry in log:
+        rewritings = enumerate_rewritings(entry.query, registry)
+        best = rewritings[0].query if rewritings else "(no rewriting)"
+        print(f"  {entry.query}")
+        print(f"    -> {best}")
+
+    # And the suggested views immediately power citations (with their
+    # default citation queries; owners refine C_V / F_V afterwards).
+    engine = CitationEngine(db, registry)
+    result = engine.cite('Q(N) :- Family(F, N, Ty), Ty = "gpcr"')
+    sample = next(iter(result.tuples.values()))
+    print(f"\nsample citation polynomial: {sample.polynomial}")
+
+
+if __name__ == "__main__":
+    main()

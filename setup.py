@@ -1,0 +1,7 @@
+"""Legacy setup shim: the environment has setuptools but no `wheel`, so
+PEP 517 editable installs fail with `invalid command 'bdist_wheel'`.
+`pip install -e . --no-build-isolation --no-use-pep517` uses this file."""
+
+from setuptools import setup
+
+setup()

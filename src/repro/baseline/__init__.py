@@ -1,0 +1,11 @@
+"""The hard-coded page-view citation baseline (paper, Section 1).
+
+Today's GtoPdb "generates citations, but only to a subset of the possible
+queries against the underlying relational database, i.e. those
+corresponding to web-page views of the data".  This baseline models that
+status quo so benchmarks can quantify what the rewriting model adds.
+"""
+
+from repro.baseline.pageview import PageViewBaseline
+
+__all__ = ["PageViewBaseline"]

@@ -1,0 +1,107 @@
+"""The citation algebra (paper, Section 3).
+
+Citations are annotations combined through four abstract operations:
+
+- ``·`` — joint use of views within one binding of one rewriting
+  (Def 3.1);
+- ``+`` — alternative bindings yielding the same output tuple (Def 3.2);
+- ``+R`` — alternative rewritings of the query (Def 3.3);
+- ``Agg`` — aggregation of per-tuple citations into one result-set
+  citation (Def 3.4), whose neutral element carries always-present
+  citations such as the database's own publication.
+
+The structure is a commutative semiring over citation tokens
+(:mod:`repro.citation.tokens` / :mod:`repro.citation.polynomial`); the
+database owner chooses interpretations of the operations via a
+:class:`~repro.citation.policy.CitationPolicy`, optionally refined by an
+order relation (:mod:`repro.citation.order`, Section 3.4).  The
+:class:`~repro.citation.generator.CitationEngine` runs the full pipeline:
+rewrite → per-binding monomials → per-tuple polynomials → ``+R`` → ``Agg``
+→ rendered citation records (:mod:`repro.citation.formatting`).
+"""
+
+from repro.citation.tokens import (
+    CitationToken,
+    ViewCitationToken,
+    BaseRelationToken,
+)
+from repro.citation.polynomial import (
+    CitationMonomial,
+    CitationPolynomial,
+    monomial_from_tokens,
+    view_token_count,
+    base_token_count,
+)
+from repro.citation.order import (
+    MonomialOrder,
+    FewestViewsOrder,
+    FewestUncoveredOrder,
+    ViewInclusionOrder,
+    LexicographicOrder,
+    normal_form,
+    polynomial_leq,
+)
+from repro.citation.policy import (
+    CitationPolicy,
+    comprehensive_policy,
+    focused_policy,
+    compact_policy,
+)
+from repro.citation.generator import (
+    CitationEngine,
+    CitationResult,
+    TupleCitation,
+)
+from repro.citation.formatting import (
+    render_json,
+    render_text,
+    render_xml,
+    render_bibtex,
+    render_dublin_core,
+    render_ris,
+)
+from repro.citation.explain import Explanation, explain
+from repro.citation.policy_language import (
+    PolicyAnalysis,
+    analyze_policy,
+    parse_policy,
+)
+from repro.citation.cache import CachedRewritingEngine, canonical_key
+
+__all__ = [
+    "CitationToken",
+    "ViewCitationToken",
+    "BaseRelationToken",
+    "CitationMonomial",
+    "CitationPolynomial",
+    "monomial_from_tokens",
+    "view_token_count",
+    "base_token_count",
+    "MonomialOrder",
+    "FewestViewsOrder",
+    "FewestUncoveredOrder",
+    "ViewInclusionOrder",
+    "LexicographicOrder",
+    "normal_form",
+    "polynomial_leq",
+    "CitationPolicy",
+    "comprehensive_policy",
+    "focused_policy",
+    "compact_policy",
+    "CitationEngine",
+    "CitationResult",
+    "TupleCitation",
+    "render_json",
+    "render_text",
+    "render_xml",
+    "render_bibtex",
+    "Explanation",
+    "explain",
+    "CachedRewritingEngine",
+    "canonical_key",
+    "render_dublin_core",
+    "render_ris",
+    "PolicyAnalysis",
+    "analyze_policy",
+    "parse_policy",
+]

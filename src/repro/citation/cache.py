@@ -1,0 +1,104 @@
+"""Caching of rewritings across queries (Section 4: "caching and
+materialization").
+
+Rewriting enumeration is the expensive step of citation generation, but
+its result depends only on the query's *structure*: two queries identical
+up to variable renaming share the same rewritings modulo that renaming.
+:class:`CachedRewritingEngine` canonicalizes queries (deterministic
+variable renaming) and memoizes the enumeration, so repeated or
+template-shaped workloads (the common case for repository front-ends) pay
+the Def 2.2 search once.
+
+Note constants are part of the structure: ``Ty = "gpcr"`` and
+``Ty = "vgic"`` cache separately (their absorbed λ-values differ).  A
+constant-generalizing cache is possible but changes absorbed parameters;
+we keep the sound per-structure cache.
+"""
+
+from __future__ import annotations
+
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.terms import Variable
+from repro.rewriting.engine import RewritingEngine
+from repro.rewriting.rewriting import Rewriting
+from repro.views.registry import ViewRegistry
+
+
+def canonical_key(query: ConjunctiveQuery) -> str:
+    """A cache key invariant under variable renaming.
+
+    Variables are renamed ``v0, v1, ...`` in order of first occurrence
+    across the head, the atoms (in order), and the comparisons (sorted by
+    their canonical repr after renaming is deterministic enough for our
+    construction order).  Two α-equivalent queries map to the same key;
+    distinct structures map to distinct keys.
+    """
+    renaming: dict[str, str] = {}
+
+    def canon(term: object) -> str:
+        if isinstance(term, Variable):
+            if term.name not in renaming:
+                renaming[term.name] = f"v{len(renaming)}"
+            return renaming[term.name]
+        return repr(term)
+
+    parts = ["H:" + ",".join(canon(t) for t in query.head)]
+    for atom in query.atoms:
+        parts.append(
+            f"A:{atom.relation}(" + ",".join(canon(t) for t in atom.terms)
+            + ")"
+        )
+    comparison_parts = []
+    for comparison in query.comparisons:
+        normalized = comparison.normalized()
+        comparison_parts.append(
+            f"C:{canon(normalized.left)}{normalized.op}"
+            f"{canon(normalized.right)}"
+        )
+    parts.extend(sorted(comparison_parts))
+    return "|".join(parts)
+
+
+class CachedRewritingEngine:
+    """A memoizing wrapper around :class:`RewritingEngine`.
+
+    The cache is keyed by :func:`canonical_key`; cached rewritings are
+    *not* renamed back to the caller's variable names — the citation
+    pipeline only consumes the rewriting structurally (its own query's
+    variables), so α-equivalent reuse is sound as long as callers use
+    the rewriting's query rather than the original's variable names,
+    which :class:`~repro.citation.generator.CitationEngine` does.
+    """
+
+    def __init__(self, engine: RewritingEngine) -> None:
+        self.engine = engine
+        self._cache: dict[str, list[Rewriting]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def rewrite(self, query: ConjunctiveQuery) -> list[Rewriting]:
+        key = canonical_key(query)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        rewritings = self.engine.rewrite(query)
+        self._cache[key] = rewritings
+        return rewritings
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def size(self) -> int:
+        return len(self._cache)
+
+
+def cached_engine(
+    registry: ViewRegistry, **engine_options
+) -> CachedRewritingEngine:
+    """Convenience constructor."""
+    return CachedRewritingEngine(RewritingEngine(registry, **engine_options))

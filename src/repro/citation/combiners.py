@@ -1,0 +1,86 @@
+"""Record-level interpretations of the combining functions (Example 3.5).
+
+The algebra of :mod:`repro.citation.polynomial` is symbolic; at rendering
+time each token becomes a JSON-like record and the abstract operations get
+concrete interpretations:
+
+- ``·`` — :func:`dot_union` keeps the records side by side;
+  :func:`dot_merge` joins them, factoring out common fields (the paper's
+  two suggested readings);
+- ``+`` / ``+R`` — :func:`plus_union` unions alternative records;
+  :func:`plus_merge` merges them into one record;
+- ``Agg`` — :func:`agg_union` / :func:`agg_merge`, with
+  :func:`with_neutral` injecting the always-present records (Def 3.4's
+  neutral element: the database name, its NAR publication, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.util.jsonutil import merge_records, union_records
+
+Record = dict[str, Any]
+
+
+def dot_union(records: list[Record]) -> list[Record]:
+    """``·`` as union of records: keep each part of the joint citation."""
+    return union_records(records)
+
+
+def dot_merge(records: list[Record]) -> list[Record]:
+    """``·`` as join/merge: factor out common fields into one record."""
+    if not records:
+        return []
+    return [merge_records(records)]
+
+
+def plus_union(alternatives: list[list[Record]]) -> list[Record]:
+    """``+`` / ``+R`` as union: keep every alternative citation."""
+    flattened: list[Record] = []
+    for records in alternatives:
+        flattened.extend(records)
+    return union_records(flattened)
+
+
+def plus_merge(alternatives: list[list[Record]]) -> list[Record]:
+    """``+`` / ``+R`` as merge: fold all alternatives into one record.
+
+    Reproduces the paper's example::
+
+        {ID, Name, Committee: [Hay, Poyner]}
+        +R {ID, Committee: [Brown], Contributors: [Smith]}
+        = {ID, Name, Committee: [Hay, Poyner, Brown], Contributors: [Smith]}
+    """
+    flattened: list[Record] = []
+    for records in alternatives:
+        flattened.extend(records)
+    if not flattened:
+        return []
+    return [merge_records(flattened)]
+
+
+def agg_union(per_tuple: list[list[Record]]) -> list[Record]:
+    """``Agg`` as union of all per-tuple citations."""
+    return plus_union(per_tuple)
+
+
+def agg_merge(per_tuple: list[list[Record]]) -> list[Record]:
+    """``Agg`` as a single merged result-set citation."""
+    return plus_merge(per_tuple)
+
+
+def with_neutral(
+    records: list[Record], neutral: list[Record]
+) -> list[Record]:
+    """Prepend the neutral-element records (deduplicated).
+
+    Even an empty result set carries these (Def 3.4): typically the
+    database's own citation.
+    """
+    return union_records(list(neutral) + records)
+
+
+DOT_INTERPRETATIONS = {"union": dot_union, "merge": dot_merge}
+PLUS_INTERPRETATIONS = {"union": plus_union, "merge": plus_merge}
+AGG_INTERPRETATIONS = {"union": agg_union, "merge": agg_merge}

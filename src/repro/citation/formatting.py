@@ -1,0 +1,231 @@
+"""Rendering citation results: JSON, plain text, XML, BibTeX.
+
+Definition 2.1 leaves the output format to the citation function ("JSON or
+XML"); these helpers serialize a whole
+:class:`~repro.citation.generator.CitationResult` in several formats so
+repositories can embed citations wherever they need them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+from xml.sax.saxutils import escape
+
+from repro.citation.generator import CitationResult, Record
+
+
+def render_json(
+    result: CitationResult,
+    indent: int | None = 2,
+    include_tuples: bool = False,
+) -> str:
+    """Serialize the result-set citation (optionally per-tuple) as JSON."""
+    payload: dict[str, Any] = result.citation()
+    if include_tuples:
+        payload["tuples"] = [
+            {
+                "tuple": list(tc.output),
+                "citations": tc.records,
+                "polynomial": repr(tc.polynomial),
+            }
+            for tc in result.tuples.values()
+        ]
+    return json.dumps(payload, indent=indent, sort_keys=False, default=str)
+
+
+def _record_lines(record: Record, indent: str) -> list[str]:
+    lines = []
+    for key, value in record.items():
+        if isinstance(value, list):
+            rendered = ", ".join(str(v) for v in value)
+            lines.append(f"{indent}{key}: {rendered}")
+        else:
+            lines.append(f"{indent}{key}: {value}")
+    return lines
+
+
+def render_text(result: CitationResult) -> str:
+    """A human-readable citation block (for terminals and logs)."""
+    lines = [f"Citation for {result.query.name} "
+             f"({len(result.tuples)} result tuple(s), "
+             f"policy={result.policy.name})"]
+    if result.database_citation:
+        lines.append("Database:")
+        for record in result.database_citation:
+            lines.extend(_record_lines(record, "  "))
+    body = [r for r in result.records if r not in result.database_citation]
+    if body:
+        lines.append("Sources:")
+        for index, record in enumerate(body, start=1):
+            lines.append(f"  [{index}]")
+            lines.extend(_record_lines(record, "    "))
+    return "\n".join(lines)
+
+
+def _xml_value(value: Any, tag: str, indent: str) -> str:
+    if isinstance(value, list):
+        inner = "".join(
+            _xml_value(item, "item", indent + "  ") for item in value
+        )
+        return f"{indent}<{tag}>{inner}\n{indent}</{tag}>\n"
+    if isinstance(value, dict):
+        inner = "".join(
+            _xml_value(v, escape(str(k)), indent + "  ")
+            for k, v in value.items()
+        )
+        return f"{indent}<{tag}>\n{inner}{indent}</{tag}>\n"
+    return f"{indent}<{tag}>{escape(str(value))}</{tag}>\n"
+
+
+def render_xml(result: CitationResult) -> str:
+    """Serialize the result-set citation as XML."""
+    parts = ['<?xml version="1.0" encoding="UTF-8"?>\n<citation>\n']
+    parts.append(f'  <query>{escape(repr(result.query))}</query>\n')
+    parts.append(f'  <policy>{escape(result.policy.name)}</policy>\n')
+    for record in result.database_citation:
+        parts.append(_xml_value(record, "database", "  "))
+    for record in result.records:
+        if record in result.database_citation:
+            continue
+        parts.append(_xml_value(record, "source", "  "))
+    parts.append("</citation>\n")
+    return "".join(parts)
+
+
+def _record_authors(record: Record) -> list[str]:
+    """Pull contributor/committee names out of a citation record."""
+    authors: list[str] = []
+    for field in ("Committee", "Contributors", "Curators"):
+        value = record.get(field)
+        if isinstance(value, list):
+            for member in value:
+                if isinstance(member, dict):
+                    authors.extend(member.get("Committee", []))
+                else:
+                    authors.append(str(member))
+        elif value:
+            authors.append(str(value))
+    return list(dict.fromkeys(authors))
+
+
+def render_dublin_core(result: CitationResult) -> str:
+    """Render the citation as Dublin Core XML (``oai_dc`` style).
+
+    Repository harvesters (OAI-PMH) consume Dublin Core; contributors map
+    to ``dc:creator``, the database URL to ``dc:identifier``, version tags
+    to ``dc:date``-like coverage fields.
+    """
+    parts = [
+        '<?xml version="1.0" encoding="UTF-8"?>\n',
+        '<oai_dc:dc xmlns:oai_dc="http://www.openarchives.org/OAI/2.0/'
+        'oai_dc/" xmlns:dc="http://purl.org/dc/elements/1.1/">\n',
+    ]
+
+    def element(tag: str, value: Any) -> None:
+        parts.append(f"  <dc:{tag}>{escape(str(value))}</dc:{tag}>\n")
+
+    element("type", "Dataset")
+    element("description",
+            f"Data extracted via query {result.query.name} under policy "
+            f"{result.policy.name}")
+    for record in result.database_citation:
+        if "Owner" in record:
+            element("publisher", record["Owner"])
+        if "URL" in record:
+            element("identifier", record["URL"])
+        if "Version" in record:
+            element("hasVersion", record["Version"])
+    for record in result.records:
+        if record in result.database_citation:
+            continue
+        for author in _record_authors(record):
+            element("creator", author)
+        title = record.get("Name") or record.get("Type")
+        if title:
+            element("source", title)
+    parts.append("</oai_dc:dc>\n")
+    return "".join(parts)
+
+
+def render_ris(result: CitationResult) -> str:
+    """Render the citation as RIS (reference-manager import format).
+
+    One ``TY - DATA`` entry per citation record; authors in ``AU`` lines,
+    database URL in ``UR``, version in ``ET`` (edition).
+    """
+    entries = []
+    version = None
+    url = None
+    for record in result.database_citation:
+        version = record.get("Version", version)
+        url = record.get("URL", url)
+    for record in result.records:
+        if record in result.database_citation:
+            continue
+        lines = ["TY  - DATA"]
+        title = record.get("Name") or record.get("Type") or \
+            result.query.name
+        lines.append(f"TI  - {title}")
+        for author in _record_authors(record):
+            lines.append(f"AU  - {author}")
+        if url:
+            lines.append(f"UR  - {url}")
+        if version:
+            lines.append(f"ET  - {version}")
+        if "Text" in record:
+            lines.append(f"AB  - {record['Text']}")
+        lines.append("ER  - ")
+        entries.append("\n".join(lines))
+    if not entries:
+        # Database-only citation (empty result set).
+        lines = ["TY  - DATA", f"TI  - {result.query.name}"]
+        if url:
+            lines.append(f"UR  - {url}")
+        lines.append("ER  - ")
+        entries.append("\n".join(lines))
+    return "\n\n".join(entries)
+
+
+def _bibtex_escape(value: Any) -> str:
+    return str(value).replace("{", "\\{").replace("}", "\\}")
+
+
+def render_bibtex(result: CitationResult) -> str:
+    """Render each citation record as a ``@misc`` BibTeX entry.
+
+    Heuristics: ``Committee``/``Contributors`` fields become authors;
+    ``Name``/``Text`` become the title; everything else lands in ``note``.
+    """
+    entries = []
+    for index, record in enumerate(result.records, start=1):
+        key = f"{result.query.name.lower()}-{index}"
+        fields: list[str] = []
+        authors: list[str] = []
+        for field in ("Committee", "Contributors"):
+            value = record.get(field)
+            if isinstance(value, list):
+                for member in value:
+                    if isinstance(member, dict):
+                        authors.extend(member.get("Committee", []))
+                    else:
+                        authors.append(str(member))
+            elif value:
+                authors.append(str(value))
+        if authors:
+            fields.append(f"  author = {{{' and '.join(authors)}}}")
+        title = record.get("Name") or record.get("Text") or record.get("Type")
+        if title:
+            fields.append(f"  title = {{{_bibtex_escape(title)}}}")
+        url = record.get("URL")
+        if url:
+            fields.append(f"  howpublished = {{\\url{{{url}}}}}")
+        note_fields = {
+            k: v for k, v in record.items()
+            if k not in ("Committee", "Contributors", "Name", "Text", "URL")
+        }
+        if note_fields:
+            note = "; ".join(f"{k}: {v}" for k, v in note_fields.items())
+            fields.append(f"  note = {{{_bibtex_escape(note)}}}")
+        entries.append(f"@misc{{{key},\n" + ",\n".join(fields) + "\n}")
+    return "\n\n".join(entries)

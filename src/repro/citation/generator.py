@@ -1,0 +1,428 @@
+"""End-to-end citation generation: ``cite(D, Q, V)`` (Defs 3.1–3.4).
+
+The :class:`CitationEngine` pipeline:
+
+1. enumerate the rewritings of the query over the registry (Section 2.2);
+2. evaluate each rewriting (views materialized as virtual relations) and
+   build, per output tuple and per binding, the ``·``-monomial of view
+   citation tokens and ``C_R`` tokens (Def 3.1);
+3. sum monomials over bindings into a per-rewriting polynomial (Def 3.2);
+4. combine the per-rewriting polynomials with ``+R`` (Def 3.3) — union
+   (the formal, plan-independent semantics) or order-based absorption
+   ("best", Section 3.4) according to the policy;
+5. aggregate per-tuple citations with ``Agg`` (Def 3.4), injecting the
+   neutral-element database citation;
+6. render tokens into citation records via the views' citation functions
+   ``F_V`` and the policy's record-level interpretations of ``·``/``+``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.citation.combiners import with_neutral
+from repro.citation.order import absorbing_sum, best_polynomials, normal_form
+from repro.citation.policy import CitationPolicy, focused_policy
+from repro.citation.polynomial import (
+    CitationMonomial,
+    CitationPolynomial,
+    idempotent_sum,
+)
+from repro.citation.tokens import (
+    BaseRelationToken,
+    CitationToken,
+    ViewCitationToken,
+)
+from repro.cq.evaluation import evaluate_with_bindings
+from repro.cq.parser import parse_query
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.sql_parser import parse_sql
+from repro.cq.terms import Constant, Variable
+from repro.relational.database import Database
+from repro.rewriting.engine import RewritingEngine
+from repro.rewriting.rewriting import Rewriting
+from repro.semiring.polynomial import ProvenanceMonomial, ProvenancePolynomial
+from repro.views.registry import ViewRegistry
+
+Record = dict[str, Any]
+
+
+@dataclass
+class TupleCitation:
+    """The citation of one output tuple.
+
+    Attributes
+    ----------
+    output:
+        The output tuple's values.
+    per_rewriting:
+        One citation polynomial per rewriting (aligned with
+        :attr:`CitationResult.rewritings`); the paper's
+        ``cite(t, Q, Q', V)``.
+    polynomial:
+        The combined citation after ``+R`` — ``cite(t, Q, V)``.
+    records:
+        The rendered citation records under the policy's interpretations.
+    """
+
+    output: tuple[Any, ...]
+    per_rewriting: tuple[CitationPolynomial, ...]
+    polynomial: CitationPolynomial
+    records: list[Record]
+
+
+@dataclass
+class CitationResult:
+    """The citation of a whole query result — ``cite(D, Q, V)``."""
+
+    query: ConjunctiveQuery
+    policy: CitationPolicy
+    rewritings: tuple[Rewriting, ...]
+    tuples: dict[tuple[Any, ...], TupleCitation]
+    aggregate_polynomial: CitationPolynomial
+    records: list[Record]
+    database_citation: list[Record]
+
+    @property
+    def output_tuples(self) -> list[tuple[Any, ...]]:
+        return list(self.tuples)
+
+    def citation(self) -> Record:
+        """A single JSON-ready citation object for the result set."""
+        return {
+            "query": repr(self.query),
+            "policy": self.policy.name,
+            "database": self.database_citation,
+            "citations": self.records,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CitationResult({len(self.tuples)} tuples, "
+            f"{len(self.rewritings)} rewritings, policy={self.policy.name})"
+        )
+
+
+def _default_database_citation(db: Database) -> list[Record]:
+    """Derive the Agg neutral element from a ``MetaData`` relation.
+
+    The paper's Def 3.4 suggests the neutral element carry citations
+    "needed regardless of the query output", e.g. the database name; the
+    GtoPdb schema stores those in ``MetaData``.
+    """
+    if "MetaData" not in db.schema:
+        return []
+    record: Record = {}
+    for row in db.relation("MetaData"):
+        record[str(row[0])] = row[1]
+    return [record] if record else []
+
+
+class CitationEngine:
+    """Generates citations for conjunctive queries over a database.
+
+    Parameters
+    ----------
+    db:
+        The database instance.
+    registry:
+        The citation views declared by the database owner.
+    policy:
+        Interpretation of the combining functions; defaults to
+        :func:`~repro.citation.policy.focused_policy` over the registry.
+    database_citation:
+        The Agg neutral element records; defaults to a record built from
+        the ``MetaData`` relation when present.
+    include_partial / validate / max_rewritings:
+        Passed to the :class:`~repro.rewriting.engine.RewritingEngine`.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        registry: ViewRegistry,
+        policy: CitationPolicy | None = None,
+        database_citation: list[Record] | None = None,
+        include_partial: bool = True,
+        validate: bool = True,
+        max_rewritings: int | None = None,
+        cache_rewritings: bool = False,
+    ) -> None:
+        self.db = db
+        self.registry = registry
+        self.policy = policy or focused_policy(registry)
+        engine = RewritingEngine(
+            registry,
+            include_partial=include_partial,
+            validate=validate,
+            max_rewritings=max_rewritings,
+        )
+        if cache_rewritings:
+            from repro.citation.cache import CachedRewritingEngine
+            self.rewriting_engine: Any = CachedRewritingEngine(engine)
+        else:
+            self.rewriting_engine = engine
+        if database_citation is None:
+            database_citation = _default_database_citation(db)
+        self.database_citation = database_citation
+        self._virtual: dict[str, list[tuple[Any, ...]]] | None = None
+        self._record_cache: dict[CitationToken, Record] = {}
+
+    # ------------------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Drop materialized views and cached records after DB updates."""
+        self._virtual = None
+        self._record_cache.clear()
+
+    def _materialized(self) -> dict[str, list[tuple[Any, ...]]]:
+        if self._virtual is None:
+            self._virtual = self.registry.materialize(self.db)
+        return self._virtual
+
+    # ------------------------------------------------------------------
+    # the symbolic pipeline
+    # ------------------------------------------------------------------
+
+    def _binding_monomial(
+        self, rewriting: Rewriting, binding: dict
+    ) -> CitationMonomial:
+        """Def 3.1: the ``·`` of citation tokens for one binding."""
+        tokens: list[CitationToken] = []
+        for application in rewriting.applications:
+            values = []
+            for term in application.parameter_terms:
+                if isinstance(term, Constant):
+                    values.append(term.value)
+                elif isinstance(term, Variable):
+                    values.append(binding[term])
+                else:  # pragma: no cover - parameter terms are const/var
+                    values.append(term)
+            tokens.append(
+                ViewCitationToken(application.view.name, tuple(values))
+            )
+        for atom in rewriting.uncovered_atoms:
+            tokens.append(BaseRelationToken(atom.relation))
+        return ProvenanceMonomial(tokens)
+
+    def _rewriting_polynomials(
+        self, rewriting: Rewriting
+    ) -> dict[tuple[Any, ...], CitationPolynomial]:
+        """Def 3.2: per-tuple polynomials for one rewriting."""
+        grouped = evaluate_with_bindings(
+            rewriting.query, self.db, virtual=self._materialized()
+        )
+        result: dict[tuple[Any, ...], CitationPolynomial] = {}
+        for output, bindings in grouped.items():
+            terms: dict[CitationMonomial, int] = {}
+            for binding in bindings:
+                monomial = self._binding_monomial(rewriting, binding)
+                terms[monomial] = terms.get(monomial, 0) + 1
+            result[output] = ProvenancePolynomial(terms)
+        return result
+
+    def _combine_rewritings(
+        self, polynomials: list[CitationPolynomial]
+    ) -> CitationPolynomial:
+        """Def 3.3 / Section 3.4: the ``+R`` combination for one tuple."""
+        policy = self.policy
+        nonzero = [p for p in polynomials if not p.is_zero]
+        if not nonzero:
+            return ProvenancePolynomial.zero()
+        if policy.plus_r == "best" and policy.order is not None:
+            nonzero = best_polynomials(nonzero, policy.order)
+        if policy.idempotent_plus:
+            combined = idempotent_sum(nonzero)
+        else:
+            combined = ProvenancePolynomial.zero()
+            for polynomial in nonzero:
+                combined = combined.add(polynomial)
+        if policy.order is not None:
+            combined = normal_form(combined, policy.order)
+        return combined
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+
+    def _token_record(self, token: CitationToken) -> Record:
+        cached = self._record_cache.get(token)
+        if cached is not None:
+            return cached
+        if isinstance(token, ViewCitationToken):
+            view = self.registry.get(token.view_name)
+            record = view.citation_for(self.db, token.parameters)
+        elif isinstance(token, BaseRelationToken):
+            record = {"Relation": token.relation}
+        else:  # pragma: no cover - no other token kinds exist
+            record = {"Token": repr(token)}
+        self._record_cache[token] = record
+        return record
+
+    def _monomial_records(self, monomial: CitationMonomial) -> list[Record]:
+        records = [self._token_record(token) for token in monomial.tokens()]
+        return self.policy.dot_combiner(records)
+
+    def _polynomial_records(
+        self, polynomial: CitationPolynomial
+    ) -> list[Record]:
+        alternatives: list[list[Record]] = []
+        for monomial, coefficient in polynomial.terms.items():
+            records = self._monomial_records(monomial)
+            if self.policy.plus == "counted" and coefficient > 1:
+                records = [
+                    {**record, "DerivationCount": coefficient}
+                    for record in records
+                ]
+            alternatives.append(records)
+        return self.policy.plus_combiner(alternatives)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def cite(self, query: ConjunctiveQuery | str) -> CitationResult:
+        """Compute ``cite(D, Q, V)`` for a query (Datalog string or CQ)."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        rewritings = tuple(self.rewriting_engine.rewrite(query))
+
+        per_rewriting = [
+            self._rewriting_polynomials(rewriting) for rewriting in rewritings
+        ]
+        outputs: dict[tuple[Any, ...], None] = {}
+        for polynomials in per_rewriting:
+            for output in polynomials:
+                outputs.setdefault(output)
+
+        tuples: dict[tuple[Any, ...], TupleCitation] = {}
+        for output in outputs:
+            aligned = tuple(
+                polynomials.get(output, ProvenancePolynomial.zero())
+                for polynomials in per_rewriting
+            )
+            combined = self._combine_rewritings(list(aligned))
+            records = self._polynomial_records(combined)
+            tuples[output] = TupleCitation(output, aligned, combined, records)
+
+        # Agg (Def 3.4): symbolic aggregate plus rendered records.
+        per_tuple_polynomials = [tc.polynomial for tc in tuples.values()]
+        if self.policy.idempotent_plus:
+            aggregate = idempotent_sum(per_tuple_polynomials)
+        else:
+            aggregate = ProvenancePolynomial.zero()
+            for polynomial in per_tuple_polynomials:
+                aggregate = aggregate.add(polynomial)
+        if self.policy.order is not None:
+            aggregate = absorbing_sum([aggregate], self.policy.order)
+        aggregated_records = self.policy.agg_combiner(
+            [tc.records for tc in tuples.values()]
+        )
+        if self.policy.include_database_citation:
+            aggregated_records = with_neutral(
+                aggregated_records, self.database_citation
+            )
+        return CitationResult(
+            query=query,
+            policy=self.policy,
+            rewritings=rewritings,
+            tuples=tuples,
+            aggregate_polynomial=aggregate,
+            records=aggregated_records,
+            database_citation=list(self.database_citation),
+        )
+
+    def cite_sql(self, sql: str) -> CitationResult:
+        """Compute the citation for a SQL SELECT statement."""
+        return self.cite(parse_sql(sql, self.db.schema))
+
+    def cite_union(self, union: "UnionQuery | str") -> CitationResult:
+        """Citation for a union of conjunctive queries (SPJU's U).
+
+        Disjuncts are alternative derivations of the same output tuples,
+        so per-tuple citations combine with ``+`` across disjuncts —
+        exactly the alternative-use semantics of Section 3.1 — and the
+        aggregate then proceeds as usual.
+        """
+        from repro.cq.ucq import UnionQuery, parse_union_query
+
+        if isinstance(union, str):
+            union = parse_union_query(union)
+        union = union.minimized()
+        partial_results = [self.cite(disjunct) for disjunct in union]
+
+        outputs: dict[tuple[Any, ...], None] = {}
+        for result in partial_results:
+            for output in result.tuples:
+                outputs.setdefault(output)
+
+        tuples: dict[tuple[Any, ...], TupleCitation] = {}
+        for output in outputs:
+            contributions = [
+                result.tuples[output].polynomial
+                for result in partial_results
+                if output in result.tuples
+            ]
+            if self.policy.idempotent_plus:
+                combined = idempotent_sum(contributions)
+            else:
+                combined = ProvenancePolynomial.zero()
+                for polynomial in contributions:
+                    combined = combined.add(polynomial)
+            if self.policy.order is not None:
+                combined = normal_form(combined, self.policy.order)
+            # Keep per_rewriting aligned with the concatenated rewriting
+            # list: a disjunct that does not produce this tuple
+            # contributes zero polynomials for each of its rewritings.
+            per_rewriting = tuple(
+                polynomial
+                for result in partial_results
+                for polynomial in (
+                    result.tuples[output].per_rewriting
+                    if output in result.tuples
+                    else (ProvenancePolynomial.zero(),)
+                    * len(result.rewritings)
+                )
+            )
+            records = self._polynomial_records(combined)
+            tuples[output] = TupleCitation(
+                output, per_rewriting, combined, records
+            )
+
+        per_tuple_polynomials = [tc.polynomial for tc in tuples.values()]
+        if self.policy.idempotent_plus:
+            aggregate = idempotent_sum(per_tuple_polynomials)
+        else:
+            aggregate = ProvenancePolynomial.zero()
+            for polynomial in per_tuple_polynomials:
+                aggregate = aggregate.add(polynomial)
+        if self.policy.order is not None:
+            aggregate = absorbing_sum([aggregate], self.policy.order)
+        aggregated_records = self.policy.agg_combiner(
+            [tc.records for tc in tuples.values()]
+        )
+        if self.policy.include_database_citation:
+            aggregated_records = with_neutral(
+                aggregated_records, self.database_citation
+            )
+        all_rewritings = tuple(
+            rewriting
+            for result in partial_results
+            for rewriting in result.rewritings
+        )
+        return CitationResult(
+            query=union.disjuncts[0],
+            policy=self.policy,
+            rewritings=all_rewritings,
+            tuples=tuples,
+            aggregate_polynomial=aggregate,
+            records=aggregated_records,
+            database_citation=list(self.database_citation),
+        )
+
+    def cite_view(
+        self, view_name: str, params: tuple[Any, ...] = ()
+    ) -> Record:
+        """Directly cite a view instance (the hard-coded web-page case)."""
+        return self.registry.get(view_name).citation_for(self.db, params)

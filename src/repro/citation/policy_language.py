@@ -1,0 +1,250 @@
+"""A specification language for the model's "black boxes" (Section 4).
+
+The paper lists as future work "designing a language for the
+specification of the black boxes [citation functions, semiring
+operations, order relations], allowing for their analysis".  This module
+implements a small declarative language for the combining-function side:
+
+.. code-block:: text
+
+    policy curated {
+        dot    = merge
+        plus   = union
+        plusR  = best
+        agg    = union
+        order  = fewest-uncovered > fewest-views > view-inclusion
+        neutral = on
+    }
+
+Grammar (whitespace-insensitive)::
+
+    spec     := "policy" name "{" setting* "}"
+    setting  := key "=" value
+    key      := "dot" | "plus" | "plusR" | "agg" | "order" | "neutral"
+    value    := identifier | order-chain | "on" | "off"
+    order-chain := order-name (">" order-name)*
+    order-name  := "fewest-views" | "fewest-uncovered" | "view-inclusion"
+
+:func:`parse_policy` builds a
+:class:`~repro.citation.policy.CitationPolicy`;
+:func:`analyze_policy` performs the static analysis the paper asks for:
+idempotence, determinism of ``+R``, sensitivity to rewriting
+enumeration order, and whether Example 3.4's single-citation collapse
+can apply.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.citation.order import (
+    FewestUncoveredOrder,
+    FewestViewsOrder,
+    LexicographicOrder,
+    MonomialOrder,
+    ViewInclusionOrder,
+)
+from repro.citation.policy import CitationPolicy
+from repro.errors import PolicyError
+from repro.views.registry import ViewRegistry
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<lbrace>\{)
+  | (?P<rbrace>\})
+  | (?P<eq>=)
+  | (?P<gt>>)
+  | (?P<ident>[A-Za-z][A-Za-z0-9_-]*)
+    """,
+    re.VERBOSE,
+)
+
+_ORDER_NAMES = {
+    "fewest-views": lambda registry: FewestViewsOrder(),
+    "fewest-uncovered": lambda registry: FewestUncoveredOrder(),
+    "view-inclusion": lambda registry: _require_registry(registry),
+}
+
+
+def _require_registry(registry: ViewRegistry | None) -> MonomialOrder:
+    if registry is None:
+        raise PolicyError(
+            "the view-inclusion order needs a ViewRegistry (pass one to "
+            "parse_policy)"
+        )
+    return ViewInclusionOrder(registry)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise PolicyError(
+                f"policy spec: unexpected character {text[position]!r} at "
+                f"offset {position}"
+            )
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append((kind, match.group()))
+        position = match.end()
+    tokens.append(("eof", ""))
+    return tokens
+
+
+def parse_policy(
+    text: str, registry: ViewRegistry | None = None
+) -> CitationPolicy:
+    """Parse a policy specification into a :class:`CitationPolicy`."""
+    tokens = _tokenize(text)
+    index = 0
+
+    def expect(kind: str) -> str:
+        nonlocal index
+        token_kind, token_text = tokens[index]
+        if token_kind != kind:
+            raise PolicyError(
+                f"policy spec: expected {kind}, found {token_text!r}"
+            )
+        index += 1
+        return token_text
+
+    def at(kind: str) -> bool:
+        return tokens[index][0] == kind
+
+    keyword = expect("ident")
+    if keyword != "policy":
+        raise PolicyError("policy spec must start with 'policy <name>'")
+    name = expect("ident")
+    expect("lbrace")
+
+    settings: dict[str, object] = {}
+    while not at("rbrace"):
+        key = expect("ident")
+        expect("eq")
+        value = expect("ident")
+        if key == "order":
+            chain = [value]
+            while at("gt"):
+                expect("gt")
+                chain.append(expect("ident"))
+            settings["order"] = chain
+        else:
+            settings[key] = value
+    expect("rbrace")
+    if not at("eof"):
+        raise PolicyError("policy spec: trailing input after '}'")
+
+    order: MonomialOrder | None = None
+    chain = settings.get("order")
+    if chain:
+        orders = []
+        for order_name in chain:  # type: ignore[union-attr]
+            factory = _ORDER_NAMES.get(str(order_name))
+            if factory is None:
+                raise PolicyError(
+                    f"unknown order {order_name!r}; choose from "
+                    f"{sorted(_ORDER_NAMES)}"
+                )
+            orders.append(factory(registry))
+        order = orders[0] if len(orders) == 1 else LexicographicOrder(orders)
+
+    neutral = str(settings.get("neutral", "on")).lower()
+    if neutral not in ("on", "off"):
+        raise PolicyError("neutral must be 'on' or 'off'")
+
+    return CitationPolicy(
+        name=name,
+        dot=str(settings.get("dot", "merge")),
+        plus=str(settings.get("plus", "union")),
+        plus_r=str(settings.get("plusR", settings.get("plusr", "union"))),
+        agg=str(settings.get("agg", "union")),
+        order=order,
+        include_database_citation=(neutral == "on"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Static analysis ("allowing for their analysis")
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PolicyAnalysis:
+    """What the combining-function choices imply."""
+
+    policy_name: str
+    plus_idempotent: bool
+    plan_independent: bool
+    single_citation_possible: bool
+    keeps_all_alternatives: bool
+    notes: list[str]
+
+    def describe(self) -> str:
+        lines = [f"analysis of policy {self.policy_name!r}:"]
+        lines.append(
+            f"  + idempotent: {'yes' if self.plus_idempotent else 'no'}"
+        )
+        lines.append(
+            "  plan-independent: "
+            + ("yes" if self.plan_independent else "no")
+        )
+        lines.append(
+            "  Example 3.4 single-citation collapse possible: "
+            + ("yes" if self.single_citation_possible else "no")
+        )
+        lines.append(
+            "  keeps all rewriting alternatives: "
+            + ("yes" if self.keeps_all_alternatives else "no")
+        )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def analyze_policy(policy: CitationPolicy) -> PolicyAnalysis:
+    """Derive the semantic properties of a policy's choices.
+
+    - *plan independence* (Def 3.3's guarantee) holds for ``+R = union``
+      always, and for ``+R = best`` because the absorption operates on the
+      full set of rewritings (a deterministic function of the query);
+      it would fail for a hypothetical "first rewriting wins" choice —
+      the analysis exists to catch such extensions.
+    - Example 3.4's collapse needs idempotent ``+`` *and* either an
+      order-based ``+R`` or an idempotent ``Agg`` interpretation.
+    """
+    notes: list[str] = []
+    plus_idempotent = policy.idempotent_plus
+    if not plus_idempotent:
+        notes.append(
+            "counted + keeps derivation multiplicities; citation size "
+            "grows with the number of bindings (Def 3.2)"
+        )
+    keeps_all = policy.plus_r == "union"
+    if policy.plus_r == "best" and policy.order is None:
+        notes.append("plusR=best without an order is rejected at build "
+                     "time")
+    single_possible = plus_idempotent and (
+        policy.plus_r == "best" or policy.agg == "merge"
+    )
+    if policy.order is not None and keeps_all:
+        notes.append(
+            "order given but +R=union: the order still normalizes "
+            "per-tuple polynomials (absorption inside +)"
+        )
+    if not policy.include_database_citation:
+        notes.append(
+            "neutral element disabled: empty results produce empty "
+            "citations (Def 3.4 recommends against this)"
+        )
+    return PolicyAnalysis(
+        policy_name=policy.name,
+        plus_idempotent=plus_idempotent,
+        plan_independent=True,
+        single_citation_possible=single_possible,
+        keeps_all_alternatives=keeps_all,
+        notes=notes,
+    )

@@ -1,0 +1,72 @@
+"""Citation tokens — the base annotations of the citation semiring.
+
+Two kinds (paper, Sections 3.2 and 3.4):
+
+- :class:`ViewCitationToken` — ``F_V(C_V(B_i))`` for a view used with a
+  λ-parameter valuation.  The token records *which* view and *which*
+  valuation; the actual record is produced lazily at rendering time, so
+  the algebra stays purely symbolic (the paper's "formal semantics, not a
+  means of computation").
+- :class:`BaseRelationToken` — the ``C_R`` atom of Example 3.7, placed in
+  the citation whenever a rewriting accesses a base relation directly;
+  counting them drives the "fewest uncovered terms" preference.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class CitationToken:
+    """Abstract base class of citation tokens."""
+
+    __slots__ = ()
+
+
+class ViewCitationToken(CitationToken):
+    """Citation of one view instance: view name + λ-parameter values."""
+
+    __slots__ = ("view_name", "parameters", "_hash")
+
+    def __init__(self, view_name: str, parameters: tuple[Any, ...] = ()) -> None:
+        self.view_name = view_name
+        self.parameters = tuple(parameters)
+        self._hash = hash(("view", view_name, self.parameters))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ViewCitationToken):
+            return NotImplemented
+        return (
+            self.view_name == other.view_name
+            and self.parameters == other.parameters
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        if not self.parameters:
+            return f"C[{self.view_name}]"
+        inner = ",".join(repr(p) for p in self.parameters)
+        return f"C[{self.view_name}({inner})]"
+
+
+class BaseRelationToken(CitationToken):
+    """The ``C_R`` citation atom for direct base-relation access."""
+
+    __slots__ = ("relation", "_hash")
+
+    def __init__(self, relation: str) -> None:
+        self.relation = relation
+        self._hash = hash(("base", relation))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BaseRelationToken):
+            return NotImplemented
+        return self.relation == other.relation
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"C_R[{self.relation}]"

@@ -1,0 +1,240 @@
+"""Command-line interface: cite queries against a project file.
+
+A *project file* (see :mod:`repro.relational.io`) bundles a schema, its
+data, and the owner's citation views.  The CLI covers the owner/user loop
+end to end:
+
+.. code-block:: bash
+
+    python -m repro.cli init-demo gtopdb.json       # write a demo project
+    python -m repro.cli views gtopdb.json           # list citation views
+    python -m repro.cli rewrite gtopdb.json 'Q(N) :- Family(F,N,Ty), Ty = "gpcr"'
+    python -m repro.cli cite gtopdb.json 'Q(N) :- Family(F,N,Ty), Ty = "gpcr"'
+    python -m repro.cli cite gtopdb.json --sql "SELECT FName FROM Family" \
+        --policy comprehensive --format text
+
+Exit codes: 0 on success, 1 on usage errors, 2 on processing errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any
+
+from repro.citation.formatting import (
+    render_bibtex,
+    render_json,
+    render_text,
+    render_xml,
+)
+from repro.citation.generator import CitationEngine
+from repro.citation.policy import (
+    compact_policy,
+    comprehensive_policy,
+    focused_policy,
+)
+from repro.errors import ReproError
+from repro.relational.io import dump_project, load_project
+from repro.rewriting.engine import enumerate_rewritings
+from repro.views.citation_view import CitationView
+from repro.views.registry import ViewRegistry
+
+_POLICIES = {
+    "comprehensive": lambda registry: comprehensive_policy(),
+    "focused": focused_policy,
+    "compact": compact_policy,
+}
+
+_FORMATS = {
+    "json": render_json,
+    "text": render_text,
+    "xml": render_xml,
+    "bibtex": render_bibtex,
+}
+
+
+def _load(path: str) -> tuple[Any, ViewRegistry]:
+    db, view_specs = load_project(path)
+    views = [
+        CitationView.from_strings(
+            view=spec["view"],
+            citation_query=spec["citation_query"],
+            labels=spec.get("labels"),
+            description=spec.get("description", ""),
+        )
+        for spec in view_specs
+    ]
+    return db, ViewRegistry(db.schema, views)
+
+
+def _build_engine(db: Any, registry: ViewRegistry,
+                  policy_name: str) -> CitationEngine:
+    try:
+        policy_factory = _POLICIES[policy_name]
+    except KeyError:
+        raise ReproError(
+            f"unknown policy {policy_name!r}; choose from "
+            f"{sorted(_POLICIES)}"
+        ) from None
+    return CitationEngine(db, registry, policy=policy_factory(registry))
+
+
+def cmd_init_demo(args: argparse.Namespace) -> int:
+    """Write the paper's GtoPdb instance + views V1-V5 as a project file."""
+    from repro.gtopdb.sample import paper_database
+
+    db = paper_database()
+    views = [
+        {
+            "view": "lambda F. V1(F, N, Ty) :- Family(F, N, Ty)",
+            "citation_query": (
+                "lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), "
+                "Person(C, Pn, A)"
+            ),
+            "labels": ["ID", "Name", "Committee"],
+        },
+        {
+            "view": "lambda F. V2(F, Tx) :- FamilyIntro(F, Tx)",
+            "citation_query": (
+                "lambda F. CV2(F, N, Tx, Pn) :- Family(F, N, Ty), "
+                "FamilyIntro(F, Tx), FIC(F, C), Person(C, Pn, A)"
+            ),
+            "labels": ["ID", "Name", "Text", "Contributors"],
+        },
+        {
+            "view": "V3(F, N, Ty) :- Family(F, N, Ty)",
+            "citation_query": (
+                'CV3(X1, X2) :- MetaData(T1, X1), T1 = "Owner", '
+                'MetaData(T2, X2), T2 = "URL"'
+            ),
+            "labels": ["Owner", "URL"],
+        },
+        {
+            "view": "lambda Ty. V4(F, N, Ty) :- Family(F, N, Ty)",
+            "citation_query": (
+                "lambda Ty. CV4(Ty, N, Pn) :- Family(F, N, Ty), FC(F, C), "
+                "Person(C, Pn, A)"
+            ),
+            "labels": ["Type", "Name", "Committee"],
+        },
+        {
+            "view": (
+                "lambda Ty. V5(F, N, Ty, Tx) :- Family(F, N, Ty), "
+                "FamilyIntro(F, Tx)"
+            ),
+            "citation_query": (
+                "lambda Ty. CV5(N, Ty, Tx, Pn) :- Family(F, N, Ty), "
+                "FamilyIntro(F, Tx), FIC(F, C), Person(C, Pn, A)"
+            ),
+            "labels": ["Name", "Type", "Text", "Contributors"],
+        },
+    ]
+    dump_project(db, args.project, views=views)
+    print(f"wrote demo project to {args.project}")
+    return 0
+
+
+def cmd_views(args: argparse.Namespace) -> int:
+    """List the project's citation views."""
+    __, registry = _load(args.project)
+    for view in registry:
+        lambda_part = ""
+        if view.is_parameterized:
+            names = ", ".join(p.name for p in view.parameters)
+            lambda_part = f" [λ {names}]"
+        print(f"{view.name}{lambda_part}: {view.view}")
+        if view.description:
+            print(f"    {view.description}")
+    return 0
+
+
+def cmd_rewrite(args: argparse.Namespace) -> int:
+    """Show the Def 2.2 rewritings of a query."""
+    from repro.cq.parser import parse_query
+
+    db, registry = _load(args.project)
+    query = parse_query(args.query)
+    rewritings = enumerate_rewritings(query, registry)
+    if not rewritings:
+        print("no rewritings (unsatisfiable query?)")
+        return 0
+    for rewriting in rewritings:
+        kind = "total" if rewriting.is_total else "partial"
+        print(f"[{kind}, {rewriting.view_count} view(s)] {rewriting.query}")
+    return 0
+
+
+def cmd_cite(args: argparse.Namespace) -> int:
+    """Cite a query (Datalog by default, SQL with --sql)."""
+    db, registry = _load(args.project)
+    engine = _build_engine(db, registry, args.policy)
+    if args.sql:
+        result = engine.cite_sql(args.query)
+    else:
+        result = engine.cite(args.query)
+    renderer = _FORMATS[args.format]
+    print(renderer(result))
+    if args.explain:
+        from repro.citation.explain import explain
+        print()
+        print(explain(result).describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fine-grained data citation (Davidson et al., CIDR'17)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    init_demo = commands.add_parser(
+        "init-demo", help="write the GtoPdb demo project file"
+    )
+    init_demo.add_argument("project")
+    init_demo.set_defaults(func=cmd_init_demo)
+
+    views = commands.add_parser("views", help="list citation views")
+    views.add_argument("project")
+    views.set_defaults(func=cmd_views)
+
+    rewrite = commands.add_parser(
+        "rewrite", help="show rewritings of a query"
+    )
+    rewrite.add_argument("project")
+    rewrite.add_argument("query")
+    rewrite.set_defaults(func=cmd_rewrite)
+
+    cite = commands.add_parser("cite", help="cite a query")
+    cite.add_argument("project")
+    cite.add_argument("query")
+    cite.add_argument("--sql", action="store_true",
+                      help="interpret the query as SQL")
+    cite.add_argument("--policy", default="focused",
+                      choices=sorted(_POLICIES))
+    cite.add_argument("--format", default="json", choices=sorted(_FORMATS))
+    cite.add_argument("--explain", action="store_true",
+                      help="append a human-readable explanation")
+    cite.set_defaults(func=cmd_cite)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

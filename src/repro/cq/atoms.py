@@ -1,0 +1,163 @@
+"""Atoms of conjunctive queries.
+
+Two kinds of atoms appear in a CQ body (paper, Def 2.1/2.2):
+
+- **relational atoms** ``R(t1, ..., tk)`` over base relations *or views*;
+- **comparison atoms** ``t1 op t2`` with ``op ∈ {=, !=, <, <=, >, >=}``.
+
+Both are immutable, hashable, and support substitution — the workhorse
+operation of homomorphism search and view expansion.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.cq.terms import Constant, Term, Variable
+from repro.relational.expressions import ComparisonOp
+
+Substitution = Mapping[Variable, Term]
+
+
+def substitute_term(term: Term, substitution: Substitution) -> Term:
+    """Apply a substitution to a single term (constants map to themselves)."""
+    if isinstance(term, Variable):
+        return substitution.get(term, term)
+    return term
+
+
+class RelationalAtom:
+    """A positive relational atom ``relation(terms...)``.
+
+    The relation name may denote a base relation or, inside rewritings, a
+    citation view.
+    """
+
+    __slots__ = ("relation", "terms", "_hash")
+
+    def __init__(self, relation: str, terms: Sequence[Term]) -> None:
+        self.relation = relation
+        self.terms: tuple[Term, ...] = tuple(terms)
+        self._hash = hash((relation, self.terms))
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> list[Variable]:
+        """Variables in order of first occurrence (with duplicates removed)."""
+        seen: dict[Variable, None] = {}
+        for term in self.terms:
+            if isinstance(term, Variable):
+                seen.setdefault(term)
+        return list(seen)
+
+    def constants(self) -> list[Constant]:
+        seen: dict[Constant, None] = {}
+        for term in self.terms:
+            if isinstance(term, Constant):
+                seen.setdefault(term)
+        return list(seen)
+
+    # -- transformation ---------------------------------------------------------
+
+    def substitute(self, substitution: Substitution) -> "RelationalAtom":
+        """Apply a substitution to every term."""
+        return RelationalAtom(
+            self.relation,
+            [substitute_term(term, substitution) for term in self.terms],
+        )
+
+    # -- value semantics ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationalAtom):
+            return NotImplemented
+        return self.relation == other.relation and self.terms == other.terms
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(term) for term in self.terms)
+        return f"{self.relation}({inner})"
+
+
+class ComparisonAtom:
+    """A comparison predicate ``left op right`` between two terms."""
+
+    __slots__ = ("left", "op", "right", "_hash")
+
+    def __init__(self, left: Term, op: ComparisonOp, right: Term) -> None:
+        self.left = left
+        self.op = op
+        self.right = right
+        self._hash = hash((left, op, right))
+
+    # -- inspection -----------------------------------------------------------
+
+    def variables(self) -> list[Variable]:
+        result = []
+        if isinstance(self.left, Variable):
+            result.append(self.left)
+        if isinstance(self.right, Variable) and self.right not in result:
+            result.append(self.right)
+        return result
+
+    @property
+    def is_ground(self) -> bool:
+        """True when both sides are constants."""
+        return isinstance(self.left, Constant) and isinstance(self.right, Constant)
+
+    def evaluate_ground(self) -> bool:
+        """Truth value of a ground comparison."""
+        assert isinstance(self.left, Constant) and isinstance(self.right, Constant)
+        try:
+            return self.op.function(self.left.value, self.right.value)
+        except TypeError:
+            return False
+
+    # -- transformation ---------------------------------------------------------
+
+    def substitute(self, substitution: Substitution) -> "ComparisonAtom":
+        return ComparisonAtom(
+            substitute_term(self.left, substitution),
+            self.op,
+            substitute_term(self.right, substitution),
+        )
+
+    def normalized(self) -> "ComparisonAtom":
+        """Canonical orientation: variable (or smaller repr) on the left.
+
+        Keeps closures and equality tests stable: ``3 > x`` becomes
+        ``x < 3``; ``y = x`` becomes ``x = y`` (lexicographic).
+        """
+        left, op, right = self.left, self.op, self.right
+        if isinstance(left, Constant) and isinstance(right, Variable):
+            left, op, right = right, op.flip(), left
+        elif (
+            isinstance(left, Variable)
+            and isinstance(right, Variable)
+            and right.name < left.name
+        ):
+            left, op, right = right, op.flip(), left
+        return ComparisonAtom(left, op, right)
+
+    # -- value semantics ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ComparisonAtom):
+            return NotImplemented
+        return (
+            self.left == other.left
+            and self.op == other.op
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} {self.op} {self.right!r}"

@@ -1,0 +1,268 @@
+"""Conjunctive-query evaluation over a relational database.
+
+Evaluation enumerates all *bindings* (valuations of body variables that
+satisfy every relational and comparison atom) and projects them onto the
+head.  Bindings — not just head tuples — are first-class here because the
+citation model (paper, Def 3.1/3.2) sums citations *per binding*: every
+binding that yields an output tuple contributes one monomial.
+
+The evaluator is a straightforward index-nested-loop join: atoms are
+ordered greedily by boundness, each atom probes a hash index on its bound
+positions, and comparison atoms fire as soon as their variables are bound.
+Virtual relations (e.g. materialized view instances during rewriting
+validation) can be supplied alongside the database.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+from typing import Any
+
+from repro.cq.atoms import ComparisonAtom, RelationalAtom
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.terms import Constant, Variable
+from repro.errors import QueryError
+from repro.relational.database import Database
+
+#: A binding maps every body variable to a concrete value.
+Binding = dict[Variable, Any]
+
+#: Virtual relations: name -> list of value tuples (used to evaluate
+#: rewritings whose atoms reference views).
+VirtualRelations = Mapping[str, Sequence[tuple[Any, ...]]]
+
+
+def _atom_rows(
+    atom: RelationalAtom,
+    db: Database,
+    virtual: VirtualRelations | None,
+    bound: Binding,
+) -> Iterator[tuple[Any, ...]]:
+    """Rows matching ``atom`` given already-bound variables.
+
+    For database relations this uses hash indexes on the bound positions;
+    virtual relations are filtered by scan.
+    """
+    constraints: list[tuple[int, Any]] = []
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            constraints.append((position, term.value))
+        elif term in bound:
+            constraints.append((position, bound[term]))
+
+    if virtual is not None and atom.relation in virtual:
+        for values in virtual[atom.relation]:
+            if len(values) != atom.arity:
+                raise QueryError(
+                    f"virtual relation {atom.relation!r} arity mismatch"
+                )
+            if all(values[i] == v for i, v in constraints):
+                yield tuple(values)
+        return
+
+    instance = db.relation(atom.relation)
+    if instance.schema.arity != atom.arity:
+        raise QueryError(
+            f"atom {atom!r} has arity {atom.arity}, relation has "
+            f"{instance.schema.arity}"
+        )
+    positions = tuple(i for i, __ in constraints)
+    values = tuple(v for __, v in constraints)
+    for row in instance.lookup(positions, values):
+        yield row.values
+
+
+def _consistent_extension(
+    atom: RelationalAtom, values: tuple[Any, ...], binding: Binding
+) -> Binding | None:
+    """Extend ``binding`` with the matches of ``atom`` against ``values``.
+
+    Returns None when the row conflicts with the atom pattern (repeated
+    variables or constants) or the current binding.
+    """
+    extension = dict(binding)
+    for term, value in zip(atom.terms, values):
+        if isinstance(term, Constant):
+            if term.value != value:
+                return None
+        else:
+            current = extension.get(term, _MISSING)
+            if current is _MISSING:
+                extension[term] = value
+            elif current != value:
+                return None
+    return extension
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()
+
+
+def _order_atoms(query: ConjunctiveQuery) -> list[RelationalAtom]:
+    """Greedy join order: repeatedly pick the atom sharing the most
+    variables with those already bound (ties broken by original order)."""
+    remaining = list(query.atoms)
+    ordered: list[RelationalAtom] = []
+    bound_vars: set[Variable] = set()
+    while remaining:
+        def score(atom: RelationalAtom) -> tuple[int, int]:
+            atom_vars = atom.variables()
+            shared = sum(1 for v in atom_vars if v in bound_vars)
+            constants = len(atom.constants())
+            return (shared, constants)
+
+        best = max(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best)
+        bound_vars.update(best.variables())
+    return ordered
+
+
+def _comparison_ready(
+    comparison: ComparisonAtom, bound_vars: set[Variable]
+) -> bool:
+    return all(var in bound_vars for var in comparison.variables())
+
+
+def _check_comparison(comparison: ComparisonAtom, binding: Binding) -> bool:
+    def value_of(term: Any) -> Any:
+        if isinstance(term, Constant):
+            return term.value
+        return binding[term]
+
+    try:
+        return comparison.op.function(
+            value_of(comparison.left), value_of(comparison.right)
+        )
+    except TypeError:
+        return False
+
+
+def enumerate_bindings(
+    query: ConjunctiveQuery,
+    db: Database,
+    virtual: VirtualRelations | None = None,
+) -> Iterator[Binding]:
+    """Yield every satisfying binding of the query's body variables.
+
+    The query must be safe and non-parameterized (instantiate λ-parameters
+    first via :meth:`~repro.cq.query.ConjunctiveQuery.instantiate`).
+    """
+    if query.is_parameterized:
+        raise QueryError(
+            f"cannot evaluate parameterized query {query.name}: instantiate "
+            "its λ-parameters first"
+        )
+    query.check_safety()
+
+    # Ground comparisons hold for every binding or none.
+    pending: list[ComparisonAtom] = []
+    for comparison in query.comparisons:
+        if comparison.is_ground:
+            if not comparison.evaluate_ground():
+                return
+        else:
+            pending.append(comparison)
+
+    ordered_atoms = _order_atoms(query)
+
+    # Schedule each comparison right after the atom that binds its last
+    # variable.
+    schedule: list[list[ComparisonAtom]] = [[] for __ in ordered_atoms]
+    bound_so_far: set[Variable] = set()
+    for index, atom in enumerate(ordered_atoms):
+        bound_so_far.update(atom.variables())
+        still_pending = []
+        for comparison in pending:
+            if _comparison_ready(comparison, bound_so_far):
+                schedule[index].append(comparison)
+            else:
+                still_pending.append(comparison)
+        pending = still_pending
+    if pending:
+        # Safety check above should prevent this.
+        raise QueryError("comparison variables not bound by relational atoms")
+
+    def recurse(index: int, binding: Binding) -> Iterator[Binding]:
+        if index == len(ordered_atoms):
+            yield binding
+            return
+        atom = ordered_atoms[index]
+        for values in _atom_rows(atom, db, virtual, binding):
+            extension = _consistent_extension(atom, values, binding)
+            if extension is None:
+                continue
+            if all(_check_comparison(c, extension) for c in schedule[index]):
+                yield from recurse(index + 1, extension)
+
+    if not ordered_atoms:
+        # Body with no relational atoms (only ground comparisons, already
+        # checked): one empty binding.
+        yield {}
+        return
+    yield from recurse(0, {})
+
+
+def head_tuple(query: ConjunctiveQuery, binding: Binding) -> tuple[Any, ...]:
+    """Project a binding onto the query head."""
+    result = []
+    for term in query.head:
+        if isinstance(term, Constant):
+            result.append(term.value)
+        else:
+            result.append(binding[term])
+    return tuple(result)
+
+
+def evaluate_query(
+    query: ConjunctiveQuery,
+    db: Database,
+    params: Sequence[Any] | None = None,
+    virtual: VirtualRelations | None = None,
+) -> list[tuple[Any, ...]]:
+    """Evaluate a query under set semantics.
+
+    Parameters
+    ----------
+    query:
+        The conjunctive query.  If parameterized, ``params`` must supply a
+        valuation.
+    db:
+        The database instance.
+    params:
+        λ-parameter values (the paper's ``V(Y)(a1..an)`` application).
+    virtual:
+        Extra virtual relations visible to the query body.
+
+    Returns
+    -------
+    list of head-value tuples, deduplicated, in first-derivation order.
+    """
+    if params is not None:
+        query = query.instantiate(params)
+    results: dict[tuple[Any, ...], None] = {}
+    for binding in enumerate_bindings(query, db, virtual):
+        results.setdefault(head_tuple(query, binding))
+    return list(results)
+
+
+def evaluate_with_bindings(
+    query: ConjunctiveQuery,
+    db: Database,
+    params: Sequence[Any] | None = None,
+    virtual: VirtualRelations | None = None,
+) -> dict[tuple[Any, ...], list[Binding]]:
+    """Evaluate and group all satisfying bindings by output tuple.
+
+    This is the paper's ``β_t`` (Def 3.2): the set of bindings yielding
+    each output tuple ``t``.
+    """
+    if params is not None:
+        query = query.instantiate(params)
+    grouped: dict[tuple[Any, ...], list[Binding]] = {}
+    for binding in enumerate_bindings(query, db, virtual):
+        grouped.setdefault(head_tuple(query, binding), []).append(binding)
+    return grouped

@@ -1,0 +1,77 @@
+"""Conjunctive-query minimization (core computation).
+
+A CQ is *minimal* when no relational atom can be removed without changing
+its meaning.  Minimization matters for Def 2.2: a rewriting must contain no
+removable subgoal, and view expansions are minimized before equivalence
+checks to keep homomorphism search small.
+
+The classical algorithm: repeatedly try to drop an atom ``a``; the reduced
+query ``Q'`` always contains ``Q`` (fewer constraints), so ``Q' ≡ Q`` iff
+``Q' ⊆ Q`` iff there is a homomorphism from ``Q`` into ``Q'``.  The result
+is the *core*, unique up to variable renaming.
+"""
+
+from __future__ import annotations
+
+from repro.cq.containment import find_homomorphism, normalize_query
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.terms import Variable
+
+
+def _removable(query: ConjunctiveQuery, index: int) -> bool:
+    """Can the ``index``-th atom be dropped while preserving equivalence?"""
+    # Dropping must not orphan head variables, λ-parameters, or comparison
+    # variables (the reduced query would be unsafe, hence not equivalent) —
+    # checked *before* constructing the reduced query, whose constructor
+    # would reject orphaned parameters.
+    anchored: set[Variable] = set()
+    for other_index, atom in enumerate(query.atoms):
+        if other_index != index:
+            anchored.update(atom.variables())
+    required: set[Variable] = set(query.head_variables())
+    required.update(query.parameters)
+    for comparison in query.comparisons:
+        required.update(comparison.variables())
+    if not required.issubset(anchored):
+        return False
+    reduced = query.drop_atom(index)
+    # Q' ⊇ Q always; equivalence iff hom from Q into Q'.
+    return find_homomorphism(query, reduced) is not None
+
+
+def minimize(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Return the core of ``query`` (equivalent, no removable atom).
+
+    The query is normalized first (equality propagation, duplicate
+    removal).  λ-parameters are preserved: atoms whose removal would orphan
+    a parameter are never dropped.
+    """
+    current, satisfiable = normalize_query(query)
+    if not satisfiable:
+        # An unsatisfiable query has an empty extension everywhere; keep it
+        # as-is (callers check satisfiability separately).
+        return current
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(current.atoms)):
+            if len(current.atoms) == 1:
+                break
+            if _removable(current, index):
+                current = current.drop_atom(index)
+                changed = True
+                break
+    return current
+
+
+def is_minimal(query: ConjunctiveQuery) -> bool:
+    """Is the query its own core (no atom removable)?"""
+    normalized, satisfiable = normalize_query(query)
+    if not satisfiable:
+        return True
+    if len(normalized.atoms) != len(query.atoms):
+        return False
+    return all(
+        not _removable(normalized, index)
+        for index in range(len(normalized.atoms))
+    )

@@ -1,0 +1,223 @@
+"""Datalog-style concrete syntax for conjunctive queries.
+
+The grammar matches the paper's notation as closely as plain text allows::
+
+    query       := [lambda-clause] head ":-" body
+    lambda      := ("lambda" | "λ") var ("," var)* "."
+    head        := ident "(" term ("," term)* ")"
+    body        := item ("," item)*
+    item        := atom | comparison
+    atom        := ident "(" term ("," term)* ")"
+    comparison  := term op term          op ∈ {=, !=, <>, <, <=, >, >=}
+    term        := variable | constant
+    variable    := identifier starting with an uppercase letter or "_"
+    constant    := 'single' | "double" quoted string | number | true | false
+
+Examples (all from the paper)::
+
+    parse_query('Q(N) :- Family(F,N,Ty), Ty = "gpcr", FamilyIntro(F,Tx)')
+    parse_query('lambda F. V1(F,N,Ty) :- Family(F,N,Ty)')
+    parse_query('lambda Ty. CV4(Ty,N,Pn) :- Family(F,N,Ty), FC(F,C), '
+                'Person(C,Pn,A)')
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cq.atoms import ComparisonAtom, RelationalAtom
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.terms import Constant, Term, Variable
+from repro.errors import ParseError
+from repro.relational.expressions import ComparisonOp
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow>:-|<-)
+  | (?P<op><=|>=|!=|<>|=|<|>)
+  | (?P<lpar>\()
+  | (?P<rpar>\))
+  | (?P<comma>,)
+  | (?P<dot>\.)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*|λ)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r}", position)
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str) -> None:
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    # -- token plumbing --------------------------------------------------
+
+    @property
+    def _current(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._current
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._current
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {token.text!r}", token.position
+            )
+        return self._advance()
+
+    def _peek_kind(self, offset: int = 0) -> str:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index].kind
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse_query(self, default_name: str = "Q") -> ConjunctiveQuery:
+        parameters = self._parse_lambda_clause()
+        name, head_terms = self._parse_atom_shape()
+        self._expect("arrow")
+        atoms, comparisons = self._parse_body()
+        self._expect("eof")
+        query = ConjunctiveQuery(
+            name or default_name, head_terms, atoms, comparisons, parameters
+        )
+        query.check_safety()
+        return query
+
+    def parse_single_atom(self) -> RelationalAtom:
+        name, terms = self._parse_atom_shape()
+        self._expect("eof")
+        return RelationalAtom(name, terms)
+
+    def _parse_lambda_clause(self) -> list[Variable]:
+        token = self._current
+        is_lambda = token.kind == "ident" and token.text in ("lambda", "λ")
+        if not is_lambda:
+            return []
+        self._advance()
+        parameters = [self._parse_variable()]
+        while self._current.kind == "comma":
+            self._advance()
+            parameters.append(self._parse_variable())
+        self._expect("dot")
+        return parameters
+
+    def _parse_variable(self) -> Variable:
+        token = self._expect("ident")
+        if not _looks_like_variable(token.text):
+            raise ParseError(
+                f"expected a variable (uppercase identifier), found "
+                f"{token.text!r}", token.position
+            )
+        return Variable(token.text)
+
+    def _parse_atom_shape(self) -> tuple[str, list[Term]]:
+        name_token = self._expect("ident")
+        self._expect("lpar")
+        terms = [self._parse_term()]
+        while self._current.kind == "comma":
+            self._advance()
+            terms.append(self._parse_term())
+        self._expect("rpar")
+        return name_token.text, terms
+
+    def _parse_term(self) -> Term:
+        token = self._current
+        if token.kind == "string":
+            self._advance()
+            return Constant(token.text[1:-1])
+        if token.kind == "number":
+            self._advance()
+            return Constant(_parse_number(token.text))
+        if token.kind == "ident":
+            self._advance()
+            if token.text == "true":
+                return Constant(True)
+            if token.text == "false":
+                return Constant(False)
+            if _looks_like_variable(token.text):
+                return Variable(token.text)
+            # Unquoted lowercase identifiers are treated as string constants
+            # for convenience (e.g. Ty = gpcr).
+            return Constant(token.text)
+        raise ParseError(f"expected a term, found {token.text!r}", token.position)
+
+    def _parse_body(
+        self,
+    ) -> tuple[list[RelationalAtom], list[ComparisonAtom]]:
+        atoms: list[RelationalAtom] = []
+        comparisons: list[ComparisonAtom] = []
+        self._parse_body_item(atoms, comparisons)
+        while self._current.kind == "comma":
+            self._advance()
+            self._parse_body_item(atoms, comparisons)
+        return atoms, comparisons
+
+    def _parse_body_item(
+        self,
+        atoms: list[RelationalAtom],
+        comparisons: list[ComparisonAtom],
+    ) -> None:
+        # Relational atom: ident "(" ...; comparison: term op term.
+        if self._current.kind == "ident" and self._peek_kind(1) == "lpar":
+            name, terms = self._parse_atom_shape()
+            atoms.append(RelationalAtom(name, terms))
+            return
+        left = self._parse_term()
+        op_token = self._expect("op")
+        right = self._parse_term()
+        comparisons.append(
+            ComparisonAtom(left, ComparisonOp.parse(op_token.text), right)
+        )
+
+
+def _looks_like_variable(name: str) -> bool:
+    return name[0].isupper() or name[0] == "_"
+
+
+def _parse_number(text: str) -> Any:
+    if "." in text:
+        return float(text)
+    return int(text)
+
+
+def parse_query(text: str, default_name: str = "Q") -> ConjunctiveQuery:
+    """Parse a Datalog-style conjunctive query string."""
+    return _Parser(text).parse_query(default_name)
+
+
+def parse_atom(text: str) -> RelationalAtom:
+    """Parse a single relational atom, e.g. ``Family(F, N, Ty)``."""
+    return _Parser(text).parse_single_atom()

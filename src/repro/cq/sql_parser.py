@@ -1,0 +1,396 @@
+"""A SQL SELECT-FROM-WHERE front-end producing conjunctive queries.
+
+GtoPdb users think in SQL, not Datalog; the paper's scenario ("allow users
+to issue general queries against the relational database") implies a SQL
+surface.  This module parses the conjunctive fragment of SQL::
+
+    SELECT f.FName, i.Text
+    FROM Family f, FamilyIntro i
+    WHERE f.FID = i.FID AND f.Type = 'gpcr'
+
+into a :class:`~repro.cq.query.ConjunctiveQuery`:
+
+- each table reference contributes one relational atom with one variable
+  per column (named ``<alias>_<column>``);
+- ``col = col`` predicates unify the corresponding variables (equi-joins);
+- ``col op literal`` and non-equality ``col op col`` predicates remain as
+  comparison atoms, so the rewriting engine can absorb them into view
+  λ-parameters exactly as in the paper's Example 2.2.
+
+Only the conjunctive fragment is supported: a single ``SELECT``, comma
+(cross) joins or ``JOIN ... ON`` with conjunctive conditions, ``WHERE``
+with ``AND``.  ``OR``, subqueries, grouping and aggregation raise
+:class:`~repro.errors.ParseError`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cq.atoms import ComparisonAtom, RelationalAtom
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.terms import Constant, Term, Variable
+from repro.errors import ParseError
+from repro.relational.database import Database
+from repro.relational.expressions import ComparisonOp
+from repro.relational.schema import Schema
+
+_SQL_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<op><=|>=|!=|<>|=|<|>)
+  | (?P<lpar>\()
+  | (?P<rpar>\))
+  | (?P<comma>,)
+  | (?P<dot>\.)
+  | (?P<star>\*)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"select", "from", "where", "and", "as", "join", "on", "inner", "distinct"}
+
+_UNSUPPORTED = {"or", "group", "order", "having", "union", "not", "left", "right",
+                "outer", "limit", "exists", "in"}
+
+
+@dataclass
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+    @property
+    def lowered(self) -> str:
+        return self.text.lower()
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _SQL_TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r}", position)
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+@dataclass
+class _ColumnRef:
+    """A (possibly alias-qualified) column reference."""
+
+    alias: str | None
+    column: str
+    position: int
+
+
+@dataclass
+class _TableRef:
+    relation: str
+    alias: str
+
+
+class _SqlParser:
+    def __init__(self, text: str, schema: Schema) -> None:
+        self._tokens = _tokenize(text)
+        self._index = 0
+        self._schema = schema
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def _current(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._current
+        self._index += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> None:
+        token = self._current
+        if token.kind != "ident" or token.lowered != word:
+            raise ParseError(f"expected {word.upper()}, found {token.text!r}",
+                             token.position)
+        self._advance()
+
+    def _at_keyword(self, *words: str) -> bool:
+        token = self._current
+        return token.kind == "ident" and token.lowered in words
+
+    def _check_unsupported(self) -> None:
+        token = self._current
+        if token.kind == "ident" and token.lowered in _UNSUPPORTED:
+            raise ParseError(
+                f"unsupported SQL construct: {token.text!r} (only the "
+                "conjunctive SELECT-FROM-WHERE fragment is supported)",
+                token.position,
+            )
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse(self, name: str) -> ConjunctiveQuery:
+        self._expect_keyword("select")
+        if self._at_keyword("distinct"):
+            self._advance()
+        select_list = self._parse_select_list()
+        self._expect_keyword("from")
+        tables, join_conditions = self._parse_from_clause()
+        conditions = list(join_conditions)
+        if self._at_keyword("where"):
+            self._advance()
+            conditions.extend(self._parse_condition_list())
+        self._check_unsupported()
+        if self._current.kind != "eof":
+            raise ParseError(
+                f"unexpected trailing input: {self._current.text!r}",
+                self._current.position,
+            )
+        return self._build_query(name, select_list, tables, conditions)
+
+    def _parse_select_list(self) -> list[_ColumnRef]:
+        columns = [self._parse_column_ref()]
+        while self._current.kind == "comma":
+            self._advance()
+            columns.append(self._parse_column_ref())
+        return columns
+
+    def _parse_column_ref(self) -> _ColumnRef:
+        self._check_unsupported()
+        token = self._current
+        if token.kind == "star":
+            raise ParseError("SELECT * is not supported; list columns "
+                             "explicitly", token.position)
+        if token.kind != "ident":
+            raise ParseError(f"expected a column, found {token.text!r}",
+                             token.position)
+        first = self._advance()
+        if self._current.kind == "dot":
+            self._advance()
+            second = self._advance()
+            if second.kind != "ident":
+                raise ParseError("expected a column name after '.'",
+                                 second.position)
+            return _ColumnRef(first.text, second.text, first.position)
+        return _ColumnRef(None, first.text, first.position)
+
+    def _parse_from_clause(self) -> tuple[list[_TableRef], list[ComparisonAtom]]:
+        tables = [self._parse_table_ref()]
+        conditions: list[ComparisonAtom] = []
+        while True:
+            if self._current.kind == "comma":
+                self._advance()
+                tables.append(self._parse_table_ref())
+            elif self._at_keyword("join", "inner"):
+                if self._at_keyword("inner"):
+                    self._advance()
+                self._expect_keyword("join")
+                tables.append(self._parse_table_ref())
+                self._expect_keyword("on")
+                # Defer condition translation until all tables are known;
+                # store raw conditions, translated in _build_query.
+                conditions.extend(self._parse_condition_list(stop_at_join=True))
+            else:
+                break
+        return tables, conditions
+
+    def _parse_table_ref(self) -> _TableRef:
+        self._check_unsupported()
+        token = self._current
+        if token.kind != "ident":
+            raise ParseError(f"expected a table name, found {token.text!r}",
+                             token.position)
+        relation = self._advance().text
+        alias = relation
+        if self._at_keyword("as"):
+            self._advance()
+            alias = self._advance().text
+        elif (self._current.kind == "ident"
+              and self._current.lowered not in _KEYWORDS
+              and self._current.lowered not in _UNSUPPORTED):
+            alias = self._advance().text
+        return _TableRef(relation, alias)
+
+    def _parse_condition_list(self, stop_at_join: bool = False) -> list[ComparisonAtom]:
+        conditions = [self._parse_condition()]
+        while self._at_keyword("and"):
+            self._advance()
+            conditions.append(self._parse_condition())
+        return conditions
+
+    def _parse_condition(self) -> ComparisonAtom:
+        left = self._parse_operand()
+        op_token = self._current
+        if op_token.kind != "op":
+            raise ParseError(f"expected a comparison operator, found "
+                             f"{op_token.text!r}", op_token.position)
+        self._advance()
+        right = self._parse_operand()
+        return ComparisonAtom(left, ComparisonOp.parse(op_token.text), right)
+
+    def _parse_operand(self) -> Term:
+        self._check_unsupported()
+        token = self._current
+        if token.kind == "string":
+            self._advance()
+            return Constant(token.text[1:-1])
+        if token.kind == "number":
+            self._advance()
+            text = token.text
+            return Constant(float(text) if "." in text else int(text))
+        column = self._parse_column_ref()
+        # Column refs become placeholder variables resolved in _build_query;
+        # encode them so resolution can find them.
+        return Variable(_placeholder(column))
+
+    # -- translation ----------------------------------------------------------
+
+    def _build_query(
+        self,
+        name: str,
+        select_list: list[_ColumnRef],
+        tables: list[_TableRef],
+        conditions: list[ComparisonAtom],
+    ) -> ConjunctiveQuery:
+        alias_to_relation: dict[str, str] = {}
+        for table in tables:
+            if table.relation not in self._schema:
+                raise ParseError(f"unknown table: {table.relation!r}")
+            if table.alias in alias_to_relation:
+                raise ParseError(f"duplicate table alias: {table.alias!r}")
+            alias_to_relation[table.alias] = table.relation
+
+        # One variable per (alias, column).
+        variables: dict[tuple[str, str], Variable] = {}
+        atoms: list[RelationalAtom] = []
+        for table in tables:
+            rel_schema = self._schema.relation(table.relation)
+            terms: list[Term] = []
+            for attr in rel_schema.attribute_names:
+                var = Variable(f"{table.alias}_{attr}")
+                variables[(table.alias, attr)] = var
+                terms.append(var)
+            atoms.append(RelationalAtom(table.relation, terms))
+
+        def resolve(term: Term) -> Term:
+            if isinstance(term, Variable) and term.name.startswith("\x00col:"):
+                alias, column, position = _decode_placeholder(term.name)
+                return self._resolve_column(
+                    alias, column, position, alias_to_relation, variables
+                )
+            return term
+
+        resolved_conditions = [
+            ComparisonAtom(resolve(c.left), c.op, resolve(c.right))
+            for c in conditions
+        ]
+
+        # Unify col = col equalities into shared variables (equi-joins).
+        substitution: dict[Variable, Term] = {}
+        comparisons: list[ComparisonAtom] = []
+        for condition in resolved_conditions:
+            left = _walk(condition.left, substitution)
+            right = _walk(condition.right, substitution)
+            if (condition.op is ComparisonOp.EQ
+                    and isinstance(left, Variable)
+                    and isinstance(right, Variable)):
+                if left != right:
+                    substitution[left] = right
+            else:
+                comparisons.append(ComparisonAtom(left, condition.op, right))
+
+        def deep(term: Term) -> Term:
+            return _walk(term, substitution)
+
+        final_atoms = [
+            RelationalAtom(atom.relation, [deep(t) for t in atom.terms])
+            for atom in atoms
+        ]
+        final_comparisons = [
+            ComparisonAtom(deep(c.left), c.op, deep(c.right))
+            for c in comparisons
+        ]
+        head: list[Term] = []
+        for column in select_list:
+            var = self._resolve_column(
+                column.alias, column.column, column.position,
+                alias_to_relation, variables,
+            )
+            head.append(deep(var))
+        query = ConjunctiveQuery(name, head, final_atoms, final_comparisons)
+        query.check_safety()
+        return query
+
+    def _resolve_column(
+        self,
+        alias: str | None,
+        column: str,
+        position: int,
+        alias_to_relation: dict[str, str],
+        variables: dict[tuple[str, str], Variable],
+    ) -> Variable:
+        if alias is not None:
+            if alias not in alias_to_relation:
+                raise ParseError(f"unknown table alias: {alias!r}", position)
+            key = (alias, column)
+            if key not in variables:
+                raise ParseError(
+                    f"table {alias_to_relation[alias]!r} has no column "
+                    f"{column!r}", position
+                )
+            return variables[key]
+        matches = [key for key in variables if key[1] == column]
+        if not matches:
+            raise ParseError(f"unknown column: {column!r}", position)
+        if len(matches) > 1:
+            raise ParseError(
+                f"ambiguous column {column!r}: qualify it with a table alias",
+                position,
+            )
+        return variables[matches[0]]
+
+
+def _placeholder(column: _ColumnRef) -> str:
+    return f"\x00col:{column.alias or ''}:{column.column}:{column.position}"
+
+
+def _decode_placeholder(name: str) -> tuple[str | None, str, int]:
+    __, alias, column, position = name.split(":")
+    return (alias or None), column, int(position)
+
+
+def _walk(term: Term, substitution: dict[Variable, Term]) -> Term:
+    """Follow a substitution chain to its representative."""
+    while isinstance(term, Variable) and term in substitution:
+        term = substitution[term]
+    return term
+
+
+def parse_sql(
+    text: str, schema: Schema | Database, name: str = "Q"
+) -> ConjunctiveQuery:
+    """Parse a conjunctive ``SELECT`` statement into a CQ.
+
+    Parameters
+    ----------
+    text:
+        The SQL text.
+    schema:
+        The database schema (or a :class:`Database`, whose schema is used)
+        needed to expand table columns into positional variables.
+    name:
+        Head predicate name for the resulting query.
+    """
+    if isinstance(schema, Database):
+        schema = schema.schema
+    return _SqlParser(text, schema).parse(name)

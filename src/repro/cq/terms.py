@@ -1,0 +1,83 @@
+"""Terms of conjunctive queries: variables and constants.
+
+Terms are immutable value objects.  Variables are identified by name;
+constants wrap an arbitrary hashable Python value (string, int, float,
+bool).  The paper writes variables capitalized (``F``, ``N``, ``Ty``) and
+constants quoted (``"gpcr"``) — the Datalog parser follows that convention.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class Term:
+    """Abstract base class of :class:`Variable` and :class:`Constant`."""
+
+    __slots__ = ()
+
+    @property
+    def is_variable(self) -> bool:
+        return isinstance(self, Variable)
+
+    @property
+    def is_constant(self) -> bool:
+        return isinstance(self, Constant)
+
+
+class Variable(Term):
+    """A query variable, identified by its name."""
+
+    __slots__ = ("name", "_hash")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._hash = hash(("var", name))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Variable) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __lt__(self, other: "Variable") -> bool:
+        return self.name < other.name
+
+
+class Constant(Term):
+    """A constant value appearing in a query."""
+
+    __slots__ = ("value", "_hash")
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+        self._hash = hash(("const", type(value).__name__, value))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Constant)
+            and type(self.value) is type(other.value)
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        if isinstance(self.value, bool):
+            # Lowercase so the Datalog grammar reads it back as a boolean
+            # (capitalized True/False would parse as variables).
+            return "true" if self.value else "false"
+        if isinstance(self.value, str):
+            return f'"{self.value}"'
+        return repr(self.value)
+
+
+def as_term(value: Any) -> Term:
+    """Coerce a raw Python value (or Term) into a :class:`Term`."""
+    if isinstance(value, Term):
+        return value
+    return Constant(value)

@@ -1,0 +1,122 @@
+"""Unions of conjunctive queries (the U in SPJU).
+
+Section 3.1 restricts attention to **SPJU** queries: select, project,
+join, *union*.  Alternative disjuncts of a union are classic "+"
+combinations — the same alternative-use semantics as multiple bindings —
+so the citation of a UCQ result tuple is the ``+`` of the citations it
+receives from each disjunct that produces it.
+
+A :class:`UnionQuery` is a named list of conjunctive disjuncts with
+union-compatible heads.  The concrete syntax stacks rules with the same
+head predicate::
+
+    Q(N) :- Family(F, N, Ty), Ty = "gpcr"
+    Q(N) :- Family(F, N, Ty), Ty = "vgic"
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from typing import Any
+
+from repro.cq.evaluation import evaluate_query
+from repro.cq.containment import is_contained_in
+from repro.cq.parser import parse_query
+from repro.cq.query import ConjunctiveQuery
+from repro.errors import QueryError
+from repro.relational.database import Database
+
+
+class UnionQuery:
+    """A union of conjunctive queries with a shared head shape."""
+
+    def __init__(self, disjuncts: Sequence[ConjunctiveQuery]) -> None:
+        if not disjuncts:
+            raise QueryError("a union query needs at least one disjunct")
+        arities = {len(q.head) for q in disjuncts}
+        if len(arities) != 1:
+            raise QueryError(
+                f"union disjuncts must share head arity, got {arities}"
+            )
+        for disjunct in disjuncts:
+            if disjunct.is_parameterized:
+                raise QueryError(
+                    "union disjuncts must be unparameterized"
+                )
+        self.disjuncts: tuple[ConjunctiveQuery, ...] = tuple(disjuncts)
+        self.name = disjuncts[0].name
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.disjuncts[0].head)
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    def __iter__(self) -> Iterator[ConjunctiveQuery]:
+        return iter(self.disjuncts)
+
+    def __repr__(self) -> str:
+        return "\n".join(repr(q) for q in self.disjuncts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UnionQuery):
+            return NotImplemented
+        return self.disjuncts == other.disjuncts
+
+    def __hash__(self) -> int:
+        return hash(self.disjuncts)
+
+    # -- semantics ---------------------------------------------------------------
+
+    def evaluate(self, db: Database) -> list[tuple[Any, ...]]:
+        """Set-semantics union of the disjuncts' results."""
+        seen: dict[tuple[Any, ...], None] = {}
+        for disjunct in self.disjuncts:
+            for row in evaluate_query(disjunct, db):
+                seen.setdefault(row)
+        return list(seen)
+
+    def minimized(self) -> "UnionQuery":
+        """Remove disjuncts contained in another disjunct.
+
+        The UCQ analogue of core minimization: a disjunct subsumed by a
+        sibling contributes nothing to the union.
+        """
+        kept: list[ConjunctiveQuery] = []
+        for index, disjunct in enumerate(self.disjuncts):
+            subsumed = False
+            for other_index, other in enumerate(self.disjuncts):
+                if index == other_index:
+                    continue
+                if not is_contained_in(disjunct, other):
+                    continue
+                # Contained in an earlier disjunct, or strictly contained
+                # in a later one: drop.  (Mutually equivalent disjuncts
+                # keep the first.)
+                if other_index < index or not is_contained_in(
+                        other, disjunct):
+                    subsumed = True
+                    break
+            if not subsumed:
+                kept.append(disjunct)
+        return UnionQuery(kept)
+
+
+def parse_union_query(text: str, default_name: str = "Q") -> UnionQuery:
+    """Parse a stack of rules (one per line / separated by ``;``)."""
+    rules = []
+    for chunk in text.replace(";", "\n").splitlines():
+        chunk = chunk.strip()
+        if chunk:
+            rules.append(parse_query(chunk, default_name))
+    if not rules:
+        raise QueryError("no rules found in union query text")
+    names = {rule.name for rule in rules}
+    if len(names) != 1:
+        raise QueryError(
+            f"union rules must share a head predicate, got {sorted(names)}"
+        )
+    return UnionQuery(rules)

@@ -1,0 +1,37 @@
+"""Fixity and versioning (paper, Section 4).
+
+"Data may evolve over time, and citations should bring back the data as
+seen at the time it was cited.  Thus data sources must support versioning,
+and citations must include timestamps or version numbers."
+
+:class:`~repro.fixity.versioned.VersionedDatabase` keeps an append-only
+change log with named versions and reconstructs any past state;
+:class:`~repro.fixity.versioned.VersionedCitationEngine` generates
+citations against a chosen version and stamps them with it.
+"""
+
+from repro.fixity.versioned import (
+    Version,
+    VersionedDatabase,
+    VersionedCitationEngine,
+)
+from repro.fixity.temporal import (
+    VTAG,
+    lift_schema,
+    lift_database,
+    lift_view,
+    lift_registry,
+    tag_query,
+)
+
+__all__ = [
+    "Version",
+    "VersionedDatabase",
+    "VersionedCitationEngine",
+    "VTAG",
+    "lift_schema",
+    "lift_database",
+    "lift_view",
+    "lift_registry",
+    "tag_query",
+]

@@ -1,0 +1,146 @@
+"""Temporal citation views: timestamps as λ-parameters (Section 4).
+
+Besides log-based versioning (:mod:`repro.fixity.versioned`), the paper
+sketches a second fixity mechanism:
+
+    "This may be captured in our model by including a 'timestamp'
+    attribute in base relations, with lambda variables in views
+    corresponding to this attribute.  Then, citations could vary across
+    timestamps, and our algebraic operators may be used to aggregate (or
+    choose some out of) these citations."
+
+This module implements exactly that lifting:
+
+- :func:`lift_schema` adds a trailing ``VTag`` (version-tag) attribute to
+  every relation;
+- :func:`lift_database` copies a snapshot into the lifted schema under a
+  given tag (several snapshots coexist in one database);
+- :func:`lift_view` rewrites a citation view so every body atom carries a
+  shared timestamp variable that becomes an *additional λ-parameter* —
+  instantiating the lifted view at ``(..., tag)`` yields the view as of
+  that tag, and the citation query credits the curators recorded then.
+
+Because the timestamp is an ordinary λ-parameter, the whole citation
+pipeline (rewriting, absorption, orders) applies unchanged: a query that
+pins ``VTag = "2016.2"`` gets the comparison absorbed into the lifted
+view's λ-term exactly like ``Ty = "gpcr"`` in Example 2.2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from repro.cq.atoms import RelationalAtom
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.terms import Variable
+from repro.relational.database import Database
+from repro.relational.schema import Attribute, RelationSchema, Schema
+from repro.relational.types import STRING
+from repro.util.naming import fresh_variable_name
+from repro.views.citation_view import CitationView
+from repro.views.registry import ViewRegistry
+
+#: Name of the injected version-tag attribute.
+VTAG = "VTag"
+
+
+def lift_schema(schema: Schema) -> Schema:
+    """Add a trailing ``VTag`` attribute (part of every key) per relation.
+
+    Foreign keys are dropped in the lifted schema: cross-version
+    referential integrity is the versioning layer's concern, and keys now
+    include the tag so the same logical row may appear in many versions.
+    """
+    lifted = []
+    for relation in schema:
+        attributes = list(relation.attributes) + [Attribute(VTAG, STRING)]
+        key = list(relation.key) + [VTAG] if relation.key else []
+        lifted.append(RelationSchema(relation.name, attributes, key=key))
+    return Schema(lifted)
+
+
+def lift_database(
+    snapshots: Sequence[tuple[str, Database]],
+    lifted_schema: Schema | None = None,
+) -> Database:
+    """Merge tagged snapshots into one temporal database.
+
+    ``snapshots`` is a sequence of ``(tag, database)`` pairs over the same
+    (unlifted) schema; every row is copied with the tag appended.
+    """
+    if not snapshots:
+        raise ValueError("need at least one (tag, database) snapshot")
+    base_schema = snapshots[0][1].schema
+    if lifted_schema is None:
+        lifted_schema = lift_schema(base_schema)
+    temporal = Database(lifted_schema)
+    for tag, db in snapshots:
+        for instance in db.relations():
+            for row in instance:
+                temporal.insert(instance.schema.name, *row.values, tag)
+    return temporal
+
+
+def _lift_query(
+    query: ConjunctiveQuery, timestamp: Variable
+) -> ConjunctiveQuery:
+    """Append the shared timestamp variable to every body atom."""
+    atoms = [
+        RelationalAtom(atom.relation, list(atom.terms) + [timestamp])
+        for atom in query.atoms
+    ]
+    head = list(query.head) + [timestamp]
+    parameters = list(query.parameters) + [timestamp]
+    return ConjunctiveQuery(
+        query.name, head, atoms, query.comparisons, parameters
+    )
+
+
+def lift_view(view: CitationView) -> CitationView:
+    """Lift a citation view to the temporal schema.
+
+    The lifted view gains a trailing head column and λ-parameter ``T``
+    (fresh) shared by every body atom of both the view definition and the
+    citation query, so one instantiation reads one version consistently.
+    """
+    used = {v.name for v in view.view.variables()}
+    used.update(v.name for v in view.citation_query.variables())
+    timestamp = Variable(fresh_variable_name(used, hint="T"))
+    return CitationView(
+        _lift_query(view.view, timestamp),
+        _lift_query(view.citation_query, timestamp),
+        view.citation_function,
+        labels=tuple(view.labels) + (VTAG,),
+        description=(view.description + " (temporal)").strip(),
+    )
+
+
+def lift_registry(
+    registry: ViewRegistry, lifted_schema: Schema | None = None
+) -> ViewRegistry:
+    """Lift every view of a registry onto the lifted schema."""
+    if lifted_schema is None:
+        lifted_schema = lift_schema(registry.schema)
+    return ViewRegistry(
+        lifted_schema, [lift_view(view) for view in registry]
+    )
+
+
+def tag_query(query: ConjunctiveQuery, tag: Any) -> ConjunctiveQuery:
+    """Rewrite a user query to read one version of the temporal database.
+
+    Every body atom gets a shared fresh timestamp variable pinned to
+    ``tag`` by an inline constant — which the rewriting engine then
+    absorbs into the lifted views' timestamp λ-parameters, yielding
+    version-stamped citations through the ordinary machinery.
+    """
+    from repro.cq.terms import Constant
+
+    atoms = [
+        RelationalAtom(atom.relation, list(atom.terms) + [Constant(tag)])
+        for atom in query.atoms
+    ]
+    return ConjunctiveQuery(
+        query.name, query.head, atoms, query.comparisons, query.parameters
+    )

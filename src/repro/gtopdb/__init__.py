@@ -1,0 +1,28 @@
+"""The IUPHAR/BPS Guide to Pharmacology (GtoPdb) substrate.
+
+GtoPdb is the paper's running example: a curated relational database of
+drugs and drug targets whose web pages carry hard-coded citations.  This
+subpackage reconstructs everything the paper uses:
+
+- :mod:`repro.gtopdb.schema` — the six-relation schema of Example 2.1;
+- :mod:`repro.gtopdb.sample` — the exact instance implied by the paper's
+  examples (family 11 "Calcitonin", committees, contributors, metadata);
+- :mod:`repro.gtopdb.views` — the citation views V1–V5 with their
+  citation queries CV1–CV5 and JSON citation functions;
+- :mod:`repro.gtopdb.generator` — a deterministic synthetic generator
+  scaling the same shape to arbitrary sizes for the benchmarks.
+"""
+
+from repro.gtopdb.schema import gtopdb_schema
+from repro.gtopdb.sample import paper_database
+from repro.gtopdb.views import paper_views, paper_registry
+from repro.gtopdb.generator import GtopdbGenerator, generate_database
+
+__all__ = [
+    "gtopdb_schema",
+    "paper_database",
+    "paper_views",
+    "paper_registry",
+    "GtopdbGenerator",
+    "generate_database",
+]

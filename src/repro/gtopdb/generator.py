@@ -1,0 +1,124 @@
+"""Deterministic synthetic GtoPdb generator for scaling benchmarks.
+
+The paper's instance has a handful of tuples; the benchmarks (E8/E9/E10)
+need the same *shape* at 10^2–10^5 tuples.  The generator preserves the
+structural properties the citation model is sensitive to:
+
+- family types are skewed (a few large types like "gpcr", many small
+  ones), so type-parameterized views (V4/V5) group many families;
+- a configurable fraction of families have introduction pages (FK from
+  FamilyIntro into Family);
+- committees and contributor lists have small, varied sizes drawn from a
+  shared person pool (people serve on several committees, as curators do
+  in the real GtoPdb);
+- a fixed metadata table.
+
+All randomness is seeded; the same parameters always produce the same
+database.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.gtopdb.schema import gtopdb_schema
+from repro.relational.database import Database
+
+_TYPE_NAMES = [
+    "gpcr", "vgic", "lgic", "nhr", "enzyme", "catalytic", "transporter",
+    "other-ic", "other-protein", "accessory",
+]
+
+
+@dataclass
+class GtopdbGenerator:
+    """Seeded generator for synthetic GtoPdb instances.
+
+    Parameters
+    ----------
+    families:
+        Number of Family rows.
+    persons:
+        Size of the Person pool.
+    types:
+        Number of distinct family types (capped by the name list, then
+        suffixed).  Types are assigned with a Zipf-like skew: type ``i``
+        receives weight ``1/(i+1)``.
+    intro_fraction:
+        Fraction of families that have an introduction page.
+    committee_size / contributor_size:
+        Inclusive (min, max) bounds for committee and contributor counts.
+    seed:
+        RNG seed; same inputs produce identical databases.
+    """
+
+    families: int = 100
+    persons: int = 50
+    types: int = 6
+    intro_fraction: float = 0.6
+    committee_size: tuple[int, int] = (1, 4)
+    contributor_size: tuple[int, int] = (1, 3)
+    seed: int = 17
+
+    def type_names(self) -> list[str]:
+        names = list(_TYPE_NAMES[: self.types])
+        index = 0
+        while len(names) < self.types:
+            names.append(f"type{index}")
+            index += 1
+        return names
+
+    def build(self) -> Database:
+        """Generate the database (foreign keys verified before returning)."""
+        rng = random.Random(self.seed)
+        db = Database(gtopdb_schema())
+
+        person_ids = [f"p{i}" for i in range(self.persons)]
+        for index, pid in enumerate(person_ids):
+            db.insert("Person", pid, f"Person{index}", f"Institute{index % 13}")
+
+        type_names = self.type_names()
+        weights = [1.0 / (i + 1) for i in range(len(type_names))]
+
+        committee_low, committee_high = self.committee_size
+        contributor_low, contributor_high = self.contributor_size
+
+        for index in range(self.families):
+            fid = f"f{index}"
+            family_type = rng.choices(type_names, weights=weights)[0]
+            db.insert("Family", fid, f"Family{index}", family_type)
+            committee = rng.sample(
+                person_ids,
+                min(len(person_ids),
+                    rng.randint(committee_low, committee_high)),
+            )
+            for pid in committee:
+                db.insert("FC", fid, pid)
+            if rng.random() < self.intro_fraction:
+                db.insert("FamilyIntro", fid, f"Introduction to family {index}")
+                contributors = rng.sample(
+                    person_ids,
+                    min(len(person_ids),
+                        rng.randint(contributor_low, contributor_high)),
+                )
+                for pid in contributors:
+                    db.insert("FIC", fid, pid)
+
+        db.insert("MetaData", "Owner", "Tony Harmar")
+        db.insert("MetaData", "URL", "guidetopharmacology.org")
+        db.insert("MetaData", "Version", "23")
+        db.check_foreign_keys()
+        return db
+
+
+def generate_database(
+    families: int = 100,
+    persons: int = 50,
+    types: int = 6,
+    seed: int = 17,
+) -> Database:
+    """One-call synthetic database with default shape parameters."""
+    return GtopdbGenerator(
+        families=families, persons=persons, types=types, seed=seed
+    ).build()

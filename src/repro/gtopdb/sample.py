@@ -1,0 +1,98 @@
+"""The exact database instance implied by the paper's worked examples.
+
+Contents are assembled from every concrete value the paper mentions:
+
+- family 11 "Calcitonin" (gpcr), committee Hay & Poyner (Example 2.1,
+  FV1), introduction "The calcitonin peptide family" with contributors
+  Brown & Smith (FV2);
+- family 12 "Calcium-sensing" (gpcr), committee Bilke, Conigrave &
+  Shoback (the V4 citation example);
+- family 13 "b" (gpcr) with introduction "Familyb" (Example 3.3);
+- family 14 "Orexin" (gpcr) with introduction contributors Alda & Palmer
+  (the V5 citation example);
+- metadata Owner="Tony Harmar", URL="guidetopharmacology.org",
+  Version="23" (Example 2.1);
+- one non-gpcr family ("CatSper", vgic) so type selections are selective.
+
+``paper_database(duplicate_calcitonin=True)`` adds a second family named
+"Calcitonin" (id 19) to reproduce Example 3.2's multiple-bindings case.
+"""
+
+from __future__ import annotations
+
+from repro.gtopdb.schema import gtopdb_schema
+from repro.relational.database import Database
+
+_FAMILIES = [
+    ("11", "Calcitonin", "gpcr"),
+    ("12", "Calcium-sensing", "gpcr"),
+    ("13", "b", "gpcr"),
+    ("14", "Orexin", "gpcr"),
+    ("20", "CatSper", "vgic"),
+]
+
+_FAMILY_INTROS = [
+    ("11", "The calcitonin peptide family"),
+    ("13", "Familyb"),
+    ("14", "The orexin receptor family"),
+]
+
+_PERSONS = [
+    ("p1", "Hay", "U. Auckland"),
+    ("p2", "Poyner", "Aston U."),
+    ("p3", "Brown", "U. Cambridge"),
+    ("p4", "Smith", "U. Edinburgh"),
+    ("p5", "Bilke", "Karolinska"),
+    ("p6", "Conigrave", "U. Sydney"),
+    ("p7", "Shoback", "UCSF"),
+    ("p8", "Nichols", "Washington U."),
+    ("p9", "Palmer", "U. Bristol"),
+    ("p10", "Alda", "Dalhousie U."),
+    ("p11", "Clapham", "HHMI"),
+]
+
+_FC = [  # family-page committees
+    ("11", "p1"), ("11", "p2"),
+    ("12", "p5"), ("12", "p6"), ("12", "p7"),
+    ("13", "p8"),
+    ("14", "p9"),
+    ("20", "p11"),
+]
+
+_FIC = [  # introduction contributors
+    ("11", "p3"), ("11", "p4"),
+    ("13", "p8"), ("13", "p9"),
+    ("14", "p10"), ("14", "p9"),
+]
+
+_METADATA = [
+    ("Owner", "Tony Harmar"),
+    ("URL", "guidetopharmacology.org"),
+    ("Version", "23"),
+]
+
+
+def paper_database(duplicate_calcitonin: bool = False) -> Database:
+    """Build the paper's running-example instance.
+
+    Parameters
+    ----------
+    duplicate_calcitonin:
+        Add a second gpcr family named "Calcitonin" (id 19, with an
+        introduction), reproducing the shared-name situation of
+        Example 3.2 where one output tuple has multiple bindings.
+    """
+    db = Database(gtopdb_schema())
+    db.insert_all("Family", _FAMILIES)
+    db.insert_all("FamilyIntro", _FAMILY_INTROS)
+    db.insert_all("Person", _PERSONS)
+    db.insert_all("FC", _FC)
+    db.insert_all("FIC", _FIC)
+    db.insert_all("MetaData", _METADATA)
+    if duplicate_calcitonin:
+        db.insert("Family", "19", "Calcitonin", "gpcr")
+        db.insert("FamilyIntro", "19", "The second calcitonin family")
+        db.insert("FC", "19", "p1")
+        db.insert("FIC", "19", "p4")
+    db.check_foreign_keys()
+    return db

@@ -1,0 +1,64 @@
+"""The simplified GtoPdb schema of Example 2.1.
+
+Relations (keys underlined in the paper)::
+
+    Family(FID, FName, Type)
+    FamilyIntro(FID, Text)
+    Person(PID, PName, Affiliation)
+    FC(FID, PID)    — committee members curating a family page
+    FIC(FID, PID)   — contributors who wrote a family's introduction
+    MetaData(Type, Value)
+"""
+
+from __future__ import annotations
+
+from repro.relational.schema import ForeignKey, RelationSchema, Schema
+from repro.relational.types import STRING
+from repro.relational.schema import Attribute
+
+
+def gtopdb_schema() -> Schema:
+    """Build a fresh GtoPdb schema instance."""
+    return Schema([
+        RelationSchema(
+            "Family",
+            [Attribute("FID", STRING), Attribute("FName", STRING),
+             Attribute("Type", STRING)],
+            key=["FID"],
+        ),
+        RelationSchema(
+            "FamilyIntro",
+            [Attribute("FID", STRING), Attribute("Text", STRING)],
+            key=["FID"],
+            foreign_keys=[ForeignKey(("FID",), "Family", ("FID",))],
+        ),
+        RelationSchema(
+            "Person",
+            [Attribute("PID", STRING), Attribute("PName", STRING),
+             Attribute("Affiliation", STRING)],
+            key=["PID"],
+        ),
+        RelationSchema(
+            "FC",
+            [Attribute("FID", STRING), Attribute("PID", STRING)],
+            key=["FID", "PID"],
+            foreign_keys=[
+                ForeignKey(("FID",), "Family", ("FID",)),
+                ForeignKey(("PID",), "Person", ("PID",)),
+            ],
+        ),
+        RelationSchema(
+            "FIC",
+            [Attribute("FID", STRING), Attribute("PID", STRING)],
+            key=["FID", "PID"],
+            foreign_keys=[
+                ForeignKey(("FID",), "FamilyIntro", ("FID",)),
+                ForeignKey(("PID",), "Person", ("PID",)),
+            ],
+        ),
+        RelationSchema(
+            "MetaData",
+            [Attribute("Type", STRING), Attribute("Value", STRING)],
+            key=["Type"],
+        ),
+    ])

@@ -1,0 +1,136 @@
+"""The paper's citation views V1–V5 with citation queries CV1–CV5.
+
+Definitions follow Example 2.1 verbatim.  Citation functions produce the
+JSON records shown in the paper:
+
+- ``FV1``: ``{ID, Name, Committee: [...]}``
+- ``FV2``: ``{ID, Name, Text, Contributors: [...]}``
+- ``FV3``: ``{Owner, URL}``
+- ``FV4``: ``{Type, Contributors: [{Name, Committee: [...]}, ...]}``
+- ``FV5``: like FV4 but crediting introduction contributors.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+from repro.gtopdb.schema import gtopdb_schema
+from repro.relational.schema import Schema
+from repro.views.citation_view import CitationView, RecordCitationFunction
+from repro.views.registry import ViewRegistry
+
+
+def nested_family_citation(
+    outer_label: str,
+    group_index: int,
+    member_index: int,
+    outer_index: int,
+) -> Any:
+    """Build an ``F_V`` producing the paper's nested V4/V5-style records.
+
+    Rows are grouped by the value at ``group_index`` (the family name);
+    each group becomes ``{Name: ..., Committee: [members]}``, and groups
+    are listed under ``outer_label`` next to the grouping attribute taken
+    from ``outer_index`` (the family type).
+    """
+
+    def function(
+        rows: list[tuple[Any, ...]],
+        labels: Sequence[str],
+        params: Mapping[str, Any],
+    ) -> dict:
+        record: dict[str, Any] = {}
+        if rows:
+            record[labels[outer_index]] = rows[0][outer_index]
+        elif params:
+            # Empty instance: still identify the parameter value.
+            record[labels[outer_index]] = next(iter(params.values()))
+        groups: dict[Any, list[Any]] = {}
+        for row in rows:
+            groups.setdefault(row[group_index], []).append(row[member_index])
+        record[outer_label] = [
+            {"Name": name, "Committee": sorted(set(members))}
+            for name, members in sorted(groups.items())
+        ]
+        return record
+
+    return function
+
+
+def paper_views() -> list[CitationView]:
+    """Construct V1–V5 exactly as in Example 2.1."""
+    v1 = CitationView.from_strings(
+        view="lambda F. V1(F, N, Ty) :- Family(F, N, Ty)",
+        citation_query=(
+            "lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), "
+            "Person(C, Pn, A)"
+        ),
+        citation_function=RecordCitationFunction(list_fields=("Committee",)),
+        labels=("ID", "Name", "Committee"),
+        description="One family page, cited with its committee of experts.",
+    )
+    v2 = CitationView.from_strings(
+        view="lambda F. V2(F, Tx) :- FamilyIntro(F, Tx)",
+        citation_query=(
+            "lambda F. CV2(F, N, Tx, Pn) :- Family(F, N, Ty), "
+            "FamilyIntro(F, Tx), FIC(F, C), Person(C, Pn, A)"
+        ),
+        citation_function=RecordCitationFunction(
+            list_fields=("Contributors",)
+        ),
+        labels=("ID", "Name", "Text", "Contributors"),
+        description=(
+            "One family's detailed introduction page, cited with the "
+            "contributors who wrote it."
+        ),
+    )
+    v3 = CitationView.from_strings(
+        view="V3(F, N, Ty) :- Family(F, N, Ty)",
+        citation_query=(
+            'CV3(X1, X2) :- MetaData(T1, X1), T1 = "Owner", '
+            'MetaData(T2, X2), T2 = "URL"'
+        ),
+        labels=("Owner", "URL"),
+        description=(
+            "The whole Family table; a single database-level citation."
+        ),
+    )
+    v4 = CitationView.from_strings(
+        view="lambda Ty. V4(F, N, Ty) :- Family(F, N, Ty)",
+        citation_query=(
+            "lambda Ty. CV4(Ty, N, Pn) :- Family(F, N, Ty), FC(F, C), "
+            "Person(C, Pn, A)"
+        ),
+        citation_function=nested_family_citation(
+            "Contributors", group_index=1, member_index=2, outer_index=0
+        ),
+        labels=("Type", "Name", "Committee"),
+        description=(
+            "All families of one type, cited with every family's committee."
+        ),
+    )
+    v5 = CitationView.from_strings(
+        view=(
+            "lambda Ty. V5(F, N, Ty, Tx) :- Family(F, N, Ty), "
+            "FamilyIntro(F, Tx)"
+        ),
+        citation_query=(
+            "lambda Ty. CV5(N, Ty, Tx, Pn) :- Family(F, N, Ty), "
+            "FamilyIntro(F, Tx), FIC(F, C), Person(C, Pn, A)"
+        ),
+        citation_function=nested_family_citation(
+            "Contributors", group_index=0, member_index=3, outer_index=1
+        ),
+        labels=("Name", "Type", "Text", "Contributors"),
+        description=(
+            "Introductions of all families of one type, cited with the "
+            "contributors who wrote them."
+        ),
+    )
+    return [v1, v2, v3, v4, v5]
+
+
+def paper_registry(schema: Schema | None = None) -> ViewRegistry:
+    """A :class:`ViewRegistry` holding V1–V5 over the GtoPdb schema."""
+    return ViewRegistry(schema or gtopdb_schema(), paper_views())

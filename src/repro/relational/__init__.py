@@ -1,0 +1,72 @@
+"""In-memory relational database substrate.
+
+The paper's model is defined over a relational database with conjunctive
+queries; GtoPdb itself is a production relational database.  This subpackage
+is the from-scratch substrate: value domains, relation schemas with primary
+and foreign keys, database instances with integrity enforcement, boolean
+conditions, and a small relational-algebra evaluator.
+"""
+
+from repro.relational.types import (
+    AttributeType,
+    INT,
+    STRING,
+    FLOAT,
+    BOOL,
+    ANY,
+    infer_type,
+    value_matches,
+)
+from repro.relational.schema import Attribute, ForeignKey, RelationSchema, Schema
+from repro.relational.tuples import Row
+from repro.relational.database import Database, RelationInstance
+from repro.relational.expressions import (
+    ComparisonOp,
+    Condition,
+    AndCondition,
+    Comparison,
+    TrueCondition,
+)
+from repro.relational.algebra import (
+    AlgebraExpr,
+    Scan,
+    Select,
+    Project,
+    Join,
+    Union,
+    Rename,
+    Difference,
+    evaluate,
+)
+
+__all__ = [
+    "AttributeType",
+    "INT",
+    "STRING",
+    "FLOAT",
+    "BOOL",
+    "ANY",
+    "infer_type",
+    "value_matches",
+    "Attribute",
+    "ForeignKey",
+    "RelationSchema",
+    "Schema",
+    "Row",
+    "Database",
+    "RelationInstance",
+    "ComparisonOp",
+    "Condition",
+    "AndCondition",
+    "Comparison",
+    "TrueCondition",
+    "AlgebraExpr",
+    "Scan",
+    "Select",
+    "Project",
+    "Join",
+    "Union",
+    "Rename",
+    "Difference",
+    "evaluate",
+]

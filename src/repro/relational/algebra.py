@@ -1,0 +1,192 @@
+"""A small relational-algebra evaluator.
+
+The conjunctive-query layer evaluates queries directly (with its own join
+machinery), but the algebra is useful on its own: examples and tests use it
+to cross-check CQ evaluation, and the page-view baseline expresses its
+canned queries in algebra form.
+
+Expressions are trees of :class:`AlgebraExpr` nodes evaluated bottom-up
+against a :class:`~repro.relational.database.Database`.  Results are lists
+of positional tuples with a companion column-name list (bag semantics with a
+``distinct`` flag on ``Project``/``Union``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import SchemaError
+from repro.relational.database import Database
+from repro.relational.expressions import Condition
+
+
+@dataclass
+class Result:
+    """Evaluation result: column names plus rows of values."""
+
+    columns: list[str]
+    rows: list[tuple[Any, ...]]
+
+    def distinct(self) -> "Result":
+        seen: dict[tuple[Any, ...], None] = dict.fromkeys(self.rows)
+        return Result(self.columns, list(seen))
+
+
+class AlgebraExpr:
+    """Abstract relational-algebra expression."""
+
+    def columns(self, db: Database) -> list[str]:
+        raise NotImplementedError
+
+    def evaluate(self, db: Database) -> Result:
+        raise NotImplementedError
+
+
+@dataclass
+class Scan(AlgebraExpr):
+    """Scan a base relation."""
+
+    relation: str
+
+    def columns(self, db: Database) -> list[str]:
+        return list(db.schema.relation(self.relation).attribute_names)
+
+    def evaluate(self, db: Database) -> Result:
+        rows = [row.values for row in db.relation(self.relation)]
+        return Result(self.columns(db), rows)
+
+
+@dataclass
+class Select(AlgebraExpr):
+    """Filter rows by a positional condition."""
+
+    child: AlgebraExpr
+    condition: Condition
+
+    def columns(self, db: Database) -> list[str]:
+        return self.child.columns(db)
+
+    def evaluate(self, db: Database) -> Result:
+        child = self.child.evaluate(db)
+        rows = [row for row in child.rows if self.condition.evaluate(row)]
+        return Result(child.columns, rows)
+
+
+@dataclass
+class Project(AlgebraExpr):
+    """Project to a subset of columns (by name), optionally deduplicating."""
+
+    child: AlgebraExpr
+    names: list[str]
+    deduplicate: bool = True
+
+    def columns(self, db: Database) -> list[str]:
+        return list(self.names)
+
+    def evaluate(self, db: Database) -> Result:
+        child = self.child.evaluate(db)
+        try:
+            positions = [child.columns.index(name) for name in self.names]
+        except ValueError as exc:
+            raise SchemaError(f"projection over unknown column: {exc}") from None
+        rows = [tuple(row[i] for i in positions) for row in child.rows]
+        result = Result(list(self.names), rows)
+        return result.distinct() if self.deduplicate else result
+
+
+@dataclass
+class Rename(AlgebraExpr):
+    """Rename columns positionally."""
+
+    child: AlgebraExpr
+    names: list[str]
+
+    def columns(self, db: Database) -> list[str]:
+        return list(self.names)
+
+    def evaluate(self, db: Database) -> Result:
+        child = self.child.evaluate(db)
+        if len(self.names) != len(child.columns):
+            raise SchemaError(
+                f"rename expects {len(child.columns)} names, got {len(self.names)}"
+            )
+        return Result(list(self.names), child.rows)
+
+
+@dataclass
+class Join(AlgebraExpr):
+    """Natural join on shared column names (hash join)."""
+
+    left: AlgebraExpr
+    right: AlgebraExpr
+
+    def columns(self, db: Database) -> list[str]:
+        left_cols = self.left.columns(db)
+        right_cols = self.right.columns(db)
+        return left_cols + [c for c in right_cols if c not in left_cols]
+
+    def evaluate(self, db: Database) -> Result:
+        left = self.left.evaluate(db)
+        right = self.right.evaluate(db)
+        shared = [c for c in left.columns if c in right.columns]
+        left_key = [left.columns.index(c) for c in shared]
+        right_key = [right.columns.index(c) for c in shared]
+        right_extra = [
+            i for i, c in enumerate(right.columns) if c not in left.columns
+        ]
+        index: dict[tuple[Any, ...], list[tuple[Any, ...]]] = {}
+        for row in right.rows:
+            index.setdefault(tuple(row[i] for i in right_key), []).append(row)
+        rows = []
+        for row in left.rows:
+            key = tuple(row[i] for i in left_key)
+            for match in index.get(key, ()):
+                rows.append(row + tuple(match[i] for i in right_extra))
+        columns = left.columns + [right.columns[i] for i in right_extra]
+        return Result(columns, rows)
+
+
+@dataclass
+class Union(AlgebraExpr):
+    """Union of two union-compatible expressions."""
+
+    left: AlgebraExpr
+    right: AlgebraExpr
+    deduplicate: bool = True
+
+    def columns(self, db: Database) -> list[str]:
+        return self.left.columns(db)
+
+    def evaluate(self, db: Database) -> Result:
+        left = self.left.evaluate(db)
+        right = self.right.evaluate(db)
+        if len(left.columns) != len(right.columns):
+            raise SchemaError("union of incompatible arities")
+        result = Result(left.columns, left.rows + right.rows)
+        return result.distinct() if self.deduplicate else result
+
+
+@dataclass
+class Difference(AlgebraExpr):
+    """Set difference of two union-compatible expressions."""
+
+    left: AlgebraExpr
+    right: AlgebraExpr
+
+    def columns(self, db: Database) -> list[str]:
+        return self.left.columns(db)
+
+    def evaluate(self, db: Database) -> Result:
+        left = self.left.evaluate(db)
+        right = self.right.evaluate(db)
+        if len(left.columns) != len(right.columns):
+            raise SchemaError("difference of incompatible arities")
+        exclude = set(right.rows)
+        rows = [row for row in dict.fromkeys(left.rows) if row not in exclude]
+        return Result(left.columns, rows)
+
+
+def evaluate(expr: AlgebraExpr, db: Database) -> Result:
+    """Evaluate an algebra expression against a database."""
+    return expr.evaluate(db)

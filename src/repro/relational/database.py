@@ -1,0 +1,199 @@
+"""In-memory database instances with integrity enforcement.
+
+A :class:`Database` holds one :class:`RelationInstance` per relation of its
+:class:`~repro.relational.schema.Schema`.  Instances enforce arity, domain,
+primary-key, and (on demand) foreign-key constraints, and maintain hash
+indexes over primary keys and requested attribute sets to keep conjunctive-
+query evaluation near-linear on laptop-scale data.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Any
+
+from repro.errors import (
+    ArityError,
+    ForeignKeyViolationError,
+    KeyViolationError,
+    UnknownRelationError,
+)
+from repro.relational.schema import RelationSchema, Schema
+from repro.relational.tuples import Row
+from repro.relational.types import check_value
+
+
+class RelationInstance:
+    """The extension of one relation: an insertion-ordered set of rows."""
+
+    def __init__(self, schema: RelationSchema) -> None:
+        self.schema = schema
+        self._rows: dict[Row, None] = {}
+        self._key_index: dict[tuple[Any, ...], Row] = {}
+        # Secondary hash indexes, built lazily: positions -> {values: [rows]}
+        self._indexes: dict[tuple[int, ...], dict[tuple[Any, ...], list[Row]]] = {}
+
+    # -- mutation -------------------------------------------------------------
+
+    def insert(self, values: Sequence[Any], enforce_key: bool = True) -> Row:
+        """Insert a tuple, returning the stored :class:`Row`.
+
+        Raises :class:`ArityError` / :class:`TypeMismatchError` /
+        :class:`KeyViolationError` on constraint violations.  Re-inserting an
+        identical row is a no-op (set semantics).
+        """
+        if len(values) != self.schema.arity:
+            raise ArityError(self.schema.name, self.schema.arity, len(values))
+        for attr, value in zip(self.schema.attributes, values):
+            check_value(value, attr.domain, f"{self.schema.name}.{attr.name}")
+        row = Row(self.schema.name, values)
+        if row in self._rows:
+            return row
+        if enforce_key and self.schema.key:
+            key_value = row.project(self.schema.key_positions())
+            existing = self._key_index.get(key_value)
+            if existing is not None:
+                raise KeyViolationError(
+                    f"duplicate key {key_value!r} in relation {self.schema.name!r}: "
+                    f"existing row {existing!r}, new row {row!r}"
+                )
+        self._rows[row] = None
+        if self.schema.key:
+            self._key_index[row.project(self.schema.key_positions())] = row
+        for positions, index in self._indexes.items():
+            index.setdefault(row.project(positions), []).append(row)
+        return row
+
+    def delete(self, row: Row) -> bool:
+        """Remove a row; returns True if it was present."""
+        if row not in self._rows:
+            return False
+        del self._rows[row]
+        if self.schema.key:
+            self._key_index.pop(row.project(self.schema.key_positions()), None)
+        for positions, index in self._indexes.items():
+            bucket = index.get(row.project(positions))
+            if bucket is not None:
+                bucket.remove(row)
+                if not bucket:
+                    del index[row.project(positions)]
+        return True
+
+    # -- access ---------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, row: Row) -> bool:
+        return row in self._rows
+
+    def rows(self) -> list[Row]:
+        """All rows, in insertion order."""
+        return list(self._rows)
+
+    def lookup_key(self, key_value: tuple[Any, ...]) -> Row | None:
+        """Primary-key point lookup."""
+        return self._key_index.get(key_value)
+
+    def lookup(self, positions: tuple[int, ...], values: tuple[Any, ...]) -> list[Row]:
+        """Rows whose projection on ``positions`` equals ``values``.
+
+        Builds (and caches) a hash index on ``positions`` on first use.
+        """
+        if not positions:
+            return self.rows()
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for row in self._rows:
+                index.setdefault(row.project(positions), []).append(row)
+            self._indexes[positions] = index
+        return list(index.get(values, ()))
+
+    def __repr__(self) -> str:
+        return f"RelationInstance({self.schema.name!r}, {len(self)} rows)"
+
+
+class Database:
+    """A database instance over a fixed schema."""
+
+    def __init__(self, schema: Schema) -> None:
+        schema.validate()
+        self.schema = schema
+        self._instances: dict[str, RelationInstance] = {
+            rel.name: RelationInstance(rel) for rel in schema
+        }
+
+    # -- access ---------------------------------------------------------------
+
+    def relation(self, name: str) -> RelationInstance:
+        """The instance of relation ``name``."""
+        try:
+            return self._instances[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instances
+
+    def relations(self) -> Iterator[RelationInstance]:
+        return iter(self._instances.values())
+
+    def total_rows(self) -> int:
+        """Total number of rows across all relations."""
+        return sum(len(instance) for instance in self._instances.values())
+
+    # -- mutation ---------------------------------------------------------------
+
+    def insert(self, relation: str, *values: Any) -> Row:
+        """Insert a tuple into ``relation``."""
+        return self.relation(relation).insert(values)
+
+    def insert_all(self, relation: str, rows: Iterable[Sequence[Any]]) -> list[Row]:
+        """Bulk insert; returns the stored rows."""
+        instance = self.relation(relation)
+        return [instance.insert(values) for values in rows]
+
+    def delete(self, relation: str, *values: Any) -> bool:
+        """Delete a tuple from ``relation``; returns True if present."""
+        return self.relation(relation).delete(Row(relation, values))
+
+    # -- integrity ---------------------------------------------------------------
+
+    def check_foreign_keys(self) -> None:
+        """Validate every foreign key across the whole instance.
+
+        Foreign keys are checked in bulk (not per-insert) so data can be
+        loaded in any order; generators and loaders call this once at the
+        end of loading.
+        """
+        for instance in self._instances.values():
+            for fk in instance.schema.foreign_keys:
+                source_positions = tuple(
+                    instance.schema.position(col) for col in fk.columns
+                )
+                target = self.relation(fk.ref_relation)
+                for row in instance:
+                    key_value = row.project(source_positions)
+                    if target.lookup_key(key_value) is None:
+                        raise ForeignKeyViolationError(
+                            f"{instance.schema.name} row {row!r}: {fk} — "
+                            f"no matching key {key_value!r} in {fk.ref_relation}"
+                        )
+
+    def copy(self) -> "Database":
+        """Deep-enough copy: fresh instances sharing immutable rows."""
+        clone = Database(self.schema)
+        for name, instance in self._instances.items():
+            for row in instance:
+                clone.relation(name).insert(row.values, enforce_key=False)
+        return clone
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(
+            f"{name}={len(inst)}" for name, inst in self._instances.items()
+        )
+        return f"Database({sizes})"

@@ -1,0 +1,148 @@
+"""Boolean conditions over attribute positions.
+
+Used by the relational-algebra selection operator; the conjunctive-query
+layer has its own (variable-based) comparison atoms in
+:mod:`repro.cq.atoms`, which compile down to these positional conditions
+during evaluation.
+"""
+
+from __future__ import annotations
+
+import enum
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import QueryError
+
+
+class ComparisonOp(enum.Enum):
+    """The comparison operators supported in queries and conditions."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    @property
+    def function(self) -> Callable[[Any, Any], bool]:
+        return _OP_FUNCTIONS[self]
+
+    def flip(self) -> "ComparisonOp":
+        """Operator with operands swapped: ``a < b`` iff ``b > a``."""
+        return _FLIPPED[self]
+
+    def negate(self) -> "ComparisonOp":
+        """Logical negation: ``not (a < b)`` iff ``a >= b``."""
+        return _NEGATED[self]
+
+    @classmethod
+    def parse(cls, text: str) -> "ComparisonOp":
+        try:
+            return _SYMBOLS[text]
+        except KeyError:
+            raise QueryError(f"unknown comparison operator: {text!r}") from None
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_OP_FUNCTIONS = {
+    ComparisonOp.EQ: operator.eq,
+    ComparisonOp.NE: operator.ne,
+    ComparisonOp.LT: operator.lt,
+    ComparisonOp.LE: operator.le,
+    ComparisonOp.GT: operator.gt,
+    ComparisonOp.GE: operator.ge,
+}
+
+_FLIPPED = {
+    ComparisonOp.EQ: ComparisonOp.EQ,
+    ComparisonOp.NE: ComparisonOp.NE,
+    ComparisonOp.LT: ComparisonOp.GT,
+    ComparisonOp.LE: ComparisonOp.GE,
+    ComparisonOp.GT: ComparisonOp.LT,
+    ComparisonOp.GE: ComparisonOp.LE,
+}
+
+_NEGATED = {
+    ComparisonOp.EQ: ComparisonOp.NE,
+    ComparisonOp.NE: ComparisonOp.EQ,
+    ComparisonOp.LT: ComparisonOp.GE,
+    ComparisonOp.LE: ComparisonOp.GT,
+    ComparisonOp.GT: ComparisonOp.LE,
+    ComparisonOp.GE: ComparisonOp.LT,
+}
+
+_SYMBOLS = {
+    "=": ComparisonOp.EQ,
+    "==": ComparisonOp.EQ,
+    "!=": ComparisonOp.NE,
+    "<>": ComparisonOp.NE,
+    "<": ComparisonOp.LT,
+    "<=": ComparisonOp.LE,
+    ">": ComparisonOp.GT,
+    ">=": ComparisonOp.GE,
+}
+
+
+class Condition:
+    """Abstract boolean condition over a positional tuple."""
+
+    def evaluate(self, values: tuple[Any, ...]) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TrueCondition(Condition):
+    """The always-true condition."""
+
+    def evaluate(self, values: tuple[Any, ...]) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class Comparison(Condition):
+    """Compare a tuple position against a constant or another position.
+
+    ``left`` is always a position (int); ``right`` is a position when
+    ``right_is_position`` is True, otherwise a constant value.
+    """
+
+    left: int
+    op: ComparisonOp
+    right: Any
+    right_is_position: bool = False
+
+    def evaluate(self, values: tuple[Any, ...]) -> bool:
+        left_value = values[self.left]
+        right_value = values[self.right] if self.right_is_position else self.right
+        try:
+            return self.op.function(left_value, right_value)
+        except TypeError:
+            # Mixed-type comparisons (e.g. "abc" < 3) are simply false,
+            # matching SQL's type-strict but non-crashing semantics for
+            # our untyped substrate.
+            return False
+
+    def __str__(self) -> str:
+        right = f"#{self.right}" if self.right_is_position else repr(self.right)
+        return f"#{self.left} {self.op} {right}"
+
+
+@dataclass(frozen=True)
+class AndCondition(Condition):
+    """Conjunction of conditions."""
+
+    parts: tuple[Condition, ...]
+
+    def evaluate(self, values: tuple[Any, ...]) -> bool:
+        return all(part.evaluate(values) for part in self.parts)
+
+    def __str__(self) -> str:
+        return " and ".join(str(part) for part in self.parts) or "true"

@@ -1,0 +1,156 @@
+"""Loading and dumping databases: CSV directories and JSON project files.
+
+Real repositories keep data in files; the CLI and examples use these
+helpers.  Two formats:
+
+- **CSV directory** — one ``<Relation>.csv`` per relation, first row is
+  the header (must match the schema's attribute names);
+- **JSON project file** — a single document carrying the schema, the
+  data, and (optionally) citation-view definitions, e.g.::
+
+    {
+      "schema": {
+        "Family": {"attributes": ["FID", "FName", "Type"], "key": ["FID"]},
+        ...
+      },
+      "data": {"Family": [["11", "Calcitonin", "gpcr"], ...], ...},
+      "views": [
+        {"view": "lambda F. V1(F,N,Ty) :- Family(F,N,Ty)",
+         "citation_query": "lambda F. CV1(F,N,Pn) :- ...",
+         "labels": ["ID", "Name", "Committee"]}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import SchemaError
+from repro.relational.database import Database
+from repro.relational.schema import ForeignKey, RelationSchema, Schema
+
+
+def dump_csv(db: Database, directory: str | Path) -> None:
+    """Write one ``<Relation>.csv`` per relation (header + rows)."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    for instance in db.relations():
+        target = path / f"{instance.schema.name}.csv"
+        with open(target, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(instance.schema.attribute_names)
+            for row in instance:
+                writer.writerow(row.values)
+
+
+def load_csv(schema: Schema, directory: str | Path) -> Database:
+    """Load a database from a CSV directory (all values read as strings)."""
+    path = Path(directory)
+    db = Database(schema)
+    for relation in schema:
+        source = path / f"{relation.name}.csv"
+        if not source.exists():
+            continue
+        with open(source, newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header is None:
+                continue
+            if tuple(header) != relation.attribute_names:
+                raise SchemaError(
+                    f"{source}: header {header} does not match schema "
+                    f"attributes {relation.attribute_names}"
+                )
+            for row in reader:
+                db.insert(relation.name, *row)
+    db.check_foreign_keys()
+    return db
+
+
+# ---------------------------------------------------------------------------
+# JSON project files
+# ---------------------------------------------------------------------------
+
+
+def schema_to_dict(schema: Schema) -> dict[str, Any]:
+    """Serialize a schema to the project-file layout."""
+    result: dict[str, Any] = {}
+    for relation in schema:
+        entry: dict[str, Any] = {
+            "attributes": list(relation.attribute_names),
+        }
+        if relation.key:
+            entry["key"] = list(relation.key)
+        if relation.foreign_keys:
+            entry["foreign_keys"] = [
+                {
+                    "columns": list(fk.columns),
+                    "references": fk.ref_relation,
+                    "ref_columns": list(fk.ref_columns),
+                }
+                for fk in relation.foreign_keys
+            ]
+        result[relation.name] = entry
+    return result
+
+
+def schema_from_dict(payload: dict[str, Any]) -> Schema:
+    """Parse the project-file schema layout."""
+    relations = []
+    for name, entry in payload.items():
+        foreign_keys = [
+            ForeignKey(
+                tuple(fk["columns"]),
+                fk["references"],
+                tuple(fk["ref_columns"]),
+            )
+            for fk in entry.get("foreign_keys", [])
+        ]
+        relations.append(RelationSchema(
+            name,
+            entry["attributes"],
+            key=entry.get("key", ()),
+            foreign_keys=foreign_keys,
+        ))
+    return Schema(relations)
+
+
+def dump_project(
+    db: Database,
+    path: str | Path,
+    views: list[dict[str, Any]] | None = None,
+) -> None:
+    """Write a JSON project file (schema + data + view definitions)."""
+    payload: dict[str, Any] = {
+        "schema": schema_to_dict(db.schema),
+        "data": {
+            instance.schema.name: [list(row.values) for row in instance]
+            for instance in db.relations()
+        },
+    }
+    if views:
+        payload["views"] = views
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+
+
+def load_project(path: str | Path) -> tuple[Database, list[dict[str, Any]]]:
+    """Load a JSON project file; returns ``(database, view_specs)``.
+
+    View specs are returned raw (dicts with ``view``, ``citation_query``,
+    optional ``labels``/``description``); build them with
+    :meth:`repro.views.CitationView.from_strings`.
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    schema = schema_from_dict(payload["schema"])
+    db = Database(schema)
+    for relation, rows in payload.get("data", {}).items():
+        for row in rows:
+            db.insert(relation, *row)
+    db.check_foreign_keys()
+    return db, payload.get("views", [])

@@ -1,0 +1,57 @@
+"""Tuple (row) representation.
+
+Rows are immutable and hashable: the citation machinery annotates rows,
+stores them in sets, and uses them as dictionary keys throughout, so value
+semantics are essential.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from typing import Any
+
+from repro.errors import ArityError
+
+
+class Row:
+    """An immutable database tuple tagged with its relation name.
+
+    ``Row`` compares and hashes by ``(relation, values)``, so the same value
+    combination in different relations is distinct — required for provenance
+    tokens and fixity.
+    """
+
+    __slots__ = ("relation", "values", "_hash")
+
+    def __init__(self, relation: str, values: Sequence[Any]) -> None:
+        self.relation = relation
+        self.values: tuple[Any, ...] = tuple(values)
+        self._hash = hash((relation, self.values))
+
+    def __getitem__(self, index: int) -> Any:
+        return self.values[index]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Row):
+            return NotImplemented
+        return self.relation == other.relation and self.values == other.values
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(v) for v in self.values)
+        return f"{self.relation}({inner})"
+
+    def project(self, positions: Sequence[int]) -> tuple[Any, ...]:
+        """Return the values at the given positions."""
+        try:
+            return tuple(self.values[i] for i in positions)
+        except IndexError:
+            raise ArityError(self.relation, len(self.values), max(positions) + 1)

@@ -1,0 +1,32 @@
+"""Query rewriting using citation views (paper, Section 2.2).
+
+Given a user query and a :class:`~repro.views.ViewRegistry`, the engine
+enumerates all rewritings per Definition 2.2: bodies over view atoms, base
+atoms and comparisons; equivalent to the query; no removable subgoal; no
+base subgoals replaceable by a view.  Comparison predicates matching a
+view's λ-term are absorbed as parameter values (Example 2.2).
+
+The algorithm is MiniCon-flavoured: per-view *coverage descriptors*
+(:mod:`repro.rewriting.descriptors`) are combined over disjoint subsets of
+the query's subgoals (:mod:`repro.rewriting.engine`), candidates are
+*expanded* — views unfolded to base relations
+(:mod:`repro.rewriting.expansion`) — and validated against Definition 2.2
+(:mod:`repro.rewriting.validity`).
+"""
+
+from repro.rewriting.descriptors import CoverageDescriptor, descriptors_for
+from repro.rewriting.expansion import expand_rewriting
+from repro.rewriting.rewriting import Rewriting, ViewApplication
+from repro.rewriting.engine import RewritingEngine, enumerate_rewritings
+from repro.rewriting.validity import check_definition_2_2
+
+__all__ = [
+    "CoverageDescriptor",
+    "descriptors_for",
+    "expand_rewriting",
+    "Rewriting",
+    "ViewApplication",
+    "RewritingEngine",
+    "enumerate_rewritings",
+    "check_definition_2_2",
+]

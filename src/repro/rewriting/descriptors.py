@@ -1,0 +1,200 @@
+"""Coverage descriptors: the ways one view can cover query subgoals.
+
+A :class:`CoverageDescriptor` records a *total* mapping τ from a view's
+body atoms onto atoms of the (normalized) query: every view body atom maps
+to a query atom of the same relation, view variables map consistently to
+query terms, and view constants/comparisons are honoured by the query.
+The covered query atoms are the image of the mapping.
+
+Key soundness conditions (MiniCon-style), enforced during generation:
+
+- a view *existential* variable may only map to a query variable that is
+  local to the covered atoms — it must not occur in the query head, in a
+  comparison, in a λ-parameter, or in any uncovered atom; otherwise the
+  rewriting would lose access to it;
+- the view's own body comparisons, under τ, must be entailed by the
+  query's comparisons (else the view instance misses needed tuples);
+- a query constant can only be matched by a view variable (which then
+  binds to the constant — λ-parameter absorption happens exactly here) or
+  by the same view constant.
+
+Every descriptor later goes through a full expansion-equivalence check, so
+these conditions prune, they do not need to be complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cq.atoms import RelationalAtom
+from repro.cq.containment import ComparisonClosure
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.terms import Constant, Term, Variable
+from repro.util.naming import NameSupply
+from repro.views.citation_view import CitationView
+
+
+@dataclass(frozen=True)
+class CoverageDescriptor:
+    """One way a view covers a subset of query atoms.
+
+    Attributes
+    ----------
+    view:
+        The citation view.
+    covered:
+        Indices (into the normalized query's atom list) of covered atoms.
+    view_atom:
+        The atom ``V(τ(Y))`` to place in the rewriting body.
+    parameter_terms:
+        τ-images of the view's λ-parameters, aligned with
+        ``view.parameters``; a :class:`Constant` here means the comparison
+        was absorbed as a parameter value (Example 2.2).
+    """
+
+    view: CitationView
+    covered: frozenset[int]
+    view_atom: RelationalAtom
+    parameter_terms: tuple[Term, ...]
+
+    @property
+    def absorbed_parameter_count(self) -> int:
+        """How many λ-parameters were bound to constants."""
+        return sum(
+            1 for term in self.parameter_terms if isinstance(term, Constant)
+        )
+
+    def __repr__(self) -> str:
+        covered = sorted(self.covered)
+        return f"Descriptor({self.view_atom!r} covers {covered})"
+
+
+def _protected_variables(query: ConjunctiveQuery) -> set[Variable]:
+    """Query variables that must survive into the rewriting."""
+    protected: set[Variable] = set(query.head_variables())
+    protected.update(query.parameters)
+    for comparison in query.comparisons:
+        protected.update(comparison.variables())
+    return protected
+
+
+def _try_map_atom(
+    view_atom: RelationalAtom,
+    query_atom: RelationalAtom,
+    mapping: dict[Variable, Term],
+) -> dict[Variable, Term] | None:
+    """Extend τ so that ``τ(view_atom) == query_atom``; None on conflict."""
+    if view_atom.relation != query_atom.relation:
+        return None
+    if view_atom.arity != query_atom.arity:
+        return None
+    extended = dict(mapping)
+    for view_term, query_term in zip(view_atom.terms, query_atom.terms):
+        if isinstance(view_term, Constant):
+            # View constant must appear verbatim in the query atom.
+            if view_term != query_term:
+                return None
+        else:
+            bound = extended.get(view_term)
+            if bound is None:
+                extended[view_term] = query_term
+            elif bound != query_term:
+                return None
+    return extended
+
+
+def _atom_occurrences(
+    query: ConjunctiveQuery,
+) -> dict[Variable, set[int]]:
+    """Map each query variable to the indices of atoms that use it."""
+    occurrences: dict[Variable, set[int]] = {}
+    for index, atom in enumerate(query.atoms):
+        for var in atom.variables():
+            occurrences.setdefault(var, set()).add(index)
+    return occurrences
+
+
+def descriptors_for(
+    query: ConjunctiveQuery,
+    view: CitationView,
+    supply: NameSupply | None = None,
+) -> list[CoverageDescriptor]:
+    """Enumerate all coverage descriptors of ``view`` over ``query``.
+
+    ``query`` should be normalized (equality constants propagated inline);
+    :class:`~repro.rewriting.engine.RewritingEngine` does this.
+    """
+    definition = view.view
+    view_body = definition.atoms
+    if not view_body:
+        return []
+    query_atoms = query.atoms
+    if supply is None:
+        supply = NameSupply(v.name for v in query.variables())
+
+    protected = _protected_variables(query)
+    occurrences = _atom_occurrences(query)
+    query_closure = ComparisonClosure(query.comparisons)
+    distinguished = set(definition.head_variables())
+
+    results: list[CoverageDescriptor] = []
+    seen: set[tuple[frozenset[int], RelationalAtom]] = set()
+
+    def finish(mapping: dict[Variable, Term], covered: frozenset[int]) -> None:
+        # Existential view variables must map to local query variables.
+        for view_var, query_term in mapping.items():
+            if view_var in distinguished:
+                continue
+            if isinstance(query_term, Constant):
+                # An existential pinned to a constant restricts the view
+                # instance below the query subgoals; the expansion check
+                # would reject it, prune now.
+                return
+            if query_term in protected:
+                return
+            if not occurrences.get(query_term, set()).issubset(covered):
+                return
+        # Also: two distinct existential view vars mapped to the same query
+        # variable is fine (the expansion only gets *more* constrained ...
+        # actually less); rely on the expansion-equivalence check.
+        # View body comparisons must be entailed by the query.
+        for comparison in definition.comparisons:
+            mapped = comparison.substitute(mapping)
+            if mapped.is_ground:
+                if not mapped.evaluate_ground():
+                    return
+            elif not query_closure.entails(mapped):
+                return
+        # Build the view atom: head terms under τ (head vars always occur
+        # in the body of a safe query, hence are mapped).
+        head_terms = []
+        for term in definition.head:
+            if isinstance(term, Constant):
+                head_terms.append(term)
+            else:
+                head_terms.append(mapping[term])
+        view_atom = RelationalAtom(view.name, head_terms)
+        key = (covered, view_atom)
+        if key in seen:
+            return
+        seen.add(key)
+        parameter_terms = tuple(
+            mapping[param] for param in definition.parameters
+        )
+        results.append(
+            CoverageDescriptor(view, covered, view_atom, parameter_terms)
+        )
+
+    def assign(index: int, mapping: dict[Variable, Term],
+               covered: frozenset[int]) -> None:
+        if index == len(view_body):
+            finish(mapping, covered)
+            return
+        body_atom = view_body[index]
+        for query_index, query_atom in enumerate(query_atoms):
+            extended = _try_map_atom(body_atom, query_atom, mapping)
+            if extended is not None:
+                assign(index + 1, extended, covered | {query_index})
+
+    assign(0, {}, frozenset())
+    return results

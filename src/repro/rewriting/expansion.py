@@ -1,0 +1,97 @@
+"""View expansion: unfolding view atoms back to base relations.
+
+Equivalence of a rewriting to the original query (Def 2.2) is checked on
+its *expansion*: each view atom ``V(t1..tk)`` is replaced by the view's
+body, with head variables substituted by ``t1..tk`` and existential
+variables renamed fresh.  Repeated head variables that meet distinct terms
+contribute equality comparisons.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.cq.atoms import ComparisonAtom, RelationalAtom
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.terms import Constant, Term, Variable
+from repro.errors import RewritingError
+from repro.relational.expressions import ComparisonOp
+from repro.util.naming import NameSupply
+from repro.views.registry import ViewRegistry
+
+
+def expand_atom(
+    atom: RelationalAtom,
+    registry: ViewRegistry,
+    supply: NameSupply,
+) -> tuple[list[RelationalAtom], list[ComparisonAtom]]:
+    """Unfold one view atom into base atoms plus induced comparisons."""
+    view = registry.get(atom.relation)
+    definition = view.view
+    if atom.arity != len(definition.head):
+        raise RewritingError(
+            f"view atom {atom!r} has arity {atom.arity}, view head has "
+            f"{len(definition.head)}"
+        )
+    substitution: dict[Variable, Term] = {}
+    equalities: list[ComparisonAtom] = []
+    for head_term, actual in zip(definition.head, atom.terms):
+        if isinstance(head_term, Constant):
+            if isinstance(actual, Constant):
+                if head_term != actual:
+                    # Unsatisfiable: the view can never produce this atom.
+                    equalities.append(
+                        ComparisonAtom(head_term, ComparisonOp.EQ, actual)
+                    )
+            else:
+                equalities.append(
+                    ComparisonAtom(actual, ComparisonOp.EQ, head_term)
+                )
+            continue
+        bound = substitution.get(head_term)
+        if bound is None:
+            substitution[head_term] = actual
+        elif bound != actual:
+            equalities.append(ComparisonAtom(bound, ComparisonOp.EQ, actual))
+    # Existential view variables get fresh names.
+    for var in definition.body_variables():
+        if var not in substitution:
+            substitution[var] = Variable(supply.fresh(hint=f"_{var.name}"))
+    atoms = [body_atom.substitute(substitution) for body_atom in definition.atoms]
+    comparisons = [c.substitute(substitution) for c in definition.comparisons]
+    comparisons.extend(equalities)
+    return atoms, comparisons
+
+
+def expand_query(
+    query: ConjunctiveQuery,
+    registry: ViewRegistry,
+    avoid: Iterable[str] = (),
+) -> ConjunctiveQuery:
+    """Expand every view atom of ``query`` to base relations.
+
+    Atoms over base relations (or unknown names) pass through unchanged,
+    so partial rewritings expand correctly.
+    """
+    names = {v.name for v in query.variables()}
+    names.update(avoid)
+    supply = NameSupply(names)
+    atoms: list[RelationalAtom] = []
+    comparisons: list[ComparisonAtom] = list(query.comparisons)
+    for atom in query.atoms:
+        if atom.relation in registry:
+            expanded_atoms, expanded_comparisons = expand_atom(
+                atom, registry, supply
+            )
+            atoms.extend(expanded_atoms)
+            comparisons.extend(expanded_comparisons)
+        else:
+            atoms.append(atom)
+    return ConjunctiveQuery(
+        query.name, query.head, atoms, comparisons, query.parameters
+    )
+
+
+# Public alias used by the package __init__ (reads better at call sites
+# that expand Rewriting.query objects).
+expand_rewriting = expand_query

@@ -1,0 +1,138 @@
+"""The :class:`Rewriting` result object.
+
+A rewriting bundles the rewritten query (over view and base atoms), the
+view applications with their λ-parameter bindings, the uncovered base
+atoms, and the metrics the paper's preference model ranks by (Section 2.3):
+total vs partial, number of views, residual (non-absorbed) comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.cq.atoms import RelationalAtom
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.terms import Constant, Term
+
+if TYPE_CHECKING:
+    from repro.views.citation_view import CitationView
+
+
+@dataclass(frozen=True)
+class ViewApplication:
+    """One view atom inside a rewriting.
+
+    ``parameter_terms`` aligns with the view's λ-parameters: a
+    :class:`~repro.cq.terms.Constant` means the parameter was absorbed
+    from a query comparison (the paper's ``V4(F,N,Ty)("gpcr")``); a
+    variable means the parameter stays free and takes a value per binding
+    at citation time (the paper's ``V1`` in rewriting ``Q1``).
+    """
+
+    view: "CitationView"
+    atom: RelationalAtom
+    parameter_terms: tuple[Term, ...]
+
+    @property
+    def is_fully_instantiated(self) -> bool:
+        """All λ-parameters bound to constants (Example 3.4's premise)."""
+        return all(isinstance(t, Constant) for t in self.parameter_terms)
+
+    @property
+    def absorbed_parameter_count(self) -> int:
+        return sum(1 for t in self.parameter_terms if isinstance(t, Constant))
+
+    def __repr__(self) -> str:
+        if self.parameter_terms:
+            params = ", ".join(repr(t) for t in self.parameter_terms)
+            return f"{self.atom!r}({params})"
+        return repr(self.atom)
+
+
+@dataclass(frozen=True)
+class Rewriting:
+    """A validated rewriting of a query using citation views (Def 2.2)."""
+
+    #: The rewritten query: atoms over views and (for partial rewritings)
+    #: base relations, plus residual comparisons.
+    query: ConjunctiveQuery
+    #: View applications, in body order.
+    applications: tuple[ViewApplication, ...]
+    #: Base atoms left uncovered (empty for total rewritings).
+    uncovered_atoms: tuple[RelationalAtom, ...]
+    #: The expansion (views unfolded), cached for reuse.
+    expansion: ConjunctiveQuery = field(compare=False)
+
+    # -- classification (Section 2.2 / 2.3) ------------------------------------
+
+    @property
+    def is_total(self) -> bool:
+        """Total: subgoals contain only views and comparison predicates."""
+        return not self.uncovered_atoms
+
+    @property
+    def is_partial(self) -> bool:
+        return bool(self.uncovered_atoms)
+
+    @property
+    def view_count(self) -> int:
+        """Number of view atoms (the paper prefers fewer — Example 2.3)."""
+        return len(self.applications)
+
+    @property
+    def uncovered_count(self) -> int:
+        """Number of base-relation subgoals (Example 3.7's C_R count)."""
+        return len(self.uncovered_atoms)
+
+    @property
+    def absorbed_parameter_count(self) -> int:
+        """λ-parameters bound to constants across all applications."""
+        return sum(a.absorbed_parameter_count for a in self.applications)
+
+    @property
+    def residual_comparison_count(self) -> int:
+        """Selections *not* absorbed into λ-parameters.
+
+        Counts the remaining comparison atoms plus constants sitting in
+        non-λ positions of view atoms (a constant inlined into a view
+        column is a selection over the view's output, exactly the
+        "remaining comparison predicate" of Example 2.2's ``Q1``).
+        """
+        count = len(self.query.comparisons)
+        for application in self.applications:
+            lambda_positions = set(application.view.parameter_positions())
+            for position, term in enumerate(application.atom.terms):
+                if position in lambda_positions:
+                    continue
+                if isinstance(term, Constant):
+                    count += 1
+        return count
+
+    @property
+    def is_fully_instantiated(self) -> bool:
+        """Every λ-parameter of every used view bound to a constant.
+
+        Example 3.4: under idempotent ``+``/``Agg`` such a rewriting yields
+        one citation for the whole result set.
+        """
+        return all(a.is_fully_instantiated for a in self.applications)
+
+    def sort_key(self) -> tuple:
+        """Deterministic preference-flavoured ordering for display.
+
+        Total first, then fewer residual comparisons, fewer views, fewer
+        uncovered atoms, finally repr for stability.  (The *semantic*
+        preference model lives in :mod:`repro.citation.order`.)
+        """
+        return (
+            self.is_partial,
+            self.residual_comparison_count,
+            self.view_count,
+            self.uncovered_count,
+            repr(self.query),
+        )
+
+    def __repr__(self) -> str:
+        kind = "total" if self.is_total else "partial"
+        return f"Rewriting<{kind}>({self.query!r})"

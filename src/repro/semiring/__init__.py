@@ -1,0 +1,55 @@
+"""Provenance semirings (Green, Karvounarakis & Tannen, PODS 2007).
+
+The paper's Section 3 grounds its citation algebra in provenance semirings:
+joint use of tuples is ``·``, alternative use is ``+``.  This subpackage is
+a from-scratch implementation of that substrate:
+
+- :mod:`repro.semiring.base` — the :class:`Semiring` interface and law
+  checking helpers;
+- concrete semirings: Boolean, counting (ℕ), tropical (min-plus),
+  lineage, why-provenance, and the free semiring of provenance polynomials
+  ℕ[X] (:mod:`repro.semiring.polynomial`);
+- :mod:`repro.semiring.annotated` — K-relation evaluation: conjunctive
+  queries over databases whose tuples carry semiring annotations.
+
+The citation algebra of :mod:`repro.citation` mirrors the polynomial
+construction here, extended with the paper's ``+R`` and ``Agg`` levels.
+"""
+
+from repro.semiring.base import Semiring, check_semiring_laws
+from repro.semiring.boolean import BooleanSemiring, BOOLEAN
+from repro.semiring.counting import CountingSemiring, COUNTING
+from repro.semiring.tropical import TropicalSemiring, TROPICAL
+from repro.semiring.lineage import LineageSemiring, LINEAGE
+from repro.semiring.why import WhySemiring, WHY
+from repro.semiring.polynomial import (
+    ProvenanceMonomial,
+    ProvenancePolynomial,
+    PolynomialSemiring,
+    POLYNOMIAL,
+)
+from repro.semiring.posbool import PosBoolSemiring, POSBOOL
+from repro.semiring.annotated import AnnotatedDatabase, evaluate_annotated
+
+__all__ = [
+    "Semiring",
+    "check_semiring_laws",
+    "BooleanSemiring",
+    "BOOLEAN",
+    "CountingSemiring",
+    "COUNTING",
+    "TropicalSemiring",
+    "TROPICAL",
+    "LineageSemiring",
+    "LINEAGE",
+    "WhySemiring",
+    "WHY",
+    "ProvenanceMonomial",
+    "ProvenancePolynomial",
+    "PolynomialSemiring",
+    "POLYNOMIAL",
+    "PosBoolSemiring",
+    "POSBOOL",
+    "AnnotatedDatabase",
+    "evaluate_annotated",
+]

@@ -1,0 +1,113 @@
+"""The commutative-semiring interface.
+
+A commutative semiring ``(K, +, ·, 0, 1)`` has two commutative, associative
+operations with neutral elements ``0`` (for ``+``) and ``1`` (for ``·``),
+``·`` distributing over ``+`` and ``0`` annihilating ``·``.  Section 3.1 of
+the paper requires exactly this structure for citations.
+
+Concrete semirings subclass :class:`Semiring`; :func:`check_semiring_laws`
+verifies the axioms on sample elements (used by unit and property tests).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Any, Generic, TypeVar
+
+K = TypeVar("K")
+
+
+class Semiring(Generic[K]):
+    """Abstract commutative semiring over element type ``K``."""
+
+    #: Human-readable name (for reprs and error messages).
+    name: str = "semiring"
+
+    #: True when ``a + a = a`` holds for all elements (e.g. set union).
+    idempotent_add: bool = False
+
+    @property
+    def zero(self) -> K:
+        """Neutral element of ``+`` (annihilator of ``·``)."""
+        raise NotImplementedError
+
+    @property
+    def one(self) -> K:
+        """Neutral element of ``·``."""
+        raise NotImplementedError
+
+    def add(self, left: K, right: K) -> K:
+        """Alternative use (``+``)."""
+        raise NotImplementedError
+
+    def multiply(self, left: K, right: K) -> K:
+        """Joint use (``·``)."""
+        raise NotImplementedError
+
+    # -- derived operations ----------------------------------------------------
+
+    def sum(self, values: Iterable[K]) -> K:
+        """Fold ``+`` over values (``0`` for the empty iterable)."""
+        result = self.zero
+        for value in values:
+            result = self.add(result, value)
+        return result
+
+    def product(self, values: Iterable[K]) -> K:
+        """Fold ``·`` over values (``1`` for the empty iterable)."""
+        result = self.one
+        for value in values:
+            result = self.multiply(result, value)
+        return result
+
+    def is_zero(self, value: K) -> bool:
+        return value == self.zero
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+def check_semiring_laws(
+    semiring: Semiring[K], samples: Sequence[K]
+) -> list[str]:
+    """Check the commutative-semiring axioms on all triples of ``samples``.
+
+    Returns a list of human-readable violation descriptions (empty when all
+    axioms hold on the samples).  Used by tests, including hypothesis
+    property tests that feed randomly generated elements.
+    """
+    violations: list[str] = []
+
+    def note(law: str, *elements: Any) -> None:
+        violations.append(f"{semiring.name}: {law} violated on {elements!r}")
+
+    zero, one = semiring.zero, semiring.one
+    for a in samples:
+        if semiring.add(a, zero) != a:
+            note("additive identity", a)
+        if semiring.multiply(a, one) != a:
+            note("multiplicative identity", a)
+        if semiring.multiply(a, zero) != zero:
+            note("annihilation", a)
+        if semiring.idempotent_add and semiring.add(a, a) != a:
+            note("additive idempotence", a)
+        for b in samples:
+            if semiring.add(a, b) != semiring.add(b, a):
+                note("additive commutativity", a, b)
+            if semiring.multiply(a, b) != semiring.multiply(b, a):
+                note("multiplicative commutativity", a, b)
+            for c in samples:
+                if semiring.add(semiring.add(a, b), c) != semiring.add(
+                        a, semiring.add(b, c)):
+                    note("additive associativity", a, b, c)
+                if semiring.multiply(
+                        semiring.multiply(a, b), c) != semiring.multiply(
+                        a, semiring.multiply(b, c)):
+                    note("multiplicative associativity", a, b, c)
+                left = semiring.multiply(a, semiring.add(b, c))
+                right = semiring.add(
+                    semiring.multiply(a, b), semiring.multiply(a, c)
+                )
+                if left != right:
+                    note("distributivity", a, b, c)
+    return violations

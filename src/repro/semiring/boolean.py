@@ -1,0 +1,35 @@
+"""The Boolean semiring ``({F, T}, ∨, ∧, F, T)``.
+
+Annotating tuples with Booleans and evaluating a query computes ordinary
+set-semantics membership: the homomorphism target of every provenance
+polynomial (specialize tokens to truth values).
+"""
+
+from __future__ import annotations
+
+from repro.semiring.base import Semiring
+
+
+class BooleanSemiring(Semiring[bool]):
+    """Set-semantics membership semiring."""
+
+    name = "boolean"
+    idempotent_add = True
+
+    @property
+    def zero(self) -> bool:
+        return False
+
+    @property
+    def one(self) -> bool:
+        return True
+
+    def add(self, left: bool, right: bool) -> bool:
+        return left or right
+
+    def multiply(self, left: bool, right: bool) -> bool:
+        return left and right
+
+
+#: Shared instance.
+BOOLEAN = BooleanSemiring()

@@ -1,0 +1,34 @@
+"""The counting semiring ``(ℕ, +, ·, 0, 1)``.
+
+Annotating every base tuple with 1 and evaluating a query computes bag
+(multiplicity) semantics — how many derivations produce each output tuple.
+"""
+
+from __future__ import annotations
+
+from repro.semiring.base import Semiring
+
+
+class CountingSemiring(Semiring[int]):
+    """Bag-semantics / derivation-counting semiring."""
+
+    name = "counting"
+    idempotent_add = False
+
+    @property
+    def zero(self) -> int:
+        return 0
+
+    @property
+    def one(self) -> int:
+        return 1
+
+    def add(self, left: int, right: int) -> int:
+        return left + right
+
+    def multiply(self, left: int, right: int) -> int:
+        return left * right
+
+
+#: Shared instance.
+COUNTING = CountingSemiring()

@@ -1,0 +1,51 @@
+"""The lineage semiring: sets of contributing tokens.
+
+Lineage collapses all structure: the annotation of an output tuple is just
+the set of base tuples that contributed to it in *some* derivation.  Both
+``+`` and ``·`` are union (with 0 = a distinguished empty bottom and
+1 = ∅).  We follow the standard formulation where elements are
+``None`` (zero) or frozensets of tokens.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from repro.semiring.base import Semiring
+
+LineageValue = Optional[FrozenSet[object]]
+
+
+class LineageSemiring(Semiring[LineageValue]):
+    """Which-provenance: the set of all contributing tokens."""
+
+    name = "lineage"
+    idempotent_add = True
+
+    @property
+    def zero(self) -> LineageValue:
+        return None
+
+    @property
+    def one(self) -> LineageValue:
+        return frozenset()
+
+    def add(self, left: LineageValue, right: LineageValue) -> LineageValue:
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return left | right
+
+    def multiply(self, left: LineageValue, right: LineageValue) -> LineageValue:
+        if left is None or right is None:
+            return None
+        return left | right
+
+    def token(self, value: object) -> LineageValue:
+        """Annotation of a base tuple carrying ``value`` as its token."""
+        return frozenset((value,))
+
+
+#: Shared instance.
+LINEAGE = LineageSemiring()

@@ -1,0 +1,73 @@
+"""PosBool[X]: positive Boolean expressions with absorption.
+
+PosBool[X] (free distributive lattice) is the provenance semiring in which
+both operations are idempotent *and* absorption ``a + a·b = a`` holds.  It
+is the theoretical mirror of the paper's Section 3.4 machinery: dropping a
+monomial dominated by a sub-monomial is exactly PosBool's normal form of
+*minimal implicants*.  Tests use this correspondence to cross-check the
+citation order code: under the "fewer tokens is better, sub-monomials
+dominate" order, citation normal forms and PosBool normal forms agree.
+
+Elements are represented as frozensets of frozensets of tokens (sets of
+minimal implicants — an antichain under ⊆).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.semiring.base import Semiring
+
+Implicant = FrozenSet[object]
+PosBoolValue = FrozenSet[Implicant]
+
+
+def _minimal(implicants: frozenset[Implicant]) -> PosBoolValue:
+    """Keep only ⊆-minimal implicants (the absorption normal form)."""
+    return frozenset(
+        implicant for implicant in implicants
+        if not any(other < implicant for other in implicants)
+    )
+
+
+class PosBoolSemiring(Semiring[PosBoolValue]):
+    """Positive Boolean expressions in minimal-implicant normal form."""
+
+    name = "posbool"
+    idempotent_add = True
+
+    @property
+    def zero(self) -> PosBoolValue:
+        return frozenset()
+
+    @property
+    def one(self) -> PosBoolValue:
+        return frozenset((frozenset(),))
+
+    def add(self, left: PosBoolValue, right: PosBoolValue) -> PosBoolValue:
+        return _minimal(left | right)
+
+    def multiply(
+        self, left: PosBoolValue, right: PosBoolValue
+    ) -> PosBoolValue:
+        return _minimal(frozenset(
+            a | b for a in left for b in right
+        ))
+
+    def token(self, value: object) -> PosBoolValue:
+        return frozenset((frozenset((value,)),))
+
+    def implied(self, left: PosBoolValue, right: PosBoolValue) -> bool:
+        """Does ``left`` logically imply ``right``?
+
+        Every implicant of ``left`` must contain some implicant of
+        ``right`` (monotone Boolean implication on minimal forms).
+        """
+        return all(
+            any(r_implicant <= l_implicant for r_implicant in right)
+            for l_implicant in left
+        )
+
+
+#: Shared instance.
+POSBOOL = PosBoolSemiring()

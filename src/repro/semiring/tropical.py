@@ -1,0 +1,38 @@
+"""The tropical (min-plus) semiring ``(ℕ ∪ {∞}, min, +, ∞, 0)``.
+
+Annotating tuples with costs and evaluating a query computes the cheapest
+derivation of each output tuple.  Included because the paper's ``+R`` with a
+*min over an order* interpretation (Section 3.4) is exactly a tropical-style
+absorption — tests cross-check the citation order machinery against it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.semiring.base import Semiring
+
+
+class TropicalSemiring(Semiring[float]):
+    """Min-plus cost semiring."""
+
+    name = "tropical"
+    idempotent_add = True
+
+    @property
+    def zero(self) -> float:
+        return math.inf
+
+    @property
+    def one(self) -> float:
+        return 0.0
+
+    def add(self, left: float, right: float) -> float:
+        return min(left, right)
+
+    def multiply(self, left: float, right: float) -> float:
+        return left + right
+
+
+#: Shared instance.
+TROPICAL = TropicalSemiring()

@@ -1,0 +1,60 @@
+"""The why-provenance semiring: sets of witnesses (sets of sets of tokens).
+
+A *witness* is a set of base tuples sufficient to derive the output tuple;
+why-provenance keeps every witness.  ``+`` is union of witness sets, ``·``
+is pairwise union of witnesses: ``A · B = {a ∪ b | a ∈ A, b ∈ B}``.
+
+This is the closest classical analogue of the paper's citation polynomials
+with idempotent ``+``/``·``: each monomial of a citation corresponds to a
+witness built from views instead of tuples.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.semiring.base import Semiring
+
+Witness = FrozenSet[object]
+WhyValue = FrozenSet[Witness]
+
+
+class WhySemiring(Semiring[WhyValue]):
+    """Witness-set provenance."""
+
+    name = "why"
+    idempotent_add = True
+
+    @property
+    def zero(self) -> WhyValue:
+        return frozenset()
+
+    @property
+    def one(self) -> WhyValue:
+        return frozenset((frozenset(),))
+
+    def add(self, left: WhyValue, right: WhyValue) -> WhyValue:
+        return left | right
+
+    def multiply(self, left: WhyValue, right: WhyValue) -> WhyValue:
+        return frozenset(a | b for a in left for b in right)
+
+    def token(self, value: object) -> WhyValue:
+        """Annotation of a base tuple: one singleton witness."""
+        return frozenset((frozenset((value,)),))
+
+    def minimized(self, value: WhyValue) -> WhyValue:
+        """Drop non-minimal witnesses (the *minimal why-provenance*).
+
+        A witness is redundant when a strict subset of it is also a
+        witness.  This mirrors the citation order-based absorption of
+        Section 3.4: dominated monomials are removed.
+        """
+        return frozenset(
+            witness for witness in value
+            if not any(other < witness for other in value)
+        )
+
+
+#: Shared instance.
+WHY = WhySemiring()

@@ -1,0 +1,60 @@
+"""Deterministic fresh-name generation.
+
+Query rewriting and view expansion need fresh variable names that are
+guaranteed not to collide with existing ones.  :class:`NameSupply` hands out
+names of the form ``prefix_0, prefix_1, ...`` while skipping any name in a
+caller-supplied avoid set, so expansion is deterministic and reproducible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+class NameSupply:
+    """A deterministic supply of fresh names.
+
+    Parameters
+    ----------
+    avoid:
+        Names that must never be produced (e.g. variables already used in
+        a query).
+    prefix:
+        Prefix for generated names.
+    """
+
+    def __init__(self, avoid: Iterable[str] = (), prefix: str = "_v") -> None:
+        self._avoid = set(avoid)
+        self._prefix = prefix
+        self._counter = 0
+
+    def fresh(self, hint: str | None = None) -> str:
+        """Return a new name, never returned before and not in ``avoid``.
+
+        If ``hint`` is given and unused, the hint itself is returned, which
+        keeps expanded queries readable.
+        """
+        if hint is not None and hint not in self._avoid:
+            self._avoid.add(hint)
+            return hint
+        while True:
+            candidate = f"{self._prefix}{self._counter}"
+            self._counter += 1
+            if candidate not in self._avoid:
+                self._avoid.add(candidate)
+                return candidate
+
+    def reserve(self, names: Iterable[str]) -> None:
+        """Mark additional names as used."""
+        self._avoid.update(names)
+
+
+def fresh_variable_name(avoid: Iterable[str], hint: str = "_v") -> str:
+    """Return a single fresh name not contained in ``avoid``."""
+    avoid_set = set(avoid)
+    if hint not in avoid_set:
+        return hint
+    counter = 0
+    while f"{hint}{counter}" in avoid_set:
+        counter += 1
+    return f"{hint}{counter}"

@@ -1,0 +1,77 @@
+"""An insertion-ordered set.
+
+Python's built-in :class:`set` has nondeterministic iteration order across
+processes (string hashing is salted), which would make rewriting enumeration
+and citation output order flap between runs.  ``OrderedSet`` preserves
+insertion order while giving O(1) membership, so every pipeline stage in the
+library is deterministic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, MutableSet
+from typing import TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class OrderedSet(MutableSet[T]):
+    """A set that iterates in insertion order."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._items: dict[T, None] = dict.fromkeys(items)
+
+    # -- core set protocol --------------------------------------------------
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._items
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def add(self, item: T) -> None:
+        self._items[item] = None
+
+    def discard(self, item: T) -> None:
+        self._items.pop(item, None)
+
+    # -- conveniences --------------------------------------------------------
+
+    def update(self, items: Iterable[T]) -> None:
+        for item in items:
+            self.add(item)
+
+    def union(self, other: Iterable[T]) -> "OrderedSet[T]":
+        result: OrderedSet[T] = OrderedSet(self)
+        result.update(other)
+        return result
+
+    def intersection(self, other: Iterable[T]) -> "OrderedSet[T]":
+        other_set = set(other)
+        return OrderedSet(item for item in self if item in other_set)
+
+    def difference(self, other: Iterable[T]) -> "OrderedSet[T]":
+        other_set = set(other)
+        return OrderedSet(item for item in self if item not in other_set)
+
+    def copy(self) -> "OrderedSet[T]":
+        return OrderedSet(self)
+
+    def __repr__(self) -> str:
+        return f"OrderedSet({list(self._items)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, OrderedSet):
+            return set(self._items) == set(other._items)
+        if isinstance(other, (set, frozenset)):
+            return set(self._items) == other
+        return NotImplemented
+
+    def __hash__(self) -> int:  # type: ignore[override]
+        # Order-insensitive hash so equal sets hash equally.
+        return hash(frozenset(self._items))

@@ -1,0 +1,25 @@
+"""Citation views (paper, Definition 2.1).
+
+A citation view is a triple ``(V, C_V, F_V)``: a (possibly λ-parameterized)
+view definition, a citation query over the same parameters, and a citation
+function that formats the citation query's output into a citation record.
+"""
+
+from repro.views.citation_view import (
+    CitationView,
+    CitationFunction,
+    RecordCitationFunction,
+    default_citation_function,
+)
+from repro.views.registry import ViewRegistry
+from repro.views.inclusion import view_included_in, view_strictly_finer
+
+__all__ = [
+    "CitationView",
+    "CitationFunction",
+    "RecordCitationFunction",
+    "default_citation_function",
+    "ViewRegistry",
+    "view_included_in",
+    "view_strictly_finer",
+]

@@ -1,0 +1,47 @@
+"""View inclusion — the "best fit" order of Example 3.8.
+
+The paper prefers citing a view ``V1`` over ``V2`` when ``V1`` is included
+in ``V2``: the finer view is a better fit than the very general one.  Two
+notions combine here:
+
+- **extension inclusion**: every tuple ever produced by ``V1`` (under any
+  λ-valuation) is produced by ``V2`` (under some valuation).  Because
+  Def 2.1 requires λ-parameters to be head variables, the union of all
+  instances equals the unparameterized extension, so this reduces to
+  classical CQ containment of the parameter-stripped definitions.
+- **granularity**: when extensions coincide (e.g. the paper's ``V1`` with
+  λF versus ``V3`` with no λ over the same body), the view with *more*
+  λ-parameters partitions its output more finely and is considered
+  strictly finer — its citations credit more specific contributors.
+"""
+
+from __future__ import annotations
+
+from repro.cq.containment import is_contained_in
+from repro.views.citation_view import CitationView
+
+
+def view_included_in(v1: CitationView, v2: CitationView) -> bool:
+    """Is every tuple of ``v1`` (any valuation) a tuple of ``v2``?
+
+    Views with different head arities are incomparable (returns False).
+    """
+    q1 = v1.view.with_parameters(())
+    q2 = v2.view.with_parameters(())
+    if len(q1.head) != len(q2.head):
+        return False
+    return is_contained_in(q1, q2)
+
+
+def view_strictly_finer(v1: CitationView, v2: CitationView) -> bool:
+    """Is ``v1`` a strictly better fit ("finer") than ``v2``?
+
+    True when ``v1 ⊆ v2`` and either the inclusion is strict or — for
+    equivalent extensions — ``v1`` has more λ-parameters (finer citation
+    granularity, as with the paper's ``V1`` λF versus ``V3``).
+    """
+    if not view_included_in(v1, v2):
+        return False
+    if not view_included_in(v2, v1):
+        return True
+    return len(v1.parameters) > len(v2.parameters)

@@ -1,0 +1,29 @@
+"""Workloads, query logs, and log-driven view suggestion (Section 4).
+
+The paper lists "using logs to understand database usage and decide what
+citation views should be specified" among its open problems.  This
+subpackage provides:
+
+- :mod:`repro.workload.queries` — a seeded random conjunctive-query
+  generator over any schema (used by the scaling benchmarks);
+- :mod:`repro.workload.logs` — query logs with frequencies;
+- :mod:`repro.workload.suggest` — a greedy view-suggestion algorithm that
+  mines frequent join patterns from a log and proposes citation views
+  maximizing rewriting coverage.
+"""
+
+from repro.workload.queries import QueryGenerator
+from repro.workload.logs import QueryLog, LogEntry
+from repro.workload.suggest import suggest_views, coverage_of_views
+from repro.workload.analyzer import LogAnalyzer, LogProfile, analyze_log
+
+__all__ = [
+    "QueryGenerator",
+    "QueryLog",
+    "LogEntry",
+    "suggest_views",
+    "coverage_of_views",
+    "LogAnalyzer",
+    "LogProfile",
+    "analyze_log",
+]

@@ -1,0 +1,61 @@
+"""Query logs: recorded usage of the database.
+
+A :class:`QueryLog` is an ordered multiset of conjunctive queries with
+frequencies — the raw material for deciding which citation views to
+declare (Section 4's "using logs to understand database usage").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.cq.parser import parse_query
+from repro.cq.query import ConjunctiveQuery
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """A logged query with its observed frequency."""
+
+    query: ConjunctiveQuery
+    frequency: int = 1
+
+
+class QueryLog:
+    """An ordered collection of logged queries."""
+
+    def __init__(self, entries: Iterable[LogEntry | ConjunctiveQuery] = ()) -> None:
+        self._entries: list[LogEntry] = []
+        for entry in entries:
+            self.record(entry)
+
+    def record(
+        self,
+        query: LogEntry | ConjunctiveQuery | str,
+        frequency: int = 1,
+    ) -> None:
+        """Append a query (CQ object, Datalog string, or prepared entry)."""
+        if isinstance(query, LogEntry):
+            self._entries.append(query)
+            return
+        if isinstance(query, str):
+            query = parse_query(query)
+        self._entries.append(LogEntry(query, frequency))
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def total_frequency(self) -> int:
+        return sum(entry.frequency for entry in self._entries)
+
+    def queries(self) -> list[ConjunctiveQuery]:
+        """The logged queries, in order, ignoring frequencies."""
+        return [entry.query for entry in self._entries]
+
+    def __repr__(self) -> str:
+        return f"QueryLog({len(self._entries)} entries)"

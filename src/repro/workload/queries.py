@@ -1,0 +1,160 @@
+"""Seeded random conjunctive-query generation.
+
+The generator walks a schema's foreign-key graph so that generated joins
+are *meaningful* (they follow real key relationships, like users' queries
+would), then projects a random subset of variables and optionally adds a
+selection on a value sampled from the database (so selections are
+satisfiable).  Everything is deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.cq.atoms import ComparisonAtom, RelationalAtom
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.terms import Constant, Variable
+from repro.relational.database import Database
+from repro.relational.expressions import ComparisonOp
+from repro.relational.schema import Schema
+
+
+class QueryGenerator:
+    """Generates random safe conjunctive queries over a schema.
+
+    Parameters
+    ----------
+    schema:
+        The schema to generate against.
+    db:
+        Optional database used to sample selection constants that actually
+        occur (non-empty results make benchmarks meaningful).
+    seed:
+        RNG seed.
+    max_atoms:
+        Maximum number of relational atoms per query.
+    selection_probability:
+        Chance of adding one equality selection with a sampled constant.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        db: Database | None = None,
+        seed: int = 7,
+        max_atoms: int = 3,
+        selection_probability: float = 0.7,
+    ) -> None:
+        self.schema = schema
+        self.db = db
+        self.max_atoms = max_atoms
+        self.selection_probability = selection_probability
+        self._rng = random.Random(seed)
+        self._joins = self._join_edges()
+
+    def _join_edges(self) -> list[tuple[str, str, str, str]]:
+        """FK-derived join edges: (relation, column, relation, column)."""
+        edges = []
+        for relation in self.schema:
+            for fk in relation.foreign_keys:
+                for column, ref_column in zip(fk.columns, fk.ref_columns):
+                    edges.append(
+                        (relation.name, column, fk.ref_relation, ref_column)
+                    )
+        return edges
+
+    def _sample_constant(self, relation: str, position: int) -> object | None:
+        if self.db is None:
+            return None
+        rows = self.db.relation(relation).rows()
+        if not rows:
+            return None
+        return self._rng.choice(rows)[position]
+
+    def generate(self, name: str = "Q") -> ConjunctiveQuery:
+        """Generate one random query."""
+        rng = self._rng
+        atom_count = rng.randint(1, self.max_atoms)
+        counter = 0
+
+        def fresh(prefix: str) -> Variable:
+            nonlocal counter
+            counter += 1
+            return Variable(f"{prefix}{counter}")
+
+        relations = list(self.schema.relation_names)
+        first = rng.choice(relations)
+        atoms: list[RelationalAtom] = []
+        variables_of: dict[int, list[Variable]] = {}
+
+        def add_atom(relation: str) -> int:
+            rel_schema = self.schema.relation(relation)
+            terms = [fresh("X") for __ in range(rel_schema.arity)]
+            atoms.append(RelationalAtom(relation, terms))
+            variables_of[len(atoms) - 1] = terms
+            return len(atoms) - 1
+
+        add_atom(first)
+        while len(atoms) < atom_count:
+            # Prefer FK joins touching an existing atom; fall back to a
+            # self-contained extra atom.
+            candidates = []
+            for index, atom in enumerate(atoms):
+                for left_rel, left_col, right_rel, right_col in self._joins:
+                    if atom.relation == left_rel:
+                        candidates.append(
+                            (index, left_col, right_rel, right_col)
+                        )
+                    if atom.relation == right_rel:
+                        candidates.append(
+                            (index, right_col, left_rel, left_col)
+                        )
+            if not candidates:
+                add_atom(rng.choice(relations))
+                continue
+            index, column, other_relation, other_column = rng.choice(
+                candidates
+            )
+            existing_schema = self.schema.relation(atoms[index].relation)
+            shared = variables_of[index][existing_schema.position(column)]
+            new_index = add_atom(other_relation)
+            other_schema = self.schema.relation(other_relation)
+            other_position = other_schema.position(other_column)
+            terms = list(atoms[new_index].terms)
+            terms[other_position] = shared
+            atoms[new_index] = RelationalAtom(other_relation, terms)
+            variables_of[new_index] = list(terms)
+
+        comparisons: list[ComparisonAtom] = []
+        if rng.random() < self.selection_probability:
+            target_index = rng.randrange(len(atoms))
+            relation = atoms[target_index].relation
+            rel_schema = self.schema.relation(relation)
+            position = rng.randrange(rel_schema.arity)
+            constant = self._sample_constant(relation, position)
+            if constant is not None:
+                term = atoms[target_index].terms[position]
+                if isinstance(term, Variable):
+                    comparisons.append(
+                        ComparisonAtom(
+                            term, ComparisonOp.EQ, Constant(constant)
+                        )
+                    )
+
+        all_variables: list[Variable] = []
+        for atom in atoms:
+            for var in atom.variables():
+                if var not in all_variables:
+                    all_variables.append(var)
+        head_size = rng.randint(1, min(3, len(all_variables)))
+        head = rng.sample(all_variables, head_size)
+        query = ConjunctiveQuery(name, head, atoms, comparisons)
+        query.check_safety()
+        return query
+
+    def generate_many(
+        self, count: int, prefix: str = "Q"
+    ) -> list[ConjunctiveQuery]:
+        """Generate ``count`` queries named ``prefix0..prefixN``."""
+        return [self.generate(f"{prefix}{i}") for i in range(count)]

@@ -1,0 +1,255 @@
+"""Greedy citation-view suggestion from a query log.
+
+Section 4 lists deciding "what citation views should be specified" from
+usage logs as an open problem.  This module implements a pragmatic greedy
+algorithm:
+
+1. **Candidate mining**: every connected sub-conjunction (of bounded size)
+   of a logged query becomes a candidate view; variables shared with the
+   rest of the query or the head become distinguished, and variables pinned
+   by equality selections become λ-parameters (so the view generalizes the
+   selection, as the paper's ``V4`` generalizes ``Ty = "gpcr"``).
+2. **Scoring**: a candidate's utility is the total frequency of log
+   queries it can help rewrite (a coverage descriptor exists).
+3. **Greedy selection**: repeatedly pick the candidate with the highest
+   marginal utility (queries not yet covered by chosen views) until ``k``
+   views are chosen or nothing improves.
+
+Suggested views get the view definition itself as citation query (head =
+the view's head) — owners then refine ``C_V``/``F_V`` by hand, which is
+exactly the paper's division of labour.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+
+from repro.cq.atoms import ComparisonAtom, RelationalAtom
+from repro.cq.containment import normalize_query
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.terms import Constant, Variable
+from repro.rewriting.descriptors import descriptors_for
+from repro.views.citation_view import CitationView
+from repro.views.registry import ViewRegistry
+from repro.workload.logs import QueryLog
+
+
+def _connected_subsets(
+    query: ConjunctiveQuery, max_size: int
+) -> list[tuple[int, ...]]:
+    """Indices of connected sub-conjunctions of the query's atoms."""
+    atoms = query.atoms
+    subsets: list[tuple[int, ...]] = []
+    for size in range(1, min(max_size, len(atoms)) + 1):
+        for combo in itertools.combinations(range(len(atoms)), size):
+            if _is_connected(atoms, combo):
+                subsets.append(combo)
+    return subsets
+
+
+def _is_connected(
+    atoms: Sequence[RelationalAtom], indices: tuple[int, ...]
+) -> bool:
+    if len(indices) == 1:
+        return True
+    remaining = set(indices[1:])
+    frontier = {indices[0]}
+    reached_vars = set(atoms[indices[0]].variables())
+    while remaining:
+        expanded = {
+            index for index in remaining
+            if reached_vars & set(atoms[index].variables())
+        }
+        if not expanded:
+            return False
+        for index in expanded:
+            reached_vars.update(atoms[index].variables())
+        remaining -= expanded
+        frontier = expanded
+    return True
+
+
+def _candidate_from_subset(
+    query: ConjunctiveQuery,
+    indices: tuple[int, ...],
+    name: str,
+) -> ConjunctiveQuery | None:
+    """Generalize a sub-conjunction into a parameterized view definition."""
+    atoms = [query.atoms[i] for i in indices]
+
+    # Generalize inline constants into λ-parameters, so a logged selection
+    # like Family(F, N, "gpcr") suggests the paper's λTy-style view rather
+    # than one hard-wired to "gpcr".
+    generalized: dict[Constant, Variable] = {}
+    lifted_atoms: list[RelationalAtom] = []
+    used_names = {v.name for v in query.variables()}
+    for atom in atoms:
+        terms = []
+        for term in atom.terms:
+            if isinstance(term, Constant):
+                param = generalized.get(term)
+                if param is None:
+                    index = len(generalized)
+                    name_candidate = f"P{index}"
+                    while name_candidate in used_names:
+                        name_candidate = f"P{index}_{len(used_names)}"
+                    param = Variable(name_candidate)
+                    used_names.add(name_candidate)
+                    generalized[term] = param
+                terms.append(param)
+            else:
+                terms.append(term)
+        lifted_atoms.append(RelationalAtom(atom.relation, terms))
+    atoms = lifted_atoms
+
+    inside_vars: set[Variable] = set()
+    for atom in atoms:
+        inside_vars.update(atom.variables())
+    outside_vars: set[Variable] = set(query.head_variables())
+    for index, atom in enumerate(query.atoms):
+        if index not in indices:
+            outside_vars.update(atom.variables())
+
+    # Variables pinned by equality selections become λ-parameters.
+    parameters: list[Variable] = list(generalized.values())
+    for comparison in query.comparisons:
+        if not isinstance(comparison, ComparisonAtom):
+            continue
+        left, right = comparison.left, comparison.right
+        if (isinstance(left, Variable) and left in inside_vars
+                and isinstance(right, Constant)
+                and left not in parameters):
+            parameters.append(left)
+
+    head: list[Variable] = []
+    for atom in atoms:
+        for var in atom.variables():
+            if var in head:
+                continue
+            if var in outside_vars or var in parameters:
+                head.append(var)
+    if not head:
+        # Fully existential sub-conjunction: export everything instead.
+        head = [v for atom in atoms for v in atom.variables()]
+        head = list(dict.fromkeys(head))
+    try:
+        candidate = ConjunctiveQuery(name, head, atoms, (), parameters)
+        candidate.check_safety()
+    except Exception:
+        return None
+    return candidate
+
+
+def _canonical_key(view: ConjunctiveQuery) -> tuple:
+    """Renaming-invariant key to deduplicate candidate views."""
+    renaming: dict[str, str] = {}
+
+    def canon(term: object) -> str:
+        if isinstance(term, Variable):
+            if term.name not in renaming:
+                renaming[term.name] = f"v{len(renaming)}"
+            return renaming[term.name]
+        return repr(term)
+
+    atom_keys = tuple(
+        (atom.relation, tuple(canon(t) for t in atom.terms))
+        for atom in view.atoms
+    )
+    head_key = tuple(canon(t) for t in view.head)
+    param_key = tuple(canon(p) for p in view.parameters)
+    return (atom_keys, head_key, param_key)
+
+
+def _covers(view: CitationView, query: ConjunctiveQuery) -> bool:
+    """Can the view participate in rewriting the query at all?"""
+    normalized, satisfiable = normalize_query(query)
+    if not satisfiable:
+        return False
+    return bool(descriptors_for(normalized, view))
+
+
+def coverage_of_views(
+    views: Sequence[CitationView], log: QueryLog
+) -> float:
+    """Fraction of log frequency touchable by at least one view."""
+    total = log.total_frequency
+    if total == 0:
+        return 0.0
+    covered = sum(
+        entry.frequency
+        for entry in log
+        if any(_covers(view, entry.query) for view in views)
+    )
+    return covered / total
+
+
+def suggest_views(
+    log: QueryLog,
+    registry: ViewRegistry,
+    k: int = 3,
+    max_view_atoms: int = 2,
+    name_prefix: str = "SV",
+) -> list[CitationView]:
+    """Greedily suggest up to ``k`` citation views for a query log.
+
+    ``registry`` supplies the schema (suggested views are *not* added to
+    it — the owner reviews them first).  Suggested views use their own
+    definition as citation query; refine ``C_V``/``F_V`` afterwards.
+    """
+    candidates: dict[tuple, ConjunctiveQuery] = {}
+    for entry in log:
+        normalized, satisfiable = normalize_query(entry.query)
+        if not satisfiable:
+            continue
+        for indices in _connected_subsets(normalized, max_view_atoms):
+            candidate = _candidate_from_subset(
+                normalized, indices, "candidate"
+            )
+            if candidate is None:
+                continue
+            candidates.setdefault(_canonical_key(candidate), candidate)
+
+    # Wrap candidates as citation views for descriptor-based scoring.
+    wrapped: list[CitationView] = []
+    for index, definition in enumerate(candidates.values()):
+        name = f"{name_prefix}{index}"
+        named = definition.with_name(name)
+        citation_query = named.with_name(f"C{name}")
+        try:
+            wrapped.append(CitationView(named, citation_query))
+        except Exception:
+            continue
+
+    chosen: list[CitationView] = []
+    uncovered = list(log)
+    while len(chosen) < k and wrapped:
+        def marginal(view: CitationView) -> int:
+            return sum(
+                entry.frequency for entry in uncovered
+                if _covers(view, entry.query)
+            )
+
+        best = max(wrapped, key=marginal)
+        gain = marginal(best)
+        if gain == 0:
+            break
+        chosen.append(best)
+        wrapped.remove(best)
+        uncovered = [
+            entry for entry in uncovered if not _covers(best, entry.query)
+        ]
+    # Rename deterministically in selection order.
+    renamed: list[CitationView] = []
+    for index, view in enumerate(chosen):
+        name = f"{name_prefix}{index}"
+        renamed.append(
+            CitationView(
+                view.view.with_name(name),
+                view.citation_query.with_name(f"C{name}"),
+                view.citation_function,
+                view.labels,
+                description="suggested from query log",
+            )
+        )
+    return renamed

@@ -1,0 +1,91 @@
+"""Tests for the hard-coded page-view baseline."""
+
+import pytest
+
+from repro.baseline.pageview import PageViewBaseline
+from repro.cq.parser import parse_query
+
+
+@pytest.fixture
+def baseline(db, registry):
+    instance = PageViewBaseline(db, registry)
+    instance.register_all_pages("V1")
+    instance.register_all_pages("V2")
+    instance.register_page("V3")
+    return instance
+
+
+class TestRegistration:
+    def test_one_page_per_family(self, db, registry):
+        baseline = PageViewBaseline(db, registry)
+        count = baseline.register_all_pages("V1")
+        assert count == len(db.relation("Family"))
+
+    def test_unparameterized_view_single_page(self, db, registry):
+        baseline = PageViewBaseline(db, registry)
+        assert baseline.register_all_pages("V3") == 1
+
+    def test_citation_computed_at_registration(self, db, registry):
+        baseline = PageViewBaseline(db, registry)
+        citation = baseline.register_page("V1", ("11",))
+        assert citation["Committee"] == ["Hay", "Poyner"]
+
+
+class TestCiting:
+    def test_exact_page_match(self, baseline):
+        query = parse_query('P(F, N, Ty) :- Family(F, N, Ty), F = "11"')
+        citation = baseline.cite(query)
+        assert citation["Name"] == "Calcitonin"
+
+    def test_renamed_page_match(self, baseline):
+        # Equivalence is modulo variable naming.
+        query = parse_query('P(A, B, C) :- Family(A, B, C), A = "11"')
+        assert baseline.cite(query) is not None
+
+    def test_projection_not_cited(self, baseline):
+        query = parse_query('P(N) :- Family(F, N, Ty), F = "11"')
+        assert baseline.cite(query) is None
+
+    def test_join_not_cited(self, baseline):
+        query = parse_query(
+            "P(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)"
+        )
+        assert baseline.cite(query) is None
+
+    def test_type_selection_not_cited(self, baseline):
+        query = parse_query(
+            'P(F, N, Ty) :- Family(F, N, Ty), Ty = "gpcr"'
+        )
+        assert baseline.cite(query) is None
+
+    def test_whole_table_page(self, baseline):
+        query = parse_query("P(F, N, Ty) :- Family(F, N, Ty)")
+        citation = baseline.cite(query)
+        assert citation == {"Owner": "Tony Harmar",
+                            "URL": "guidetopharmacology.org"}
+
+
+class TestCoverage:
+    def test_coverage_fraction(self, baseline):
+        queries = [
+            parse_query('P(F, N, Ty) :- Family(F, N, Ty), F = "11"'),
+            parse_query("P(N) :- Family(F, N, Ty)"),
+            parse_query("P(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)"),
+            parse_query("P(F, N, Ty) :- Family(F, N, Ty)"),
+        ]
+        assert baseline.coverage(queries) == pytest.approx(0.5)
+
+    def test_empty_coverage(self, baseline):
+        assert baseline.coverage([]) == 0.0
+
+    def test_model_beats_baseline(self, db, registry, baseline,
+                                  focused_engine):
+        """The paper's motivation: general queries get citations from the
+        model but not from hard-coded pages."""
+        query = parse_query(
+            'Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), '
+            'Ty = "gpcr"'
+        )
+        assert baseline.cite(query) is None
+        result = focused_engine.cite(query)
+        assert result.records

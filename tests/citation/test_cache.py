@@ -1,0 +1,93 @@
+"""Tests for the rewriting cache (Section 4: caching)."""
+
+import pytest
+
+from repro.citation.cache import (
+    CachedRewritingEngine,
+    cached_engine,
+    canonical_key,
+)
+from repro.citation.generator import CitationEngine
+from repro.cq.parser import parse_query
+from repro.rewriting.engine import RewritingEngine
+
+
+class TestCanonicalKey:
+    def test_alpha_equivalent_queries_share_key(self):
+        q1 = parse_query('Q(N) :- Family(F, N, Ty), Ty = "gpcr"')
+        q2 = parse_query('Q(M) :- Family(G, M, T2), T2 = "gpcr"')
+        assert canonical_key(q1) == canonical_key(q2)
+
+    def test_different_constants_differ(self):
+        q1 = parse_query('Q(N) :- Family(F, N, Ty), Ty = "gpcr"')
+        q2 = parse_query('Q(N) :- Family(F, N, Ty), Ty = "vgic"')
+        assert canonical_key(q1) != canonical_key(q2)
+
+    def test_different_structure_differs(self):
+        q1 = parse_query("Q(N) :- Family(F, N, Ty)")
+        q2 = parse_query("Q(N) :- Family(F, N, Ty), FamilyIntro(F, Tx)")
+        assert canonical_key(q1) != canonical_key(q2)
+
+    def test_comparison_orientation_normalized(self):
+        q1 = parse_query("Q(A) :- R(A, B), B > 3")
+        q2 = parse_query("Q(A) :- R(A, B), 3 < B")
+        assert canonical_key(q1) == canonical_key(q2)
+
+    def test_head_projection_matters(self):
+        q1 = parse_query("Q(A) :- R(A, B)")
+        q2 = parse_query("Q(B) :- R(A, B)")
+        assert canonical_key(q1) != canonical_key(q2)
+
+
+class TestCachedEngine:
+    def test_hit_on_repeat(self, registry):
+        engine = cached_engine(registry)
+        query = parse_query('Q(N) :- Family(F, N, Ty), Ty = "gpcr"')
+        first = engine.rewrite(query)
+        second = engine.rewrite(query)
+        assert first is second
+        assert engine.hits == 1 and engine.misses == 1
+
+    def test_hit_on_alpha_equivalent(self, registry):
+        engine = cached_engine(registry)
+        engine.rewrite(parse_query('Q(N) :- Family(F, N, Ty), Ty = "gpcr"'))
+        engine.rewrite(parse_query('Q(M) :- Family(G, M, T), T = "gpcr"'))
+        assert engine.hits == 1
+
+    def test_miss_on_new_structure(self, registry):
+        engine = cached_engine(registry)
+        engine.rewrite(parse_query("Q(N) :- Family(F, N, Ty)"))
+        engine.rewrite(parse_query("Q(Tx) :- FamilyIntro(F, Tx)"))
+        assert engine.misses == 2
+        assert engine.size == 2
+
+    def test_clear(self, registry):
+        engine = cached_engine(registry)
+        engine.rewrite(parse_query("Q(N) :- Family(F, N, Ty)"))
+        engine.clear()
+        assert engine.size == 0 and engine.hits == 0
+
+    def test_cached_results_identical(self, registry):
+        plain = RewritingEngine(registry)
+        cached = CachedRewritingEngine(RewritingEngine(registry))
+        query = parse_query('Q(N) :- Family(F, N, Ty), Ty = "gpcr"')
+        assert [repr(r.query) for r in plain.rewrite(query)] == \
+            [repr(r.query) for r in cached.rewrite(query)]
+
+
+class TestCitationEngineIntegration:
+    def test_cache_flag_preserves_results(self, db, registry):
+        query = 'Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)'
+        plain = CitationEngine(db, registry).cite(query)
+        cached = CitationEngine(db, registry,
+                                cache_rewritings=True).cite(query)
+        assert set(plain.tuples) == set(cached.tuples)
+        for output in plain.tuples:
+            assert plain.tuples[output].polynomial == \
+                cached.tuples[output].polynomial
+
+    def test_cache_reused_across_alpha_variants(self, db, registry):
+        engine = CitationEngine(db, registry, cache_rewritings=True)
+        engine.cite('Q(N) :- Family(F, N, Ty), Ty = "gpcr"')
+        engine.cite('Q(M) :- Family(G, M, T), T = "gpcr"')
+        assert engine.rewriting_engine.hits == 1

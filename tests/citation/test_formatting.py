@@ -1,0 +1,119 @@
+"""Tests for citation rendering (JSON, text, XML, BibTeX)."""
+
+import json
+
+import pytest
+
+from repro.citation.formatting import (
+    render_bibtex,
+    render_json,
+    render_text,
+    render_xml,
+)
+
+EX23_QUERY = ('Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), '
+              'Ty = "gpcr"')
+
+
+@pytest.fixture(scope="module")
+def result(focused_engine):
+    return focused_engine.cite(EX23_QUERY)
+
+
+class TestJson:
+    def test_valid_json(self, result):
+        payload = json.loads(render_json(result))
+        assert payload["policy"] == "focused"
+        assert isinstance(payload["citations"], list)
+
+    def test_include_tuples(self, result):
+        payload = json.loads(render_json(result, include_tuples=True))
+        assert len(payload["tuples"]) == len(result.tuples)
+        first = payload["tuples"][0]
+        assert {"tuple", "citations", "polynomial"} <= set(first)
+
+    def test_compact_indent(self, result):
+        text = render_json(result, indent=None)
+        assert "\n" not in text
+
+
+class TestText:
+    def test_mentions_policy_and_counts(self, result):
+        text = render_text(result)
+        assert "policy=focused" in text
+        assert f"{len(result.tuples)} result tuple(s)" in text
+
+    def test_database_block(self, result):
+        text = render_text(result)
+        assert "Owner: Tony Harmar" in text
+
+    def test_sources_numbered(self, result):
+        text = render_text(result)
+        assert "[1]" in text
+
+
+class TestXml:
+    def test_well_formed(self, result):
+        import xml.etree.ElementTree as ET
+        root = ET.fromstring(render_xml(result))
+        assert root.tag == "citation"
+        assert root.find("policy").text == "focused"
+
+    def test_special_characters_escaped(self, result):
+        import xml.etree.ElementTree as ET
+        # Parsing back must preserve the query text (escaping roundtrip).
+        root = ET.fromstring(render_xml(result))
+        assert "gpcr" in root.find("query").text
+
+
+class TestDublinCore:
+    def test_well_formed(self, result):
+        import xml.etree.ElementTree as ET
+        from repro.citation.formatting import render_dublin_core
+        root = ET.fromstring(render_dublin_core(result))
+        assert root.tag.endswith("dc")
+
+    def test_publisher_and_identifier(self, result):
+        from repro.citation.formatting import render_dublin_core
+        text = render_dublin_core(result)
+        assert "<dc:publisher>Tony Harmar</dc:publisher>" in text
+        assert "guidetopharmacology.org" in text
+
+    def test_creators_listed(self, result):
+        from repro.citation.formatting import render_dublin_core
+        assert "<dc:creator>" in render_dublin_core(result)
+
+
+class TestRis:
+    def test_entries_have_required_tags(self, result):
+        from repro.citation.formatting import render_ris
+        text = render_ris(result)
+        assert text.startswith("TY  - DATA")
+        assert "ER  - " in text
+        assert "AU  - " in text
+
+    def test_version_as_edition(self, result):
+        from repro.citation.formatting import render_ris
+        assert "ET  - 23" in render_ris(result)
+
+    def test_empty_result_still_produces_entry(self, focused_engine):
+        from repro.citation.formatting import render_ris
+        empty = focused_engine.cite(
+            'Q(N) :- Family(F, N, Ty), Ty = "none"'
+        )
+        text = render_ris(empty)
+        assert "TY  - DATA" in text and "UR  - " in text
+
+
+class TestBibtex:
+    def test_misc_entries(self, result):
+        bibtex = render_bibtex(result)
+        assert bibtex.startswith("@misc{")
+
+    def test_authors_from_contributors(self, result):
+        bibtex = render_bibtex(result)
+        assert "author = {" in bibtex
+
+    def test_url_rendered(self, result):
+        bibtex = render_bibtex(result)
+        assert "\\url{guidetopharmacology.org}" in bibtex

@@ -1,0 +1,52 @@
+"""Shared fixtures: the paper's database, views, and engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.citation.generator import CitationEngine
+from repro.citation.policy import (
+    compact_policy,
+    comprehensive_policy,
+    focused_policy,
+)
+from repro.gtopdb.sample import paper_database
+from repro.gtopdb.schema import gtopdb_schema
+from repro.gtopdb.views import paper_registry
+
+
+@pytest.fixture(scope="session")
+def schema():
+    return gtopdb_schema()
+
+
+@pytest.fixture(scope="session")
+def db():
+    """The paper's running-example instance (session-scoped, read-only)."""
+    return paper_database()
+
+
+@pytest.fixture(scope="session")
+def db_with_duplicate():
+    """The instance with a second 'Calcitonin' family (Example 3.2)."""
+    return paper_database(duplicate_calcitonin=True)
+
+
+@pytest.fixture(scope="session")
+def registry():
+    return paper_registry()
+
+
+@pytest.fixture(scope="session")
+def comprehensive_engine(db, registry):
+    return CitationEngine(db, registry, policy=comprehensive_policy())
+
+
+@pytest.fixture(scope="session")
+def focused_engine(db, registry):
+    return CitationEngine(db, registry, policy=focused_policy(registry))
+
+
+@pytest.fixture(scope="session")
+def compact_engine(db, registry):
+    return CitationEngine(db, registry, policy=compact_policy(registry))

@@ -1,0 +1,98 @@
+"""Tests for the CQ → relational-algebra compiler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq.compile import compile_to_algebra
+from repro.cq.evaluation import evaluate_query
+from repro.cq.parser import parse_query
+from repro.errors import QueryError
+from repro.gtopdb.generator import GtopdbGenerator
+from repro.gtopdb.sample import paper_database
+from repro.relational.algebra import evaluate as algebra_evaluate
+from repro.workload.queries import QueryGenerator
+
+
+@pytest.fixture(scope="module")
+def db():
+    return paper_database()
+
+
+def cross_check(query, db):
+    direct = sorted(evaluate_query(query, db))
+    plan = compile_to_algebra(query, db.schema)
+    via_algebra = sorted(algebra_evaluate(plan, db).rows)
+    assert direct == via_algebra, query
+    return direct
+
+
+class TestBasicCompilation:
+    def test_single_atom(self, db):
+        cross_check(parse_query("Q(N) :- Family(F, N, Ty)"), db)
+
+    def test_join(self, db):
+        cross_check(
+            parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)"),
+            db,
+        )
+
+    def test_selection(self, db):
+        rows = cross_check(
+            parse_query('Q(N) :- Family(F, N, Ty), Ty = "gpcr"'), db
+        )
+        assert ("Calcitonin",) in rows
+
+    def test_inline_constant(self, db):
+        cross_check(parse_query('Q(N) :- Family("11", N, Ty)'), db)
+
+    def test_repeated_variable_in_atom(self, db):
+        db2 = paper_database()
+        db2.insert("MetaData", "same", "same")
+        cross_check(parse_query("Q(T) :- MetaData(T, T)"), db2)
+
+    def test_three_way_join(self, db):
+        cross_check(
+            parse_query(
+                "Q(N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)"
+            ),
+            db,
+        )
+
+    def test_variable_comparison(self, db):
+        cross_check(
+            parse_query("Q(F1, F2) :- Family(F1, N1, Ty), "
+                        "Family(F2, N2, Ty), F1 < F2"),
+            db,
+        )
+
+    def test_ground_false_comparison(self, db):
+        query = parse_query("Q(N) :- Family(F, N, Ty), 2 < 1")
+        plan = compile_to_algebra(query, db.schema)
+        assert algebra_evaluate(plan, db).rows == []
+
+
+class TestRejections:
+    def test_parameterized_rejected(self, db):
+        with pytest.raises(QueryError):
+            compile_to_algebra(
+                parse_query("lambda F. V(F, N) :- Family(F, N, Ty)"),
+                db.schema,
+            )
+
+    def test_head_constant_rejected(self, db):
+        with pytest.raises(QueryError):
+            compile_to_algebra(
+                parse_query('Q(N, "tag") :- Family(F, N, Ty)'), db.schema
+            )
+
+
+class TestRandomCrossValidation:
+    @given(st.integers(0, 2000))
+    @settings(max_examples=40, deadline=None)
+    def test_compiler_agrees_with_evaluator(self, seed):
+        db = GtopdbGenerator(families=10, persons=6, types=3,
+                             seed=seed % 13).build()
+        generator = QueryGenerator(db.schema, db, seed=seed, max_atoms=3)
+        query = generator.generate()
+        cross_check(query, db)

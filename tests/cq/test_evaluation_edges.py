@@ -1,0 +1,88 @@
+"""Edge cases of CQ evaluation: degenerate bodies, join ordering."""
+
+import pytest
+
+from repro.cq.atoms import ComparisonAtom, RelationalAtom
+from repro.cq.evaluation import enumerate_bindings, evaluate_query
+from repro.cq.parser import parse_query
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.terms import Constant, Variable
+from repro.relational.database import Database
+from repro.relational.expressions import ComparisonOp
+from repro.relational.schema import RelationSchema, Schema
+
+
+@pytest.fixture
+def db():
+    schema = Schema([
+        RelationSchema("R", ["a", "b"]),
+        RelationSchema("Big", ["x"]),
+        RelationSchema("Small", ["x"]),
+    ])
+    database = Database(schema)
+    database.insert_all("R", [(i, i * 10) for i in range(20)])
+    database.insert_all("Big", [(i,) for i in range(50)])
+    database.insert("Small", 3)
+    return database
+
+
+class TestDegenerateBodies:
+    def test_ground_head_constant_only(self, db):
+        q = ConjunctiveQuery(
+            "Q",
+            [Constant("yes")],
+            [RelationalAtom("Small", [Variable("X")])],
+        )
+        assert evaluate_query(q, db) == [("yes",)]
+
+    def test_ground_comparisons_only_body(self, db):
+        # A body with zero relational atoms and only true ground
+        # comparisons yields one empty binding.
+        q = ConjunctiveQuery(
+            "Q",
+            [Constant(1)],
+            [],
+            [ComparisonAtom(Constant(1), ComparisonOp.LT, Constant(2))],
+        )
+        assert evaluate_query(q, db) == [(1,)]
+
+    def test_false_ground_comparisons_only_body(self, db):
+        q = ConjunctiveQuery(
+            "Q",
+            [Constant(1)],
+            [],
+            [ComparisonAtom(Constant(2), ComparisonOp.LT, Constant(1))],
+        )
+        assert evaluate_query(q, db) == []
+
+
+class TestJoinOrdering:
+    def test_selective_atom_first_semantics_unchanged(self, db):
+        # Regardless of greedy join ordering, results must match.
+        q1 = parse_query("Q(X) :- Big(X), Small(X)")
+        q2 = parse_query("Q(X) :- Small(X), Big(X)")
+        assert evaluate_query(q1, db) == evaluate_query(q2, db) == [(3,)]
+
+    def test_cross_product_then_filter(self, db):
+        q = parse_query("Q(X, Y) :- Small(X), Small(Y), X = Y")
+        assert evaluate_query(q, db) == [(3, 3)]
+
+    def test_comparison_scheduled_at_binding_time(self, db):
+        # The comparison's variables span two atoms; it can only fire
+        # after both are bound.
+        q = parse_query("Q(A) :- R(A, B), Big(X), B < X")
+        results = evaluate_query(q, db)
+        assert (0,) in results  # B=0 < some Big.x
+        assert (4,) in results  # B=40 < 41..49
+
+    def test_binding_count_with_duplicated_atom(self, db):
+        q = parse_query("Q(A) :- R(A, B), R(A, B)")
+        bindings = list(enumerate_bindings(q, db))
+        # Duplicate atoms do not multiply bindings (same constraint).
+        assert len(bindings) == 20
+
+
+class TestConstantsInHead:
+    def test_mixed_head(self, db):
+        q = parse_query('Q(A, "tag", B) :- R(A, B), A = 3')
+        assert evaluate_query(q, db) == [(3, "tag", 30)]

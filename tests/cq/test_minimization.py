@@ -1,0 +1,81 @@
+"""Tests for query minimization (core computation)."""
+
+from repro.cq.containment import are_equivalent
+from repro.cq.minimization import is_minimal, minimize
+from repro.cq.parser import parse_query
+
+
+class TestMinimize:
+    def test_redundant_atom_removed(self):
+        q = parse_query("Q(A) :- R(A, B), R(A, C)")
+        core = minimize(q)
+        assert len(core.atoms) == 1
+        assert are_equivalent(core, q)
+
+    def test_minimal_query_unchanged(self):
+        q = parse_query("Q(A) :- R(A, B), S(B, C)")
+        assert len(minimize(q).atoms) == 2
+
+    def test_duplicate_atom_removed(self):
+        q = parse_query("Q(A) :- R(A), R(A)")
+        assert len(minimize(q).atoms) == 1
+
+    def test_chain_collapses_onto_cycleless_core(self):
+        # R(A,B), R(B,C) with head A only: cannot collapse (B must map
+        # consistently) — classic example where both atoms stay.
+        q = parse_query("Q(A) :- R(A, B), R(B, C)")
+        assert len(minimize(q).atoms) == 2
+
+    def test_triangle_with_generic_apex_collapses(self):
+        # R(A,B) with extra R(X,Y) disconnected: the generic atom folds in.
+        q = parse_query("Q(A) :- R(A, B), R(X, Y)")
+        core = minimize(q)
+        assert len(core.atoms) == 1
+        assert are_equivalent(core, q)
+
+    def test_constants_prevent_collapse(self):
+        q = parse_query('Q(A) :- R(A, B), R(A, "x")')
+        core = minimize(q)
+        # R(A,"x") is more specific; R(A,B) folds onto it.
+        assert len(core.atoms) == 1
+        assert are_equivalent(core, q)
+
+    def test_comparison_variables_kept_anchored(self):
+        q = parse_query("Q(A) :- R(A, B), R(A, C), C > 3")
+        core = minimize(q)
+        # The atom binding C cannot be dropped.
+        assert any(
+            "C" in [v.name for v in atom.variables()] for atom in core.atoms
+        )
+        assert are_equivalent(core, q)
+
+    def test_parameters_preserved(self):
+        q = parse_query("lambda B. Q(A, B) :- R(A, B), R(A, C)")
+        core = minimize(q)
+        assert [p.name for p in core.parameters] == ["B"]
+        assert len(core.atoms) == 1
+
+    def test_equivalence_always_preserved(self):
+        for text in [
+            "Q(A) :- R(A, B), R(A, C), S(B)",
+            "Q(A, B) :- R(A, B), R(B, A)",
+            'Q(N) :- Family(F, N, Ty), Ty = "gpcr", Family(F2, N2, Ty2)',
+        ]:
+            q = parse_query(text)
+            assert are_equivalent(minimize(q), q)
+
+    def test_unsatisfiable_returned_as_is(self):
+        q = parse_query("Q(A) :- R(A), 1 = 2")
+        core = minimize(q)
+        assert len(core.atoms) == 1
+
+
+class TestIsMinimal:
+    def test_minimal_detected(self):
+        assert is_minimal(parse_query("Q(A) :- R(A, B), S(B)"))
+
+    def test_non_minimal_detected(self):
+        assert not is_minimal(parse_query("Q(A) :- R(A, B), R(A, C)"))
+
+    def test_unsatisfiable_is_minimal(self):
+        assert is_minimal(parse_query("Q(A) :- R(A), 1 = 2"))

@@ -1,0 +1,136 @@
+"""Tests for the Datalog-style parser."""
+
+import pytest
+
+from repro.cq.parser import parse_atom, parse_query
+from repro.cq.terms import Constant, Variable
+from repro.errors import ParseError, UnsafeQueryError
+from repro.relational.expressions import ComparisonOp
+
+
+class TestBasicParsing:
+    def test_simple_query(self):
+        q = parse_query("Q(X) :- R(X, Y)")
+        assert q.name == "Q"
+        assert q.head == (Variable("X"),)
+        assert q.atoms[0].relation == "R"
+
+    def test_multiple_atoms(self):
+        q = parse_query("Q(X) :- R(X, Y), S(Y, Z), T(Z)")
+        assert [a.relation for a in q.atoms] == ["R", "S", "T"]
+
+    def test_paper_query(self):
+        q = parse_query(
+            'Q(N) :- Family(F, N, Ty), Ty = "gpcr", FamilyIntro(F, Tx)'
+        )
+        assert len(q.atoms) == 2
+        assert len(q.comparisons) == 1
+        comparison = q.comparisons[0]
+        assert comparison.left == Variable("Ty")
+        assert comparison.op is ComparisonOp.EQ
+        assert comparison.right == Constant("gpcr")
+
+
+class TestLambdaClause:
+    def test_single_parameter(self):
+        q = parse_query("lambda F. V1(F, N) :- Family(F, N, Ty)")
+        assert [p.name for p in q.parameters] == ["F"]
+
+    def test_multiple_parameters(self):
+        q = parse_query("lambda F, Ty. V(F, N, Ty) :- Family(F, N, Ty)")
+        assert [p.name for p in q.parameters] == ["F", "Ty"]
+
+    def test_unicode_lambda(self):
+        q = parse_query("λ F. V(F, N) :- Family(F, N, Ty)")
+        assert q.is_parameterized
+
+    def test_parameter_must_be_variable(self):
+        with pytest.raises(ParseError):
+            parse_query('lambda "x". V(F) :- R(F)')
+
+
+class TestTerms:
+    def test_quoted_strings(self):
+        q = parse_query("""Q(X) :- R(X, 'single'), S(X, "double")""")
+        assert q.atoms[0].terms[1] == Constant("single")
+        assert q.atoms[1].terms[1] == Constant("double")
+
+    def test_numbers(self):
+        q = parse_query("Q(X) :- R(X, 3, -2, 4.5)")
+        assert q.atoms[0].terms[1:] == (Constant(3), Constant(-2),
+                                        Constant(4.5))
+
+    def test_booleans(self):
+        q = parse_query("Q(X) :- R(X, true, false)")
+        assert q.atoms[0].terms[1:] == (Constant(True), Constant(False))
+
+    def test_lowercase_identifier_is_string_constant(self):
+        q = parse_query("Q(X) :- R(X, gpcr)")
+        assert q.atoms[0].terms[1] == Constant("gpcr")
+
+    def test_underscore_starts_variable(self):
+        q = parse_query("Q(X) :- R(X, _y)")
+        assert q.atoms[0].terms[1] == Variable("_y")
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("op_text,op", [
+        ("=", ComparisonOp.EQ), ("!=", ComparisonOp.NE),
+        ("<>", ComparisonOp.NE), ("<", ComparisonOp.LT),
+        ("<=", ComparisonOp.LE), (">", ComparisonOp.GT),
+        (">=", ComparisonOp.GE),
+    ])
+    def test_all_operators(self, op_text, op):
+        q = parse_query(f"Q(X) :- R(X), X {op_text} 3")
+        assert q.comparisons[0].op is op
+
+    def test_variable_to_variable(self):
+        q = parse_query("Q(X, Y) :- R(X), S(Y), X < Y")
+        assert q.comparisons[0].variables() == [Variable("X"), Variable("Y")]
+
+
+class TestErrors:
+    def test_missing_arrow(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(X) R(X)")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(X :- R(X)")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(X) :- R(X) extra(Y)")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(X) :- R(X) & S(X)")
+
+    def test_unsafe_query_rejected_at_parse(self):
+        with pytest.raises(UnsafeQueryError):
+            parse_query("Q(Z) :- R(X)")
+
+    def test_error_position_reported(self):
+        try:
+            parse_query("Q(X) :- ")
+        except ParseError as exc:
+            assert exc.position is not None
+        else:
+            pytest.fail("expected ParseError")
+
+
+class TestParseAtom:
+    def test_atom(self):
+        atom = parse_atom('Family(F, "x", 3)')
+        assert atom.relation == "Family"
+        assert atom.terms == (Variable("F"), Constant("x"), Constant(3))
+
+    def test_atom_rejects_body(self):
+        with pytest.raises(ParseError):
+            parse_atom("Q(X) :- R(X)")
+
+
+class TestAlternativeArrow:
+    def test_prolog_arrow(self):
+        q = parse_query("Q(X) <- R(X)")
+        assert q.atoms[0].relation == "R"

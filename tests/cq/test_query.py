@@ -1,0 +1,146 @@
+"""Tests for the ConjunctiveQuery class."""
+
+import pytest
+
+from repro.cq.parser import parse_query
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.atoms import RelationalAtom
+from repro.cq.terms import Constant, Variable
+from repro.errors import ParameterError, UnsafeQueryError
+
+
+@pytest.fixture
+def v1():
+    return parse_query("lambda F. V1(F, N, Ty) :- Family(F, N, Ty)")
+
+
+class TestConstruction:
+    def test_duplicate_parameters_rejected(self):
+        atom = RelationalAtom("R", [Variable("X")])
+        with pytest.raises(ParameterError):
+            ConjunctiveQuery("Q", [Variable("X")], [atom], (),
+                             [Variable("X"), Variable("X")])
+
+    def test_parameter_must_occur_in_body(self):
+        atom = RelationalAtom("R", [Variable("X")])
+        with pytest.raises(ParameterError):
+            ConjunctiveQuery("Q", [Variable("X")], [atom], (),
+                             [Variable("Z")])
+
+
+class TestInspection:
+    def test_variables_ordered(self):
+        q = parse_query("Q(B) :- R(A, B), S(B, C)")
+        assert [v.name for v in q.variables()] == ["B", "A", "C"]
+
+    def test_existential_variables(self, v1):
+        assert [v.name for v in v1.existential_variables()] == []
+        q = parse_query("Q(A) :- R(A, B)")
+        assert [v.name for v in q.existential_variables()] == ["B"]
+
+    def test_parameters_not_existential(self, v1):
+        q = parse_query("lambda B. Q(A) :- R(A, B)")
+        assert q.existential_variables() == []
+
+    def test_relation_names(self):
+        q = parse_query("Q(A) :- R(A), S(A), R(A)")
+        assert q.relation_names() == ["R", "S"]
+
+    def test_constants_collected(self):
+        q = parse_query('Q(A) :- R(A, "x"), A != 3')
+        consts = q.constants()
+        assert Constant("x") in consts and Constant(3) in consts
+
+
+class TestSafety:
+    def test_unsafe_head_rejected(self):
+        q = ConjunctiveQuery("Q", [Variable("Z")],
+                             [RelationalAtom("R", [Variable("A")])])
+        with pytest.raises(UnsafeQueryError):
+            q.check_safety()
+
+    def test_unsafe_comparison_rejected(self):
+        with pytest.raises(UnsafeQueryError):
+            parse_query("Q(A) :- R(A), Z > 3")
+
+    def test_safe_query_passes(self):
+        parse_query("Q(A) :- R(A, B), B > 3").check_safety()
+
+
+class TestInstantiate:
+    def test_instantiation_replaces_parameters(self, v1):
+        inst = v1.instantiate(["11"])
+        assert not inst.is_parameterized
+        assert inst.head[0] == Constant("11")
+        assert inst.atoms[0].terms[0] == Constant("11")
+
+    def test_wrong_arity_rejected(self, v1):
+        with pytest.raises(ParameterError):
+            v1.instantiate(["a", "b"])
+
+    def test_unparameterized_instantiate_empty(self):
+        q = parse_query("Q(A) :- R(A)")
+        assert q.instantiate([]) == q
+
+
+class TestSubstitute:
+    def test_substitute_renames_parameters(self, v1):
+        renamed = v1.substitute({Variable("F"): Variable("G")})
+        assert [p.name for p in renamed.parameters] == ["G"]
+
+    def test_substitute_drops_constant_parameters(self, v1):
+        inst = v1.substitute({Variable("F"): Constant("11")})
+        assert inst.parameters == ()
+
+    def test_head_constants_untouched(self):
+        q = parse_query('Q(A, "k") :- R(A)')
+        result = q.substitute({Variable("A"): Variable("B")})
+        assert result.head[1] == Constant("k")
+
+
+class TestRenameApart:
+    def test_rename_avoids_collisions(self, v1):
+        renamed, mapping = v1.rename_apart(["F", "N", "Ty"])
+        new_names = {v.name for v in renamed.variables()}
+        assert not new_names & {"F", "N", "Ty"}
+        assert set(mapping) == {Variable("F"), Variable("N"), Variable("Ty")}
+
+    def test_renaming_preserves_shape(self, v1):
+        renamed, __ = v1.rename_apart(["F"])
+        assert renamed.arity == v1.arity
+        assert len(renamed.atoms) == len(v1.atoms)
+
+
+class TestStructure:
+    def test_drop_atom(self):
+        q = parse_query("Q(A) :- R(A), S(A)")
+        assert len(q.drop_atom(0).atoms) == 1
+        assert q.drop_atom(0).atoms[0].relation == "S"
+
+    def test_drop_comparison(self):
+        q = parse_query("Q(A) :- R(A), A > 1, A < 5")
+        assert len(q.drop_comparison(0).comparisons) == 1
+
+    def test_equality_ignores_comparison_order(self):
+        q1 = parse_query("Q(A) :- R(A), A > 1, A < 5")
+        q2 = parse_query("Q(A) :- R(A), A < 5, A > 1")
+        assert q1 == q2
+
+    def test_equality_sensitive_to_atom_order(self):
+        q1 = parse_query("Q(A) :- R(A), S(A)")
+        q2 = parse_query("Q(A) :- S(A), R(A)")
+        assert q1 != q2  # syntactic equality; use are_equivalent otherwise
+
+    def test_signature_invariant_under_renaming(self):
+        q1 = parse_query('Q(A) :- R(A, B), B = "x"')
+        q2 = parse_query('Q(C) :- R(C, D), D = "x"')
+        assert q1.signature() == q2.signature()
+
+    def test_signature_differs_on_relations(self):
+        q1 = parse_query("Q(A) :- R(A)")
+        q2 = parse_query("Q(A) :- S(A)")
+        assert q1.signature() != q2.signature()
+
+    def test_repr_roundtrips_through_parser(self):
+        q = parse_query('lambda Ty. V(F, N, Ty) :- Family(F, N, Ty), F != "9"')
+        assert parse_query(repr(q)) == q

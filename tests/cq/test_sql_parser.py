@@ -1,0 +1,163 @@
+"""Tests for the SQL front-end."""
+
+import pytest
+
+from repro.cq.evaluation import evaluate_query
+from repro.cq.sql_parser import parse_sql
+from repro.cq.terms import Constant
+from repro.errors import ParseError
+from repro.gtopdb.sample import paper_database
+from repro.relational.expressions import ComparisonOp
+
+
+@pytest.fixture(scope="module")
+def db():
+    return paper_database()
+
+
+class TestBasicSelect:
+    def test_single_table(self, db):
+        q = parse_sql("SELECT FName FROM Family", db)
+        assert len(q.atoms) == 1
+        assert q.atoms[0].relation == "Family"
+        assert len(q.head) == 1
+
+    def test_aliased_columns(self, db):
+        q = parse_sql("SELECT f.FName FROM Family f", db)
+        assert q.head[0].name == "f_FName"
+
+    def test_as_alias(self, db):
+        q = parse_sql("SELECT f.FName FROM Family AS f", db)
+        assert q.head[0].name == "f_FName"
+
+    def test_evaluation_matches_expected(self, db):
+        q = parse_sql(
+            "SELECT f.FName FROM Family f WHERE f.Type = 'vgic'", db
+        )
+        assert evaluate_query(q, db) == [("CatSper",)]
+
+
+class TestJoins:
+    def test_comma_join_with_where(self, db):
+        q = parse_sql(
+            "SELECT f.FName, i.Text FROM Family f, FamilyIntro i "
+            "WHERE f.FID = i.FID", db
+        )
+        # Equi-join columns unified into a shared variable.
+        family_atom = q.atoms[0]
+        intro_atom = q.atoms[1]
+        assert family_atom.terms[0] == intro_atom.terms[0]
+
+    def test_join_on_syntax(self, db):
+        q = parse_sql(
+            "SELECT f.FName FROM Family f JOIN FamilyIntro i "
+            "ON f.FID = i.FID", db
+        )
+        assert q.atoms[0].terms[0] == q.atoms[1].terms[0]
+
+    def test_inner_join(self, db):
+        q = parse_sql(
+            "SELECT f.FName FROM Family f INNER JOIN FamilyIntro i "
+            "ON f.FID = i.FID", db
+        )
+        assert len(q.atoms) == 2
+
+    def test_three_way_join_evaluates(self, db):
+        q = parse_sql(
+            "SELECT p.PName FROM Family f, FC c, Person p "
+            "WHERE f.FID = c.FID AND c.PID = p.PID AND f.FName = 'Calcitonin'",
+            db,
+        )
+        names = {row[0] for row in evaluate_query(q, db)}
+        assert names == {"Hay", "Poyner"}
+
+
+class TestPredicates:
+    def test_literal_predicate_kept_as_comparison(self, db):
+        q = parse_sql(
+            "SELECT f.FName FROM Family f WHERE f.Type = 'gpcr'", db
+        )
+        assert len(q.comparisons) == 1
+        assert q.comparisons[0].right == Constant("gpcr")
+
+    def test_numeric_literal(self, db):
+        q = parse_sql(
+            "SELECT f.FName FROM Family f WHERE f.FID != 3", db
+        )
+        assert q.comparisons[0].right == Constant(3)
+
+    @pytest.mark.parametrize("op_text,op", [
+        ("=", ComparisonOp.EQ), ("<>", ComparisonOp.NE),
+        ("<", ComparisonOp.LT), (">=", ComparisonOp.GE),
+    ])
+    def test_operators(self, db, op_text, op):
+        q = parse_sql(
+            f"SELECT f.FName FROM Family f WHERE f.FID {op_text} '5'", db
+        )
+        assert q.comparisons[0].op is op
+
+    def test_non_equality_column_comparison_kept(self, db):
+        q = parse_sql(
+            "SELECT f.FName FROM Family f, FamilyIntro i "
+            "WHERE f.FID < i.FID", db
+        )
+        assert len(q.comparisons) == 1
+
+
+class TestColumnResolution:
+    def test_unqualified_unique_column(self, db):
+        q = parse_sql("SELECT FName FROM Family", db)
+        assert q.head[0].name == "Family_FName"
+
+    def test_ambiguous_column_rejected(self, db):
+        with pytest.raises(ParseError, match="ambiguous"):
+            parse_sql("SELECT FID FROM Family, FamilyIntro", db)
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT nope FROM Family", db)
+
+    def test_unknown_alias_rejected(self, db):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT z.FName FROM Family f", db)
+
+    def test_unknown_table_rejected(self, db):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT x FROM Nope", db)
+
+    def test_duplicate_alias_rejected(self, db):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_sql("SELECT f.FID FROM Family f, FamilyIntro f", db)
+
+
+class TestUnsupported:
+    @pytest.mark.parametrize("sql", [
+        "SELECT f.FName FROM Family f WHERE f.Type = 'a' OR f.Type = 'b'",
+        "SELECT FName FROM Family GROUP BY FName",
+        "SELECT FName FROM Family ORDER BY FName",
+        "SELECT FName FROM Family LIMIT 5",
+        "SELECT * FROM Family",
+    ])
+    def test_rejected_constructs(self, db, sql):
+        with pytest.raises(ParseError):
+            parse_sql(sql, db)
+
+    def test_distinct_is_accepted(self, db):
+        # DISTINCT is a no-op under set semantics.
+        q = parse_sql("SELECT DISTINCT FName FROM Family", db)
+        assert len(q.head) == 1
+
+
+class TestSemanticsAgainstDatalog:
+    def test_sql_equals_datalog(self, db):
+        from repro.cq.parser import parse_query
+        sql_q = parse_sql(
+            "SELECT f.FName, i.Text FROM Family f, FamilyIntro i "
+            "WHERE f.FID = i.FID AND f.Type = 'gpcr'", db
+        )
+        datalog_q = parse_query(
+            'Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = "gpcr"'
+        )
+        assert sorted(evaluate_query(sql_q, db)) == sorted(
+            evaluate_query(datalog_q, db)
+        )

@@ -1,0 +1,101 @@
+"""Tests for terms and atoms."""
+
+import pytest
+
+from repro.cq.atoms import ComparisonAtom, RelationalAtom
+from repro.cq.terms import Constant, Variable, as_term
+from repro.relational.expressions import ComparisonOp
+
+
+class TestTerms:
+    def test_variable_equality(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_constant_equality_is_type_strict(self):
+        assert Constant(1) == Constant(1)
+        assert Constant(1) != Constant("1")
+        assert Constant(1) != Constant(1.0)
+
+    def test_variable_constant_never_equal(self):
+        assert Variable("X") != Constant("X")
+
+    def test_hashable(self):
+        assert len({Variable("X"), Variable("X"), Constant("X")}) == 2
+
+    def test_as_term(self):
+        assert as_term("x") == Constant("x")
+        assert as_term(Variable("X")) == Variable("X")
+
+    def test_repr(self):
+        assert repr(Variable("X")) == "X"
+        assert repr(Constant("s")) == '"s"'
+        assert repr(Constant(3)) == "3"
+
+    def test_kind_predicates(self):
+        assert Variable("X").is_variable and not Variable("X").is_constant
+        assert Constant(1).is_constant and not Constant(1).is_variable
+
+
+class TestRelationalAtom:
+    def test_variables_ordered_deduped(self):
+        atom = RelationalAtom("R", [Variable("X"), Variable("Y"),
+                                    Variable("X"), Constant(1)])
+        assert atom.variables() == [Variable("X"), Variable("Y")]
+        assert atom.constants() == [Constant(1)]
+
+    def test_substitute(self):
+        atom = RelationalAtom("R", [Variable("X"), Variable("Y")])
+        result = atom.substitute({Variable("X"): Constant(5)})
+        assert result == RelationalAtom("R", [Constant(5), Variable("Y")])
+
+    def test_substitution_leaves_constants(self):
+        atom = RelationalAtom("R", [Constant(1)])
+        assert atom.substitute({Variable("X"): Constant(2)}) == atom
+
+    def test_equality_hash(self):
+        a = RelationalAtom("R", [Variable("X")])
+        b = RelationalAtom("R", [Variable("X")])
+        assert a == b and hash(a) == hash(b)
+        assert a != RelationalAtom("S", [Variable("X")])
+
+
+class TestComparisonAtom:
+    def test_ground_evaluation(self):
+        atom = ComparisonAtom(Constant(2), ComparisonOp.LT, Constant(3))
+        assert atom.is_ground and atom.evaluate_ground()
+        atom2 = ComparisonAtom(Constant(3), ComparisonOp.LT, Constant(2))
+        assert not atom2.evaluate_ground()
+
+    def test_mixed_type_ground_is_false(self):
+        atom = ComparisonAtom(Constant("a"), ComparisonOp.LT, Constant(3))
+        assert not atom.evaluate_ground()
+
+    def test_variables(self):
+        atom = ComparisonAtom(Variable("X"), ComparisonOp.EQ, Variable("Y"))
+        assert atom.variables() == [Variable("X"), Variable("Y")]
+        atom2 = ComparisonAtom(Variable("X"), ComparisonOp.EQ, Variable("X"))
+        assert atom2.variables() == [Variable("X")]
+
+    def test_normalized_puts_variable_left(self):
+        atom = ComparisonAtom(Constant(3), ComparisonOp.GT, Variable("X"))
+        normalized = atom.normalized()
+        assert normalized.left == Variable("X")
+        assert normalized.op is ComparisonOp.LT
+        assert normalized.right == Constant(3)
+
+    def test_normalized_orders_variables_lexicographically(self):
+        atom = ComparisonAtom(Variable("Y"), ComparisonOp.EQ, Variable("X"))
+        normalized = atom.normalized()
+        assert normalized.left == Variable("X")
+
+    def test_normalized_preserves_semantics(self):
+        atom = ComparisonAtom(Constant(5), ComparisonOp.LE, Variable("X"))
+        normalized = atom.normalized()
+        # 5 <= X becomes X >= 5
+        assert normalized.op is ComparisonOp.GE
+
+    def test_substitute(self):
+        atom = ComparisonAtom(Variable("X"), ComparisonOp.NE, Constant(1))
+        result = atom.substitute({Variable("X"): Constant(1)})
+        assert result.is_ground and not result.evaluate_ground()

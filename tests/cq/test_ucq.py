@@ -1,0 +1,129 @@
+"""Tests for unions of conjunctive queries (SPJU's U)."""
+
+import pytest
+
+from repro.cq.parser import parse_query
+from repro.cq.ucq import UnionQuery, parse_union_query
+from repro.errors import QueryError
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            UnionQuery([])
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(QueryError):
+            UnionQuery([
+                parse_query("Q(A) :- R(A, B)"),
+                parse_query("Q(A, B) :- R(A, B)"),
+            ])
+
+    def test_parameterized_disjunct_rejected(self):
+        with pytest.raises(QueryError):
+            UnionQuery([
+                parse_query("lambda A. Q(A) :- R(A, B)"),
+            ])
+
+
+class TestParsing:
+    def test_newline_separated(self):
+        union = parse_union_query(
+            'Q(N) :- Family(F, N, Ty), Ty = "gpcr"\n'
+            'Q(N) :- Family(F, N, Ty), Ty = "vgic"'
+        )
+        assert len(union) == 2
+
+    def test_semicolon_separated(self):
+        union = parse_union_query(
+            "Q(A) :- R(A, B) ; Q(A) :- S(A, B)"
+        )
+        assert len(union) == 2
+
+    def test_mismatched_heads_rejected(self):
+        with pytest.raises(QueryError):
+            parse_union_query("Q(A) :- R(A, B)\nP(A) :- S(A, B)")
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(QueryError):
+            parse_union_query("  \n  ")
+
+
+class TestEvaluation:
+    def test_union_semantics(self, db):
+        union = parse_union_query(
+            'Q(N) :- Family(F, N, Ty), Ty = "gpcr"\n'
+            'Q(N) :- Family(F, N, Ty), Ty = "vgic"'
+        )
+        names = {row[0] for row in union.evaluate(db)}
+        assert "Calcitonin" in names and "CatSper" in names
+
+    def test_union_dedupes(self, db):
+        union = parse_union_query(
+            "Q(N) :- Family(F, N, Ty)\nQ(N) :- Family(F, N, Ty)"
+        )
+        results = union.evaluate(db)
+        assert len(results) == len(set(results))
+
+
+class TestMinimization:
+    def test_subsumed_disjunct_removed(self):
+        union = parse_union_query(
+            "Q(N) :- Family(F, N, Ty)\n"
+            'Q(N) :- Family(F, N, Ty), Ty = "gpcr"'
+        )
+        minimized = union.minimized()
+        assert len(minimized) == 1
+        assert minimized.disjuncts[0].comparisons == ()
+
+    def test_equivalent_disjuncts_keep_one(self):
+        union = parse_union_query(
+            "Q(A) :- R(A, B)\nQ(X) :- R(X, Y)"
+        )
+        assert len(union.minimized()) == 1
+
+    def test_incomparable_disjuncts_kept(self):
+        union = parse_union_query(
+            "Q(A) :- R(A, B)\nQ(A) :- S(A, B)"
+        )
+        assert len(union.minimized()) == 2
+
+
+class TestUnionCitations:
+    UNION = ('Q(N) :- Family(F, N, Ty), Ty = "gpcr", FamilyIntro(F, Tx)\n'
+             'Q(N) :- Family(F, N, Ty), Ty = "vgic"')
+
+    def test_outputs_are_union(self, db, comprehensive_engine):
+        result = comprehensive_engine.cite_union(self.UNION)
+        names = {output[0] for output in result.tuples}
+        assert "Calcitonin" in names and "CatSper" in names
+
+    def test_per_tuple_plus_across_disjuncts(self, comprehensive_engine):
+        # A tuple produced by both disjuncts gets tokens from both.
+        result = comprehensive_engine.cite_union(
+            'Q(N) :- Family(F, N, Ty), Ty = "gpcr"\n'
+            'Q(N) :- Family(F, N, Ty), FamilyIntro(F, Tx)'
+        )
+        calcitonin = result.tuples[("Calcitonin",)].polynomial
+        from repro.citation.tokens import ViewCitationToken
+        views = {
+            t.view_name for m in calcitonin.monomials()
+            for t in m.tokens() if isinstance(t, ViewCitationToken)
+        }
+        # Both the type selection (V4) and the intro join (V5) contribute.
+        assert "V4" in views and "V5" in views
+
+    def test_union_citation_includes_database(self, focused_engine):
+        result = focused_engine.cite_union(self.UNION)
+        assert result.database_citation[0] in result.records
+
+    def test_accepts_union_query_object(self, focused_engine):
+        union = parse_union_query(self.UNION)
+        result = focused_engine.cite_union(union)
+        assert result.tuples
+
+    def test_per_rewriting_aligned_with_rewritings(self,
+                                                   comprehensive_engine):
+        result = comprehensive_engine.cite_union(self.UNION)
+        for tc in result.tuples.values():
+            assert len(tc.per_rewriting) == len(result.rewritings)

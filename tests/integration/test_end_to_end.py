@@ -1,0 +1,147 @@
+"""Cross-module integration tests beyond the paper's worked examples."""
+
+import json
+
+import pytest
+
+from repro import (
+    CitationEngine,
+    PageViewBaseline,
+    VersionedCitationEngine,
+    VersionedDatabase,
+    render_json,
+)
+from repro.citation.policy import comprehensive_policy
+from repro.cq.evaluation import evaluate_query
+from repro.cq.parser import parse_query
+from repro.gtopdb.generator import generate_database
+from repro.gtopdb.schema import gtopdb_schema
+from repro.gtopdb.views import paper_registry
+from repro.workload.queries import QueryGenerator
+
+
+class TestSqlToCitationPipeline:
+    def test_sql_and_datalog_citations_agree(self, db, registry):
+        engine = CitationEngine(db, registry,
+                                policy=comprehensive_policy())
+        from_sql = engine.cite_sql(
+            "SELECT f.FName, i.Text FROM Family f, FamilyIntro i "
+            "WHERE f.FID = i.FID AND f.Type = 'gpcr'"
+        )
+        from_datalog = engine.cite(
+            'Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), '
+            'Ty = "gpcr"'
+        )
+        assert set(from_sql.tuples) == set(from_datalog.tuples)
+        for output in from_sql.tuples:
+            assert from_sql.tuples[output].polynomial == \
+                from_datalog.tuples[output].polynomial
+
+
+class TestSyntheticScale:
+    def test_pipeline_on_generated_database(self, registry):
+        db = generate_database(families=200, persons=60, seed=23)
+        engine = CitationEngine(db, registry)
+        result = engine.cite(
+            'Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), '
+            'Ty = "gpcr"'
+        )
+        assert result.tuples
+        # All gpcr families with intros are covered by the one V5 token.
+        assert len(result.aggregate_polynomial.monomials()) == 1
+
+    def test_random_workload_citable(self, registry):
+        db = generate_database(families=60, persons=25, seed=31)
+        generator = QueryGenerator(db.schema, db, seed=13, max_atoms=2)
+        engine = CitationEngine(db, registry)
+        cited = 0
+        for query in generator.generate_many(10):
+            result = engine.cite(query)
+            assert set(result.output_tuples) == set(
+                evaluate_query(query, db)
+            )
+            if result.rewritings:
+                cited += 1
+        assert cited > 0
+
+
+class TestBaselineVsModel:
+    def test_coverage_gap(self, db, registry):
+        baseline = PageViewBaseline(db, registry)
+        baseline.register_all_pages("V1")
+        baseline.register_all_pages("V2")
+        engine = CitationEngine(db, registry)
+        queries = [
+            parse_query('P(F, N, Ty) :- Family(F, N, Ty), F = "11"'),
+            parse_query('P(N) :- Family(F, N, Ty), Ty = "gpcr"'),
+            parse_query(
+                "P(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)"
+            ),
+            parse_query(
+                "P(N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)"
+            ),
+        ]
+        baseline_covered = sum(
+            1 for q in queries if baseline.can_cite(q)
+        )
+        model_covered = sum(
+            1 for q in queries
+            if engine.cite(q).records != engine.database_citation
+        )
+        assert baseline_covered == 1
+        assert model_covered == len(queries)
+
+
+class TestVersionedEndToEnd:
+    def test_citation_changes_across_versions(self):
+        vdb = VersionedDatabase(gtopdb_schema())
+        vdb.insert("Family", "11", "Calcitonin", "gpcr")
+        vdb.insert("Person", "p1", "Hay", "x")
+        vdb.insert("FC", "11", "p1")
+        v1 = vdb.commit("v1")
+        vdb.insert("Person", "p2", "Poyner", "y")
+        vdb.insert("FC", "11", "p2")
+        v2 = vdb.commit("v2")
+        engine = VersionedCitationEngine(vdb, paper_registry())
+        r1 = engine.cite('Q(N) :- Family(F, N, Ty)', version=v1)
+        r2 = engine.cite('Q(N) :- Family(F, N, Ty)', version=v2)
+        assert "Poyner" not in json.dumps(r1.records)
+        assert "Poyner" in json.dumps(r2.records)
+
+
+class TestRenderingPipeline:
+    def test_json_roundtrip(self, focused_engine):
+        result = focused_engine.cite(
+            'Q(N) :- Family(F, N, Ty), Ty = "gpcr"'
+        )
+        payload = json.loads(render_json(result, include_tuples=True))
+        assert payload["database"][0]["Owner"] == "Tony Harmar"
+        assert len(payload["tuples"]) == len(result.tuples)
+
+
+class TestEmptyAndEdgeQueries:
+    def test_empty_result_set_still_cited(self, focused_engine):
+        result = focused_engine.cite(
+            'Q(N) :- Family(F, N, Ty), Ty = "nonexistent"'
+        )
+        assert result.tuples == {}
+        assert result.records  # Def 3.4 neutral element
+
+    def test_unsatisfiable_query(self, focused_engine):
+        result = focused_engine.cite(
+            'Q(N) :- Family(F, N, Ty), Ty = "a", Ty = "b"'
+        )
+        assert result.rewritings == ()
+        assert result.records == result.database_citation
+
+    def test_query_without_any_matching_view(self, focused_engine):
+        result = focused_engine.cite("Q(V) :- MetaData(T, V)")
+        # No view covers MetaData: identity rewriting with C_R token.
+        assert len(result.rewritings) == 1
+        assert result.rewritings[0].view_count == 0
+        sample = next(iter(result.tuples.values()))
+        tokens = [t for m in sample.polynomial.monomials()
+                  for t in m.tokens()]
+        assert all(
+            type(t).__name__ == "BaseRelationToken" for t in tokens
+        )

@@ -1,0 +1,95 @@
+"""Integration: partial rewritings, C_R tokens, and order interaction.
+
+Example 3.7 introduces ``C_R`` atoms for base-relation access; these
+tests pin down how partial rewritings flow through orders, policies, and
+rendering — the paths exercised when the owner's views do not cover the
+whole schema (the realistic situation).
+"""
+
+import pytest
+
+from repro.citation.generator import CitationEngine
+from repro.citation.policy import (
+    CitationPolicy,
+    comprehensive_policy,
+    focused_policy,
+)
+from repro.citation.tokens import BaseRelationToken, ViewCitationToken
+
+# No view covers FC or Person: every rewriting is partial.
+PARTIAL_QUERY = (
+    "Q(N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)"
+)
+
+
+class TestPartialCitations:
+    def test_monomials_mix_views_and_relations(self, comprehensive_engine):
+        result = comprehensive_engine.cite(PARTIAL_QUERY)
+        sample = next(iter(result.tuples.values()))
+        for monomial in sample.polynomial.monomials():
+            tokens = monomial.tokens()
+            assert any(isinstance(t, ViewCitationToken) for t in tokens)
+            assert BaseRelationToken("FC") in tokens
+            assert BaseRelationToken("Person") in tokens
+
+    def test_focused_still_cites_partial(self, focused_engine):
+        result = focused_engine.cite(PARTIAL_QUERY)
+        assert result.tuples
+        for tc in result.tuples.values():
+            assert not tc.polynomial.is_zero
+
+    def test_fewest_uncovered_prefers_fewer_relations(self, db, registry):
+        # Among the partial rewritings, those covering Family with a view
+        # have 2 C_R tokens; the fewest-uncovered order keeps exactly
+        # those (rather than any hypothetical 3-C_R monomial).
+        engine = CitationEngine(db, registry,
+                                policy=focused_policy(registry))
+        result = engine.cite(PARTIAL_QUERY)
+        for tc in result.tuples.values():
+            for monomial in tc.polynomial.monomials():
+                base_count = sum(
+                    1 for t in monomial.tokens()
+                    if isinstance(t, BaseRelationToken)
+                )
+                assert base_count == 2
+
+    def test_relation_records_rendered(self, focused_engine):
+        result = focused_engine.cite(PARTIAL_QUERY)
+        rendered = str(result.records)
+        assert "'Relation': 'FC'" in rendered or "Relation" in rendered
+
+    def test_explanation_reports_direct_access(self, focused_engine):
+        from repro.citation.explain import explain
+        result = focused_engine.cite(PARTIAL_QUERY)
+        text = explain(result).describe()
+        assert "direct access to FC, Person" in text
+
+
+class TestMetadataOnlyQuery:
+    def test_pure_base_citation(self, db, registry):
+        engine = CitationEngine(db, registry,
+                                policy=comprehensive_policy())
+        result = engine.cite("Q(V) :- MetaData(T, V)")
+        sample = next(iter(result.tuples.values()))
+        monomial = sample.polynomial.monomials()[0]
+        assert monomial.tokens() == [BaseRelationToken("MetaData")]
+
+    def test_identity_rewriting_is_partial(self, db, registry):
+        engine = CitationEngine(db, registry)
+        result = engine.cite("Q(V) :- MetaData(T, V)")
+        assert len(result.rewritings) == 1
+        assert result.rewritings[0].is_partial
+
+
+class TestCountedPolicyOnPartial:
+    def test_derivation_counts_surface(self, db, registry):
+        policy = CitationPolicy(name="counted", plus="counted",
+                                dot="merge")
+        engine = CitationEngine(db, registry, policy=policy)
+        # Family 11 has a two-person committee: tuple (Calcitonin, Hay)
+        # has one binding, but the projection to names only can repeat.
+        result = engine.cite(PARTIAL_QUERY)
+        assert result.tuples
+        # All coefficients are at least 1 and preserved.
+        for tc in result.tuples.values():
+            assert all(c >= 1 for c in tc.polynomial.terms.values())

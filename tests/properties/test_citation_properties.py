@@ -1,0 +1,145 @@
+"""Property-based tests for the end-to-end citation pipeline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.citation.cache import canonical_key
+from repro.citation.generator import CitationEngine
+from repro.citation.policy import comprehensive_policy, focused_policy
+from repro.cq.evaluation import evaluate_query
+from repro.cq.parser import parse_query
+from repro.cq.terms import Variable
+from repro.cq.ucq import UnionQuery
+from repro.gtopdb.generator import GtopdbGenerator
+from repro.gtopdb.views import paper_registry
+
+REGISTRY = paper_registry()
+
+QUERY_TEXTS = [
+    "Q(N) :- Family(F, N, Ty)",
+    'Q(N) :- Family(F, N, Ty), Ty = "gpcr"',
+    "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)",
+    'Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = "gpcr"',
+    "Q(N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)",
+]
+
+
+@st.composite
+def small_databases(draw):
+    seed = draw(st.integers(0, 500))
+    return GtopdbGenerator(families=draw(st.integers(3, 12)), persons=8,
+                           types=3, seed=seed).build()
+
+
+class TestPipelineInvariants:
+    @given(st.sampled_from(QUERY_TEXTS), small_databases())
+    @settings(max_examples=25, deadline=None)
+    def test_outputs_match_evaluation(self, text, db):
+        query = parse_query(text)
+        engine = CitationEngine(db, REGISTRY,
+                                policy=comprehensive_policy())
+        result = engine.cite(query)
+        assert set(result.output_tuples) == set(evaluate_query(query, db))
+
+    @given(st.sampled_from(QUERY_TEXTS), small_databases())
+    @settings(max_examples=25, deadline=None)
+    def test_every_tuple_has_nonzero_citation(self, text, db):
+        engine = CitationEngine(db, REGISTRY,
+                                policy=comprehensive_policy())
+        result = engine.cite(text)
+        for tc in result.tuples.values():
+            assert not tc.polynomial.is_zero
+
+    @given(st.sampled_from(QUERY_TEXTS), small_databases())
+    @settings(max_examples=20, deadline=None)
+    def test_focused_monomials_subset_of_comprehensive(self, text, db):
+        comprehensive = CitationEngine(
+            db, REGISTRY, policy=comprehensive_policy()
+        ).cite(text)
+        focused = CitationEngine(
+            db, REGISTRY, policy=focused_policy(REGISTRY)
+        ).cite(text)
+        assert set(focused.tuples) == set(comprehensive.tuples)
+        for output in focused.tuples:
+            focused_monomials = set(
+                focused.tuples[output].polynomial.monomials()
+            )
+            comprehensive_monomials = set(
+                comprehensive.tuples[output].polynomial.monomials()
+            )
+            assert focused_monomials <= comprehensive_monomials
+
+    @given(small_databases())
+    @settings(max_examples=15, deadline=None)
+    def test_plan_independence_under_atom_permutation(self, db):
+        engine = CitationEngine(db, REGISTRY,
+                                policy=comprehensive_policy())
+        forward = engine.cite(
+            'Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), '
+            'Ty = "gpcr"'
+        )
+        backward = engine.cite(
+            'Q(N, Tx) :- FamilyIntro(F, Tx), Ty = "gpcr", '
+            'Family(F, N, Ty)'
+        )
+        assert set(forward.tuples) == set(backward.tuples)
+        for output in forward.tuples:
+            assert forward.tuples[output].polynomial == \
+                backward.tuples[output].polynomial
+
+
+class TestUnionProperties:
+    @given(st.lists(st.sampled_from(QUERY_TEXTS[:4]), min_size=1,
+                    max_size=3), small_databases())
+    @settings(max_examples=20, deadline=None)
+    def test_union_evaluation_is_union_of_disjuncts(self, texts, db):
+        disjuncts = [parse_query(t) for t in texts]
+        arities = {len(q.head) for q in disjuncts}
+        if len(arities) != 1:
+            return
+        union = UnionQuery(disjuncts)
+        expected = set()
+        for disjunct in disjuncts:
+            expected.update(evaluate_query(disjunct, db))
+        assert set(union.evaluate(db)) == expected
+
+    @given(st.lists(st.sampled_from(QUERY_TEXTS[:2]), min_size=1,
+                    max_size=3), small_databases())
+    @settings(max_examples=15, deadline=None)
+    def test_cite_union_outputs_match_union_evaluation(self, texts, db):
+        disjuncts = [parse_query(t) for t in texts]
+        union = UnionQuery(disjuncts)
+        engine = CitationEngine(db, REGISTRY,
+                                policy=comprehensive_policy())
+        result = engine.cite_union(union)
+        assert set(result.tuples) == set(union.evaluate(db))
+
+    @given(st.sampled_from(QUERY_TEXTS[:4]), small_databases())
+    @settings(max_examples=15, deadline=None)
+    def test_minimized_union_equivalent(self, text, db):
+        union = UnionQuery([parse_query(text), parse_query(text)])
+        minimized = union.minimized()
+        assert set(minimized.evaluate(db)) == set(union.evaluate(db))
+
+
+class TestCacheKeyProperties:
+    variable_pool = ["A", "B", "C", "D", "E", "G", "H", "K"]
+
+    @given(st.sampled_from(QUERY_TEXTS), st.randoms(use_true_random=False))
+    @settings(max_examples=50, deadline=None)
+    def test_alpha_invariance(self, text, rng):
+        query = parse_query(text)
+        names = [v.name for v in query.variables()]
+        fresh = list(self.variable_pool)
+        rng.shuffle(fresh)
+        renaming = {
+            Variable(old): Variable(new)
+            for old, new in zip(names, fresh)
+        }
+        renamed = query.substitute(renaming)
+        assert canonical_key(query) == canonical_key(renamed)
+
+    def test_distinct_structures_distinct_keys(self):
+        keys = {canonical_key(parse_query(t)) for t in QUERY_TEXTS}
+        assert len(keys) == len(QUERY_TEXTS)

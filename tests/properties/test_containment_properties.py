@@ -1,0 +1,122 @@
+"""Property-based tests: containment agrees with evaluation.
+
+Soundness of the homomorphism test is checked *semantically*: whenever
+``is_contained_in(Q1, Q2)`` holds, every random database must satisfy
+``Q1(D) ⊆ Q2(D)``.  Random CQs over a tiny schema keep the search space
+dense enough to exercise interesting homomorphisms.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq.atoms import ComparisonAtom, RelationalAtom
+from repro.cq.containment import is_contained_in, normalize_query
+from repro.cq.evaluation import evaluate_query
+from repro.cq.minimization import minimize
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.terms import Constant, Variable
+from repro.relational.database import Database
+from repro.relational.expressions import ComparisonOp
+from repro.relational.schema import RelationSchema, Schema
+
+SCHEMA = Schema([
+    RelationSchema("R", ["a", "b"]),
+    RelationSchema("S", ["a"]),
+])
+
+VARIABLES = [Variable(name) for name in "XYZW"]
+VALUES = [0, 1, 2]
+
+
+@st.composite
+def queries(draw):
+    atom_count = draw(st.integers(1, 3))
+    atoms = []
+    for __ in range(atom_count):
+        relation = draw(st.sampled_from(["R", "S"]))
+        arity = 2 if relation == "R" else 1
+        terms = [
+            draw(st.one_of(
+                st.sampled_from(VARIABLES),
+                st.sampled_from([Constant(v) for v in VALUES]),
+            ))
+            for __ in range(arity)
+        ]
+        atoms.append(RelationalAtom(relation, terms))
+    variables = []
+    for atom in atoms:
+        for var in atom.variables():
+            if var not in variables:
+                variables.append(var)
+    if not variables:
+        atoms.append(RelationalAtom("S", [Variable("X")]))
+        variables = [Variable("X")]
+    head_size = draw(st.integers(1, min(2, len(variables))))
+    head = variables[:head_size]
+    comparisons = []
+    if draw(st.booleans()) and variables:
+        var = draw(st.sampled_from(variables))
+        op = draw(st.sampled_from([ComparisonOp.EQ, ComparisonOp.NE,
+                                   ComparisonOp.LE]))
+        comparisons.append(
+            ComparisonAtom(var, op,
+                           Constant(draw(st.sampled_from(VALUES))))
+        )
+    return ConjunctiveQuery("Q", head, atoms, comparisons)
+
+
+@st.composite
+def databases(draw):
+    db = Database(SCHEMA)
+    for __ in range(draw(st.integers(0, 6))):
+        db.relation("R").insert(
+            (draw(st.sampled_from(VALUES)), draw(st.sampled_from(VALUES))),
+            enforce_key=False,
+        )
+    for __ in range(draw(st.integers(0, 3))):
+        db.relation("S").insert(
+            (draw(st.sampled_from(VALUES)),), enforce_key=False
+        )
+    return db
+
+
+class TestContainmentSoundness:
+    @given(queries(), queries(), databases())
+    @settings(max_examples=150, deadline=None)
+    def test_containment_implies_subset(self, q1, q2, db):
+        if len(q1.head) != len(q2.head):
+            return
+        if is_contained_in(q1, q2):
+            result1 = set(evaluate_query(q1, db))
+            result2 = set(evaluate_query(q2, db))
+            assert result1 <= result2
+
+    @given(queries(), databases())
+    @settings(max_examples=100, deadline=None)
+    def test_self_containment(self, q, db):
+        assert is_contained_in(q, q)
+
+
+class TestNormalizationSemantics:
+    @given(queries(), databases())
+    @settings(max_examples=150, deadline=None)
+    def test_normalization_preserves_results(self, q, db):
+        normalized, satisfiable = normalize_query(q)
+        expected = set(evaluate_query(q, db))
+        if not satisfiable:
+            assert expected == set()
+        else:
+            assert set(evaluate_query(normalized, db)) == expected
+
+
+class TestMinimizationSemantics:
+    @given(queries(), databases())
+    @settings(max_examples=100, deadline=None)
+    def test_minimize_preserves_results(self, q, db):
+        core = minimize(q)
+        assert set(evaluate_query(core, db)) == set(evaluate_query(q, db))
+
+    @given(queries())
+    @settings(max_examples=100, deadline=None)
+    def test_minimize_never_grows(self, q):
+        assert len(minimize(q).atoms) <= len(q.atoms)

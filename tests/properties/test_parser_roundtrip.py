@@ -1,0 +1,72 @@
+"""Property-based parser round-trips: repr(parse(q)) reparses to q."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq.atoms import ComparisonAtom, RelationalAtom
+from repro.cq.parser import parse_query
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.terms import Constant, Variable
+from repro.relational.expressions import ComparisonOp
+
+variables = st.sampled_from([Variable(n) for n in ("X", "Y", "Z", "W")])
+constants = st.one_of(
+    st.integers(-5, 5).map(Constant),
+    st.sampled_from(["gpcr", "a b", "it's"]).map(Constant),
+    st.booleans().map(Constant),
+)
+
+
+@st.composite
+def safe_queries(draw):
+    atom_count = draw(st.integers(1, 3))
+    atoms = []
+    used_variables: list[Variable] = []
+    for index in range(atom_count):
+        relation = draw(st.sampled_from(["R", "S", "Rel_3"]))
+        arity = draw(st.integers(1, 3))
+        terms = []
+        for __ in range(arity):
+            term = draw(st.one_of(variables, constants))
+            terms.append(term)
+            if isinstance(term, Variable) and term not in used_variables:
+                used_variables.append(term)
+        atoms.append(RelationalAtom(relation, terms))
+    if not used_variables:
+        atoms.append(RelationalAtom("S", [Variable("X")]))
+        used_variables.append(Variable("X"))
+    head = draw(st.lists(st.sampled_from(used_variables), min_size=1,
+                         max_size=2, unique=True))
+    comparisons = []
+    if draw(st.booleans()):
+        comparisons.append(ComparisonAtom(
+            draw(st.sampled_from(used_variables)),
+            draw(st.sampled_from(list(ComparisonOp))),
+            draw(st.one_of(constants, st.sampled_from(used_variables))),
+        ))
+    parameters = []
+    if draw(st.booleans()):
+        parameters = [used_variables[0]]
+    return ConjunctiveQuery("Q", head, atoms, comparisons, parameters)
+
+
+class TestRoundTrip:
+    @given(safe_queries())
+    @settings(max_examples=200, deadline=None)
+    def test_repr_reparses_to_equal_query(self, query):
+        text = repr(query)
+        # Skip queries whose string constants contain quote characters the
+        # grammar cannot express (repr uses double quotes).
+        if any('"' in str(c.value) for c in query.constants()
+               if isinstance(c.value, str)):
+            return
+        reparsed = parse_query(text)
+        assert reparsed == query
+
+    @given(safe_queries())
+    @settings(max_examples=100, deadline=None)
+    def test_signature_stable_under_roundtrip(self, query):
+        if any('"' in str(c.value) for c in query.constants()
+               if isinstance(c.value, str)):
+            return
+        assert parse_query(repr(query)).signature() == query.signature()

@@ -1,0 +1,128 @@
+"""Property-based tests (hypothesis) for the semiring substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semiring import BOOLEAN, COUNTING, POLYNOMIAL, TROPICAL, WHY
+from repro.semiring.polynomial import ProvenanceMonomial, ProvenancePolynomial
+
+tokens = st.sampled_from(["x", "y", "z", "w"])
+
+
+@st.composite
+def monomials(draw):
+    return ProvenanceMonomial(
+        draw(st.lists(tokens, min_size=0, max_size=4))
+    )
+
+
+@st.composite
+def polynomials(draw):
+    terms = draw(st.dictionaries(monomials(),
+                                 st.integers(min_value=1, max_value=3),
+                                 max_size=4))
+    return ProvenancePolynomial(terms)
+
+
+class TestPolynomialSemiringLaws:
+    @given(polynomials(), polynomials())
+    def test_add_commutative(self, p, q):
+        assert p.add(q) == q.add(p)
+
+    @given(polynomials(), polynomials(), polynomials())
+    def test_add_associative(self, p, q, r):
+        assert p.add(q).add(r) == p.add(q.add(r))
+
+    @given(polynomials(), polynomials())
+    def test_multiply_commutative(self, p, q):
+        assert p.multiply(q) == q.multiply(p)
+
+    @given(polynomials(), polynomials(), polynomials())
+    @settings(max_examples=50)
+    def test_multiply_associative(self, p, q, r):
+        assert p.multiply(q).multiply(r) == p.multiply(q.multiply(r))
+
+    @given(polynomials(), polynomials(), polynomials())
+    @settings(max_examples=50)
+    def test_distributivity(self, p, q, r):
+        assert p.multiply(q.add(r)) == p.multiply(q).add(p.multiply(r))
+
+    @given(polynomials())
+    def test_identities(self, p):
+        assert p.add(ProvenancePolynomial.zero()) == p
+        assert p.multiply(ProvenancePolynomial.one()) == p
+        assert p.multiply(ProvenancePolynomial.zero()).is_zero
+
+
+class TestUniversality:
+    """Specializing N[X] commutes with the semiring operations."""
+
+    values = {"x": 2, "y": 0, "z": 3, "w": 1}
+
+    @given(polynomials(), polynomials())
+    @settings(max_examples=50)
+    def test_add_commutes_with_counting(self, p, q):
+        direct = p.add(q).specialize(COUNTING, self.values.__getitem__)
+        split = COUNTING.add(
+            p.specialize(COUNTING, self.values.__getitem__),
+            q.specialize(COUNTING, self.values.__getitem__),
+        )
+        assert direct == split
+
+    @given(polynomials(), polynomials())
+    @settings(max_examples=50)
+    def test_multiply_commutes_with_counting(self, p, q):
+        direct = p.multiply(q).specialize(COUNTING, self.values.__getitem__)
+        split = COUNTING.multiply(
+            p.specialize(COUNTING, self.values.__getitem__),
+            q.specialize(COUNTING, self.values.__getitem__),
+        )
+        assert direct == split
+
+    @given(polynomials(), polynomials())
+    @settings(max_examples=50)
+    def test_add_commutes_with_boolean(self, p, q):
+        bools = {"x": True, "y": False, "z": True, "w": False}
+        direct = p.add(q).specialize(BOOLEAN, bools.__getitem__)
+        split = BOOLEAN.add(
+            p.specialize(BOOLEAN, bools.__getitem__),
+            q.specialize(BOOLEAN, bools.__getitem__),
+        )
+        assert direct == split
+
+
+class TestWhyProvenance:
+    why_values = st.builds(
+        lambda names: WHY.sum([WHY.token(n) for n in names]),
+        st.lists(tokens, max_size=3),
+    )
+
+    @given(why_values, why_values)
+    def test_add_idempotent_commutative(self, a, b):
+        assert WHY.add(a, a) == a
+        assert WHY.add(a, b) == WHY.add(b, a)
+
+    @given(why_values, why_values, why_values)
+    @settings(max_examples=50)
+    def test_distributivity(self, a, b, c):
+        assert WHY.multiply(a, WHY.add(b, c)) == WHY.add(
+            WHY.multiply(a, b), WHY.multiply(a, c)
+        )
+
+    @given(why_values)
+    def test_minimized_is_subset_with_same_minimal_witnesses(self, a):
+        minimized = WHY.minimized(a)
+        assert minimized <= a
+        for witness in a:
+            assert any(kept <= witness for kept in minimized)
+
+
+class TestTropical:
+    costs = st.floats(min_value=0, max_value=100, allow_nan=False)
+
+    @given(costs, costs, costs)
+    def test_min_plus_distributivity(self, a, b, c):
+        left = TROPICAL.multiply(a, TROPICAL.add(b, c))
+        right = TROPICAL.add(TROPICAL.multiply(a, b),
+                             TROPICAL.multiply(a, c))
+        assert left == right

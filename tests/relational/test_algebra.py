@@ -1,0 +1,133 @@
+"""Tests for the relational-algebra evaluator."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.algebra import (
+    Difference,
+    Join,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+    evaluate,
+)
+from repro.relational.database import Database
+from repro.relational.expressions import Comparison, ComparisonOp
+from repro.relational.schema import RelationSchema, Schema
+
+
+@pytest.fixture
+def db():
+    schema = Schema([
+        RelationSchema("R", ["a", "b"]),
+        RelationSchema("S", ["b", "c"]),
+        RelationSchema("T", ["a", "b"]),
+    ])
+    database = Database(schema)
+    database.insert_all("R", [(1, 10), (2, 20), (3, 10)])
+    database.insert_all("S", [(10, "x"), (20, "y")])
+    database.insert_all("T", [(1, 10), (9, 90)])
+    return database
+
+
+class TestScan:
+    def test_scan_returns_all_rows(self, db):
+        result = evaluate(Scan("R"), db)
+        assert result.columns == ["a", "b"]
+        assert result.rows == [(1, 10), (2, 20), (3, 10)]
+
+
+class TestSelect:
+    def test_positional_condition(self, db):
+        expr = Select(Scan("R"), Comparison(1, ComparisonOp.EQ, 10))
+        result = evaluate(expr, db)
+        assert result.rows == [(1, 10), (3, 10)]
+
+    def test_position_vs_position(self, db):
+        expr = Select(Scan("R"), Comparison(0, ComparisonOp.LT, 1,
+                                            right_is_position=True))
+        assert len(evaluate(expr, db).rows) == 3
+
+
+class TestProject:
+    def test_projection_dedupes(self, db):
+        result = evaluate(Project(Scan("R"), ["b"]), db)
+        assert result.rows == [(10,), (20,)]
+
+    def test_projection_keeps_duplicates_when_asked(self, db):
+        result = evaluate(Project(Scan("R"), ["b"], deduplicate=False), db)
+        assert result.rows == [(10,), (20,), (10,)]
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(SchemaError):
+            evaluate(Project(Scan("R"), ["zzz"]), db)
+
+    def test_reordering(self, db):
+        result = evaluate(Project(Scan("R"), ["b", "a"]), db)
+        assert result.rows[0] == (10, 1)
+
+
+class TestJoin:
+    def test_natural_join_on_shared_column(self, db):
+        result = evaluate(Join(Scan("R"), Scan("S")), db)
+        assert result.columns == ["a", "b", "c"]
+        assert set(result.rows) == {(1, 10, "x"), (3, 10, "x"),
+                                    (2, 20, "y")}
+
+    def test_join_without_shared_columns_is_cross_product(self, db):
+        renamed = Rename(Scan("S"), ["d", "e"])
+        result = evaluate(Join(Scan("R"), renamed), db)
+        assert len(result.rows) == 6
+
+    def test_self_join_via_rename(self, db):
+        left = Rename(Scan("R"), ["a", "b"])
+        right = Rename(Scan("T"), ["a", "b"])
+        result = evaluate(Join(left, right), db)
+        assert result.rows == [(1, 10)]
+
+
+class TestUnionDifference:
+    def test_union_dedupes(self, db):
+        result = evaluate(Union(Scan("R"), Scan("T")), db)
+        assert len(result.rows) == 4  # (1,10) shared
+
+    def test_union_bag(self, db):
+        result = evaluate(Union(Scan("R"), Scan("T"), deduplicate=False), db)
+        assert len(result.rows) == 5
+
+    def test_union_arity_mismatch(self, db):
+        with pytest.raises(SchemaError):
+            evaluate(Union(Scan("R"), Project(Scan("S"), ["b"])), db)
+
+    def test_difference(self, db):
+        result = evaluate(Difference(Scan("R"), Scan("T")), db)
+        assert set(result.rows) == {(2, 20), (3, 10)}
+
+    def test_difference_arity_mismatch(self, db):
+        with pytest.raises(SchemaError):
+            evaluate(Difference(Scan("R"), Project(Scan("S"), ["b"])), db)
+
+
+class TestRename:
+    def test_rename_changes_columns(self, db):
+        result = evaluate(Rename(Scan("R"), ["x", "y"]), db)
+        assert result.columns == ["x", "y"]
+
+    def test_rename_arity_checked(self, db):
+        with pytest.raises(SchemaError):
+            evaluate(Rename(Scan("R"), ["x"]), db)
+
+
+class TestComposition:
+    def test_select_project_join_pipeline(self, db):
+        expr = Project(
+            Select(
+                Join(Scan("R"), Scan("S")),
+                Comparison(2, ComparisonOp.EQ, "x"),
+            ),
+            ["a"],
+        )
+        result = evaluate(expr, db)
+        assert set(result.rows) == {(1,), (3,)}

@@ -1,0 +1,165 @@
+"""Tests for database instances and integrity enforcement."""
+
+import pytest
+
+from repro.errors import (
+    ArityError,
+    ForeignKeyViolationError,
+    KeyViolationError,
+    TypeMismatchError,
+    UnknownRelationError,
+)
+from repro.relational.database import Database
+from repro.relational.schema import (
+    Attribute,
+    ForeignKey,
+    RelationSchema,
+    Schema,
+)
+from repro.relational.tuples import Row
+from repro.relational.types import INT, STRING
+
+
+@pytest.fixture
+def schema():
+    return Schema([
+        RelationSchema(
+            "Family",
+            [Attribute("FID", STRING), Attribute("FName", STRING)],
+            key=["FID"],
+        ),
+        RelationSchema(
+            "Intro",
+            [Attribute("FID", STRING), Attribute("Text", STRING)],
+            key=["FID"],
+            foreign_keys=[ForeignKey(("FID",), "Family", ("FID",))],
+        ),
+    ])
+
+
+@pytest.fixture
+def database(schema):
+    return Database(schema)
+
+
+class TestInsert:
+    def test_insert_and_iterate(self, database):
+        database.insert("Family", "1", "A")
+        database.insert("Family", "2", "B")
+        rows = database.relation("Family").rows()
+        assert [r.values for r in rows] == [("1", "A"), ("2", "B")]
+
+    def test_arity_checked(self, database):
+        with pytest.raises(ArityError):
+            database.insert("Family", "1")
+
+    def test_domain_checked(self, database):
+        with pytest.raises(TypeMismatchError):
+            database.insert("Family", 1, "A")
+
+    def test_key_violation(self, database):
+        database.insert("Family", "1", "A")
+        with pytest.raises(KeyViolationError):
+            database.insert("Family", "1", "B")
+
+    def test_identical_reinsert_is_noop(self, database):
+        database.insert("Family", "1", "A")
+        database.insert("Family", "1", "A")
+        assert len(database.relation("Family")) == 1
+
+    def test_unknown_relation(self, database):
+        with pytest.raises(UnknownRelationError):
+            database.insert("Nope", "x")
+
+    def test_insert_all(self, database):
+        rows = database.insert_all("Family", [("1", "A"), ("2", "B")])
+        assert len(rows) == 2
+        assert database.total_rows() == 2
+
+
+class TestDelete:
+    def test_delete_present(self, database):
+        database.insert("Family", "1", "A")
+        assert database.delete("Family", "1", "A")
+        assert len(database.relation("Family")) == 0
+
+    def test_delete_absent_returns_false(self, database):
+        assert not database.delete("Family", "1", "A")
+
+    def test_delete_clears_key_index(self, database):
+        database.insert("Family", "1", "A")
+        database.delete("Family", "1", "A")
+        database.insert("Family", "1", "B")  # same key, no violation
+        assert len(database.relation("Family")) == 1
+
+
+class TestLookups:
+    def test_key_lookup(self, database):
+        database.insert("Family", "1", "A")
+        row = database.relation("Family").lookup_key(("1",))
+        assert row is not None and row.values == ("1", "A")
+        assert database.relation("Family").lookup_key(("9",)) is None
+
+    def test_secondary_index(self, database):
+        database.insert("Family", "1", "A")
+        database.insert("Family", "2", "A")
+        database.insert("Family", "3", "B")
+        matches = database.relation("Family").lookup((1,), ("A",))
+        assert {r.values for r in matches} == {("1", "A"), ("2", "A")}
+
+    def test_index_maintained_after_insert(self, database):
+        instance = database.relation("Family")
+        database.insert("Family", "1", "A")
+        instance.lookup((1,), ("A",))  # build index
+        database.insert("Family", "2", "A")
+        assert len(instance.lookup((1,), ("A",))) == 2
+
+    def test_index_maintained_after_delete(self, database):
+        instance = database.relation("Family")
+        database.insert("Family", "1", "A")
+        instance.lookup((1,), ("A",))
+        database.delete("Family", "1", "A")
+        assert instance.lookup((1,), ("A",)) == []
+
+    def test_empty_positions_returns_all(self, database):
+        database.insert("Family", "1", "A")
+        assert len(database.relation("Family").lookup((), ())) == 1
+
+
+class TestForeignKeys:
+    def test_violation_detected(self, database):
+        database.insert("Intro", "9", "text")
+        with pytest.raises(ForeignKeyViolationError):
+            database.check_foreign_keys()
+
+    def test_passes_when_satisfied(self, database):
+        database.insert("Family", "1", "A")
+        database.insert("Intro", "1", "text")
+        database.check_foreign_keys()
+
+
+class TestCopy:
+    def test_copy_is_independent(self, database):
+        database.insert("Family", "1", "A")
+        clone = database.copy()
+        clone.insert("Family", "2", "B")
+        assert database.total_rows() == 1
+        assert clone.total_rows() == 2
+
+
+class TestRow:
+    def test_equality_includes_relation(self):
+        assert Row("R", (1, 2)) != Row("S", (1, 2))
+        assert Row("R", (1, 2)) == Row("R", (1, 2))
+
+    def test_hashable(self):
+        assert len({Row("R", (1,)), Row("R", (1,))}) == 1
+
+    def test_project(self):
+        row = Row("R", ("a", "b", "c"))
+        assert row.project((2, 0)) == ("c", "a")
+
+    def test_iteration_and_len(self):
+        row = Row("R", (1, 2, 3))
+        assert list(row) == [1, 2, 3]
+        assert len(row) == 3

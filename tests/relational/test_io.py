@@ -1,0 +1,118 @@
+"""Tests for CSV / JSON project persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.gtopdb.sample import paper_database
+from repro.relational.io import (
+    dump_csv,
+    dump_project,
+    load_csv,
+    load_project,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+
+@pytest.fixture
+def db():
+    return paper_database()
+
+
+class TestCsv:
+    def test_roundtrip(self, db, tmp_path):
+        dump_csv(db, tmp_path)
+        loaded = load_csv(db.schema, tmp_path)
+        for instance in db.relations():
+            original = {row.values for row in instance}
+            restored = {
+                row.values
+                for row in loaded.relation(instance.schema.name)
+            }
+            assert original == restored
+
+    def test_missing_files_tolerated(self, db, tmp_path):
+        # Only write one relation; the rest load empty.
+        dump_csv(db, tmp_path)
+        (tmp_path / "Person.csv").unlink()
+        # FK check fails because FC references missing persons.
+        with pytest.raises(Exception):
+            load_csv(db.schema, tmp_path)
+
+    def test_header_mismatch_rejected(self, db, tmp_path):
+        dump_csv(db, tmp_path)
+        target = tmp_path / "MetaData.csv"
+        target.write_text("Wrong,Header\nOwner,X\n")
+        with pytest.raises(SchemaError):
+            load_csv(db.schema, tmp_path)
+
+
+class TestSchemaDict:
+    def test_roundtrip(self, db):
+        payload = schema_to_dict(db.schema)
+        restored = schema_from_dict(payload)
+        assert restored.relation_names == db.schema.relation_names
+        for relation in db.schema:
+            again = restored.relation(relation.name)
+            assert again.attribute_names == relation.attribute_names
+            assert again.key == relation.key
+            assert len(again.foreign_keys) == len(relation.foreign_keys)
+        restored.validate()
+
+
+class TestProject:
+    def test_roundtrip_data(self, db, tmp_path):
+        path = tmp_path / "project.json"
+        dump_project(db, path)
+        loaded, views = load_project(path)
+        assert views == []
+        assert loaded.total_rows() == db.total_rows()
+
+    def test_views_preserved(self, db, tmp_path):
+        path = tmp_path / "project.json"
+        specs = [{
+            "view": "lambda F. V1(F, N, Ty) :- Family(F, N, Ty)",
+            "citation_query": (
+                "lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), "
+                "Person(C, Pn, A)"
+            ),
+            "labels": ["ID", "Name", "Committee"],
+        }]
+        dump_project(db, path, views=specs)
+        __, views = load_project(path)
+        assert views == specs
+
+    def test_file_is_valid_json(self, db, tmp_path):
+        path = tmp_path / "project.json"
+        dump_project(db, path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert set(payload) == {"schema", "data"}
+
+    def test_loaded_project_supports_citations(self, db, tmp_path):
+        from repro.citation.generator import CitationEngine
+        from repro.views.citation_view import CitationView
+        from repro.views.registry import ViewRegistry
+
+        path = tmp_path / "project.json"
+        dump_project(db, path, views=[{
+            "view": "lambda Ty. V4(F, N, Ty) :- Family(F, N, Ty)",
+            "citation_query": (
+                "lambda Ty. CV4(Ty, N, Pn) :- Family(F, N, Ty), FC(F, C), "
+                "Person(C, Pn, A)"
+            ),
+        }])
+        loaded, specs = load_project(path)
+        registry = ViewRegistry(loaded.schema, [
+            CitationView.from_strings(
+                view=spec["view"],
+                citation_query=spec["citation_query"],
+                labels=spec.get("labels"),
+            )
+            for spec in specs
+        ])
+        engine = CitationEngine(loaded, registry)
+        result = engine.cite('Q(N) :- Family(F, N, Ty), Ty = "gpcr"')
+        assert result.tuples

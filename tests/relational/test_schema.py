@@ -1,0 +1,116 @@
+"""Tests for relation and database schemas."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownRelationError
+from repro.relational.schema import (
+    Attribute,
+    ForeignKey,
+    RelationSchema,
+    Schema,
+)
+from repro.relational.types import INT, STRING
+
+
+class TestAttribute:
+    def test_valid_names(self):
+        Attribute("FID")
+        Attribute("f_id_2")
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("bad name")
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+
+class TestRelationSchema:
+    def test_string_attributes_promoted(self):
+        schema = RelationSchema("R", ["a", "b"])
+        assert schema.attribute_names == ("a", "b")
+        assert schema.arity == 2
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["a", "a"])
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [])
+
+    def test_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["a"], key=["missing"])
+
+    def test_position_lookup(self):
+        schema = RelationSchema("R", ["a", "b", "c"])
+        assert schema.position("b") == 1
+        with pytest.raises(SchemaError):
+            schema.position("z")
+
+    def test_key_positions(self):
+        schema = RelationSchema("R", ["a", "b", "c"], key=["c", "a"])
+        assert schema.key_positions() == (2, 0)
+
+    def test_foreign_key_columns_must_exist(self):
+        fk = ForeignKey(("missing",), "S", ("k",))
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["a"], foreign_keys=[fk])
+
+    def test_equality_and_hash(self):
+        r1 = RelationSchema("R", [Attribute("a", INT)], key=["a"])
+        r2 = RelationSchema("R", [Attribute("a", INT)], key=["a"])
+        assert r1 == r2
+        assert hash(r1) == hash(r2)
+        r3 = RelationSchema("R", [Attribute("a", STRING)], key=["a"])
+        assert r1 != r3
+
+
+class TestForeignKey:
+    def test_mismatched_column_counts_rejected(self):
+        with pytest.raises(SchemaError):
+            ForeignKey(("a", "b"), "S", ("k",))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            ForeignKey((), "S", ())
+
+
+class TestSchema:
+    def test_duplicate_relation_rejected(self):
+        schema = Schema([RelationSchema("R", ["a"])])
+        with pytest.raises(SchemaError):
+            schema.add(RelationSchema("R", ["b"]))
+
+    def test_unknown_relation_lookup(self):
+        schema = Schema()
+        with pytest.raises(UnknownRelationError):
+            schema.relation("nope")
+
+    def test_validate_checks_fk_targets(self):
+        fk = ForeignKey(("a",), "Missing", ("k",))
+        schema = Schema([RelationSchema("R", ["a"], foreign_keys=[fk])])
+        with pytest.raises(SchemaError):
+            schema.validate()
+
+    def test_validate_requires_fk_to_reference_key(self):
+        target = RelationSchema("S", ["k", "v"], key=["k"])
+        fk = ForeignKey(("a",), "S", ("v",))  # v is not the key
+        schema = Schema([target, RelationSchema("R", ["a"],
+                                                foreign_keys=[fk])])
+        with pytest.raises(SchemaError):
+            schema.validate()
+
+    def test_validate_passes_on_good_schema(self):
+        target = RelationSchema("S", ["k"], key=["k"])
+        fk = ForeignKey(("a",), "S", ("k",))
+        schema = Schema([target, RelationSchema("R", ["a"],
+                                                foreign_keys=[fk])])
+        schema.validate()
+
+    def test_iteration_order_is_insertion_order(self):
+        schema = Schema([
+            RelationSchema("B", ["x"]),
+            RelationSchema("A", ["y"]),
+        ])
+        assert schema.relation_names == ("B", "A")

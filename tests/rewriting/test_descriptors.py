@@ -1,0 +1,134 @@
+"""Tests for coverage descriptors."""
+
+import pytest
+
+from repro.cq.containment import normalize_query
+from repro.cq.parser import parse_query
+from repro.cq.terms import Constant, Variable
+from repro.rewriting.descriptors import descriptors_for
+from repro.views.citation_view import CitationView
+
+
+def normalized(text):
+    query, satisfiable = normalize_query(parse_query(text))
+    assert satisfiable
+    return query
+
+
+def view(definition, citation=None):
+    return CitationView.from_strings(
+        view=definition,
+        citation_query=citation or definition.replace("V(", "CV(", 1),
+    )
+
+
+class TestBasicCoverage:
+    def test_single_atom_coverage(self, registry):
+        q = normalized("Q(N) :- Family(F, N, Ty)")
+        descriptors = descriptors_for(q, registry.get("V1"))
+        assert len(descriptors) == 1
+        d = descriptors[0]
+        assert d.covered == frozenset({0})
+        assert d.view_atom.relation == "V1"
+        assert d.parameter_terms == (Variable("F"),)
+
+    def test_no_coverage_for_unrelated_view(self, registry):
+        q = normalized("Q(Pn) :- Person(P, Pn, A)")
+        assert descriptors_for(q, registry.get("V1")) == []
+
+    def test_multi_atom_view_covers_join(self, registry):
+        q = normalized("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)")
+        descriptors = descriptors_for(q, registry.get("V5"))
+        assert len(descriptors) == 1
+        assert descriptors[0].covered == frozenset({0, 1})
+
+    def test_multi_atom_view_needs_join_compatibility(self, registry):
+        # Family and FamilyIntro on *different* family ids: V5 cannot cover.
+        q = normalized("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(G, Tx)")
+        assert descriptors_for(q, registry.get("V5")) == []
+
+
+class TestParameterAbsorption:
+    def test_constant_absorbed_into_lambda(self, registry):
+        q = normalized('Q(N) :- Family(F, N, Ty), Ty = "gpcr"')
+        descriptors = descriptors_for(q, registry.get("V4"))
+        assert len(descriptors) == 1
+        assert descriptors[0].parameter_terms == (Constant("gpcr"),)
+        assert descriptors[0].absorbed_parameter_count == 1
+
+    def test_free_parameter_stays_variable(self, registry):
+        q = normalized("Q(N) :- Family(F, N, Ty)")
+        descriptors = descriptors_for(q, registry.get("V4"))
+        assert descriptors[0].parameter_terms == (Variable("Ty"),)
+        assert descriptors[0].absorbed_parameter_count == 0
+
+
+class TestExistentialProtection:
+    def test_existential_cannot_map_to_head_variable(self):
+        # View projects away B; query needs B in the head.
+        v = view("V(A) :- R(A, B)")
+        q = normalized("Q(A, B) :- R(A, B)")
+        assert descriptors_for(q, v) == []
+
+    def test_existential_cannot_map_to_shared_variable(self):
+        # B is shared with another atom not covered by the view.
+        v = view("V(A) :- R(A, B)")
+        q = normalized("Q(A) :- R(A, B), S(B)")
+        assert descriptors_for(q, v) == []
+
+    def test_existential_ok_when_local(self):
+        v = view("V(A) :- R(A, B)")
+        q = normalized("Q(A) :- R(A, B)")
+        assert len(descriptors_for(q, v)) == 1
+
+    def test_existential_cannot_map_to_comparison_variable(self):
+        v = view("V(A) :- R(A, B)")
+        q = normalized("Q(A) :- R(A, B), B != 3")
+        assert descriptors_for(q, v) == []
+
+    def test_existential_cannot_bind_constant(self):
+        v = view("V(A) :- R(A, B)")
+        q = normalized('Q(A) :- R(A, "x")')
+        assert descriptors_for(q, v) == []
+
+
+class TestViewConstants:
+    def test_view_constant_must_match(self):
+        v = view('V(A) :- R(A, "x")')
+        q_match = normalized('Q(A) :- R(A, "x")')
+        q_mismatch = normalized('Q(A) :- R(A, "y")')
+        assert len(descriptors_for(q_match, v)) == 1
+        assert descriptors_for(q_mismatch, v) == []
+
+    def test_view_comparison_must_be_entailed(self):
+        v = view('V(A, B) :- R(A, B), B > 5')
+        q_strong = normalized("Q(A) :- R(A, B), B > 7")
+        q_weak = normalized("Q(A) :- R(A, B), B > 3")
+        assert len(descriptors_for(q_strong, v)) == 1
+        assert descriptors_for(q_weak, v) == []
+
+
+class TestSelfJoins:
+    def test_view_usable_twice(self, registry):
+        q = normalized(
+            "Q(N1, N2) :- Family(F1, N1, Ty1), Family(F2, N2, Ty2)"
+        )
+        descriptors = descriptors_for(q, registry.get("V1"))
+        covered_sets = {d.covered for d in descriptors}
+        assert frozenset({0}) in covered_sets
+        assert frozenset({1}) in covered_sets
+
+    def test_two_view_atoms_onto_one_query_atom_pruned(self):
+        # Both view body atoms can map onto R(A,A) syntactically, but the
+        # view's existential B would land on the query's head variable A —
+        # and indeed V(A,A)'s expansion R(A,B'),R(B',A) is strictly weaker
+        # than R(A,A), so no equivalence-preserving descriptor exists.
+        v = view("V(A, C) :- R(A, B), R(B, C)")
+        q = normalized("Q(A) :- R(A, A)")
+        assert descriptors_for(q, v) == []
+
+    def test_two_view_atoms_cover_query_self_join(self):
+        v = view("V(A, C) :- R(A, B), R(B, C)")
+        q = normalized("Q(A, C) :- R(A, B), R(B, C)")
+        descriptors = descriptors_for(q, v)
+        assert any(d.covered == frozenset({0, 1}) for d in descriptors)

@@ -1,0 +1,87 @@
+"""Tests for view expansion (unfolding)."""
+
+import pytest
+
+from repro.cq.containment import are_equivalent
+from repro.cq.parser import parse_query
+from repro.cq.terms import Constant
+from repro.errors import RewritingError
+from repro.rewriting.expansion import expand_query
+
+
+class TestExpansion:
+    def test_single_view_expansion(self, registry):
+        rewriting = parse_query("Q(N) :- V1(F, N, Ty)")
+        expanded = expand_query(rewriting, registry)
+        assert [a.relation for a in expanded.atoms] == ["Family"]
+        assert are_equivalent(
+            expanded, parse_query("Q(N) :- Family(F, N, Ty)")
+        )
+
+    def test_join_view_expansion(self, registry):
+        rewriting = parse_query("Q(N, Tx) :- V5(F, N, Ty, Tx)")
+        expanded = expand_query(rewriting, registry)
+        assert sorted(a.relation for a in expanded.atoms) == [
+            "Family", "FamilyIntro",
+        ]
+
+    def test_two_view_atoms_expand_independently(self, registry):
+        rewriting = parse_query("Q(F) :- V2(F, Tx1), V2(F, Tx2)")
+        expanded = expand_query(rewriting, registry)
+        assert len(expanded.atoms) == 2
+        assert {a.relation for a in expanded.atoms} == {"FamilyIntro"}
+
+    def test_constant_arguments_propagate(self, registry):
+        rewriting = parse_query('Q(N) :- V1(F, N, "gpcr")')
+        expanded = expand_query(rewriting, registry)
+        assert Constant("gpcr") in expanded.atoms[0].terms
+
+    def test_base_atoms_pass_through(self, registry):
+        rewriting = parse_query("Q(N, Pn) :- V1(F, N, Ty), FC(F, C), "
+                                "Person(C, Pn, A)")
+        expanded = expand_query(rewriting, registry)
+        assert sorted(a.relation for a in expanded.atoms) == [
+            "FC", "Family", "Person",
+        ]
+
+    def test_repeated_head_variable_induces_equality(self, registry):
+        # V5(F, N, Ty, Tx) with N == Ty forced by using the same variable.
+        rewriting = parse_query("Q(X) :- V5(F, X, X, Tx)")
+        expanded = expand_query(rewriting, registry)
+        # Family(F, X, X') plus equality X = X' (or direct reuse).
+        assert are_equivalent(
+            expanded,
+            parse_query("Q(X) :- Family(F, X, X), FamilyIntro(F, Tx)"),
+        )
+
+    def test_view_body_comparisons_carried(self, db, registry):
+        # V3's citation query has comparisons; build a view with one.
+        from repro.views.citation_view import CitationView
+        from repro.views.registry import ViewRegistry
+        gated = CitationView.from_strings(
+            view='VG(F, N) :- Family(F, N, Ty), Ty = "gpcr"',
+            citation_query="CVG(F) :- Family(F, N, Ty)",
+        )
+        registry2 = ViewRegistry(db.schema, [gated])
+        expanded = expand_query(parse_query("Q(N) :- VG(F, N)"), registry2)
+        assert are_equivalent(
+            expanded,
+            parse_query('Q(N) :- Family(F, N, Ty), Ty = "gpcr"'),
+        )
+
+    def test_arity_mismatch_rejected(self, registry):
+        with pytest.raises(RewritingError):
+            expand_query(parse_query("Q(N) :- V1(F, N)"), registry)
+
+    def test_expansion_equivalence_on_paper_rewritings(self, registry):
+        query = parse_query(
+            'Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = "gpcr"'
+        )
+        for text in [
+            'Q1(N, Tx) :- V1(F, N, Ty), V2(F, Tx), Ty = "gpcr"',
+            'Q2(N, Tx) :- V3(F, N, Ty), V2(F, Tx), Ty = "gpcr"',
+            'Q3(N, Tx) :- V4(F, N, "gpcr"), V2(F, Tx)',
+            'Q4(N, Tx) :- V5(F, N, "gpcr", Tx)',
+        ]:
+            rewriting = parse_query(text)
+            assert are_equivalent(expand_query(rewriting, registry), query), text

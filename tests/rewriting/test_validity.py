@@ -1,0 +1,76 @@
+"""Direct tests for the Definition 2.2 validity checks."""
+
+import pytest
+
+from repro.cq.parser import parse_query
+from repro.rewriting.validity import (
+    check_definition_2_2,
+    has_removable_subgoal,
+    is_equivalent_rewriting,
+)
+
+
+class TestEquivalence:
+    def test_valid_rewriting_accepted(self, registry):
+        query = parse_query(
+            'Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), '
+            'Ty = "gpcr"'
+        )
+        candidate = parse_query('Q(N, Tx) :- V5(F, N, "gpcr", Tx)')
+        assert is_equivalent_rewriting(candidate, query, registry)
+
+    def test_over_general_rewriting_rejected(self, registry):
+        query = parse_query(
+            'Q(N) :- Family(F, N, Ty), Ty = "gpcr"'
+        )
+        candidate = parse_query("Q(N) :- V1(F, N, Ty)")  # lost selection
+        assert not is_equivalent_rewriting(candidate, query, registry)
+
+    def test_over_restrictive_rewriting_rejected(self, registry):
+        query = parse_query("Q(N) :- Family(F, N, Ty)")
+        candidate = parse_query("Q(N) :- V5(F, N, Ty, Tx)")  # added join
+        assert not is_equivalent_rewriting(candidate, query, registry)
+
+
+class TestRemovability:
+    def test_redundant_view_atom_detected(self, registry):
+        query = parse_query("Q(N) :- Family(F, N, Ty)")
+        candidate = parse_query("Q(N) :- V1(F, N, Ty), V3(F2, N2, Ty2)")
+        assert has_removable_subgoal(candidate, query, registry)
+
+    def test_redundant_comparison_detected(self, registry):
+        query = parse_query("Q(N) :- Family(F, N, Ty)")
+        candidate = parse_query('Q(N) :- V1(F, N, Ty), F != "\x00never"')
+        # The comparison filters nothing semantically detectable... the
+        # check drops it and tests equivalence against the query.
+        assert has_removable_subgoal(candidate, query, registry)
+
+    def test_minimal_candidate_clean(self, registry):
+        query = parse_query(
+            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)"
+        )
+        candidate = parse_query("Q(N, Tx) :- V5(F, N, Ty, Tx)")
+        assert not has_removable_subgoal(candidate, query, registry)
+
+
+class TestFullCheck:
+    def test_accepts_paper_rewritings(self, registry):
+        query = parse_query(
+            'Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), '
+            'Ty = "gpcr"'
+        )
+        for text in (
+            'Q(N, Tx) :- V5(F, N, "gpcr", Tx)',
+            'Q(N, Tx) :- V4(F, N, "gpcr"), V2(F, Tx)',
+            'Q(N, Tx) :- V1(F, N, "gpcr"), V2(F, Tx)',
+        ):
+            assert check_definition_2_2(
+                parse_query(text), query, registry
+            ), text
+
+    def test_rejects_wrong_projection(self, registry):
+        query = parse_query(
+            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)"
+        )
+        candidate = parse_query("Q(Tx, N) :- V5(F, N, Ty, Tx)")  # swapped
+        assert not check_definition_2_2(candidate, query, registry)

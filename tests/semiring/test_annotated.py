@@ -1,0 +1,125 @@
+"""Tests for K-relation (annotated) evaluation."""
+
+import pytest
+
+from repro.cq.parser import parse_query
+from repro.relational.database import Database
+from repro.relational.schema import RelationSchema, Schema
+from repro.relational.tuples import Row
+from repro.semiring import (
+    BOOLEAN,
+    COUNTING,
+    POLYNOMIAL,
+    AnnotatedDatabase,
+    evaluate_annotated,
+)
+from repro.semiring.annotated import row_token_factory
+
+
+@pytest.fixture
+def db():
+    schema = Schema([
+        RelationSchema("R", ["a", "b"]),
+        RelationSchema("S", ["b", "c"]),
+    ])
+    database = Database(schema)
+    database.insert_all("R", [(1, 10), (2, 10)])
+    database.insert_all("S", [(10, "x"), (10, "y")])
+    return database
+
+
+class TestPolynomialEvaluation:
+    def test_join_multiplies(self, db):
+        adb = AnnotatedDatabase(db, POLYNOMIAL)
+        adb.annotate_all(lambda r: POLYNOMIAL.token(row_token_factory(r)))
+        q = parse_query("Q(A, C) :- R(A, B), S(B, C)")
+        result = evaluate_annotated(q, adb)
+        annotation = result[(1, "x")]
+        assert repr(annotation) == "R(1,10)·S(10,x)"
+
+    def test_projection_adds(self, db):
+        adb = AnnotatedDatabase(db, POLYNOMIAL)
+        adb.annotate_all(lambda r: POLYNOMIAL.token(row_token_factory(r)))
+        q = parse_query("Q(C) :- R(A, B), S(B, C)")
+        annotation = result = evaluate_annotated(q, adb)[("x",)]
+        # Two derivations: via R(1,10) and R(2,10).
+        assert len(annotation.monomials()) == 2
+
+    def test_self_join_squares(self, db):
+        adb = AnnotatedDatabase(db, POLYNOMIAL)
+        adb.annotate_all(lambda r: POLYNOMIAL.token(row_token_factory(r)))
+        q = parse_query("Q(A) :- R(A, B), R(A, B)")
+        annotation = evaluate_annotated(q, adb)[(1,)]
+        monomial = annotation.monomials()[0]
+        assert monomial.powers == {"R(1,10)": 2}
+
+
+class TestCountingEvaluation:
+    def test_bag_semantics(self, db):
+        adb = AnnotatedDatabase(db, COUNTING)
+        adb.annotate_all(lambda r: 1)
+        q = parse_query("Q(C) :- R(A, B), S(B, C)")
+        result = evaluate_annotated(q, adb)
+        assert result[("x",)] == 2
+        assert result[("y",)] == 2
+
+    def test_multiplicities_multiply(self, db):
+        adb = AnnotatedDatabase(db, COUNTING)
+        adb.annotate_all(lambda r: 1)
+        adb.annotate(Row("R", (1, 10)), 3)
+        q = parse_query("Q(C) :- R(A, B), S(B, C)")
+        result = evaluate_annotated(q, adb)
+        assert result[("x",)] == 4  # 3 (via R(1,10)) + 1 (via R(2,10))
+
+
+class TestBooleanEvaluation:
+    def test_zero_annotated_tuples_vanish(self, db):
+        adb = AnnotatedDatabase(db, BOOLEAN)
+        adb.annotate_all(lambda r: True)
+        adb.annotate(Row("S", (10, "y")), False)
+        q = parse_query("Q(C) :- R(A, B), S(B, C)")
+        result = evaluate_annotated(q, adb)
+        assert ("x",) in result
+        assert ("y",) not in result
+
+
+class TestDefaults:
+    def test_unannotated_rows_default_to_one(self, db):
+        adb = AnnotatedDatabase(db, COUNTING)
+        q = parse_query("Q(A) :- R(A, B)")
+        result = evaluate_annotated(q, adb)
+        assert result[(1,)] == 1
+
+    def test_annotating_missing_row_rejected(self, db):
+        adb = AnnotatedDatabase(db, COUNTING)
+        with pytest.raises(KeyError):
+            adb.annotate(Row("R", (99, 99)), 5)
+
+    def test_parameterized_query(self, db):
+        adb = AnnotatedDatabase(db, COUNTING)
+        v = parse_query("lambda A. V(A, B) :- R(A, B)")
+        result = evaluate_annotated(v, adb, params=[1])
+        assert result == {(1, 10): 1}
+
+
+class TestUniversality:
+    """Evaluating in N[X] then specializing == evaluating directly."""
+
+    def test_commutes_with_counting(self, db):
+        adb_poly = AnnotatedDatabase(db, POLYNOMIAL)
+        adb_poly.annotate_all(
+            lambda r: POLYNOMIAL.token(row_token_factory(r))
+        )
+        counts = {row_token_factory(r): i + 1
+                  for i, r in enumerate(
+                      list(db.relation("R")) + list(db.relation("S")))}
+        adb_count = AnnotatedDatabase(db, COUNTING)
+        adb_count.annotate_all(lambda r: counts[row_token_factory(r)])
+
+        q = parse_query("Q(C) :- R(A, B), S(B, C)")
+        via_poly = {
+            output: annotation.specialize(COUNTING, counts.__getitem__)
+            for output, annotation in evaluate_annotated(q, adb_poly).items()
+        }
+        direct = evaluate_annotated(q, adb_count)
+        assert via_poly == direct

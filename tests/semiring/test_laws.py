@@ -1,0 +1,72 @@
+"""Semiring axioms for every shipped semiring."""
+
+import math
+
+import pytest
+
+from repro.semiring import (
+    BOOLEAN,
+    COUNTING,
+    LINEAGE,
+    POLYNOMIAL,
+    TROPICAL,
+    WHY,
+    check_semiring_laws,
+)
+
+SAMPLES = {
+    "boolean": (BOOLEAN, [True, False]),
+    "counting": (COUNTING, [0, 1, 2, 5]),
+    "tropical": (TROPICAL, [0.0, 1.0, 3.5, math.inf]),
+    "lineage": (LINEAGE, [None, frozenset(), frozenset({"a"}),
+                          frozenset({"a", "b"})]),
+    "why": (WHY, [WHY.zero, WHY.one, WHY.token("a"), WHY.token("b"),
+                  WHY.multiply(WHY.token("a"), WHY.token("b")),
+                  WHY.add(WHY.token("a"), WHY.token("b"))]),
+    "polynomial": (POLYNOMIAL, [
+        POLYNOMIAL.zero, POLYNOMIAL.one, POLYNOMIAL.token("x"),
+        POLYNOMIAL.token("y"),
+        POLYNOMIAL.add(POLYNOMIAL.token("x"), POLYNOMIAL.token("y")),
+        POLYNOMIAL.multiply(POLYNOMIAL.token("x"), POLYNOMIAL.token("x")),
+    ]),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SAMPLES))
+def test_semiring_laws(name):
+    semiring, samples = SAMPLES[name]
+    violations = check_semiring_laws(semiring, samples)
+    assert violations == []
+
+
+@pytest.mark.parametrize("name", ["boolean", "tropical", "lineage", "why"])
+def test_idempotent_add_flag_consistent(name):
+    semiring, samples = SAMPLES[name]
+    assert semiring.idempotent_add
+    for sample in samples:
+        assert semiring.add(sample, sample) == sample
+
+
+def test_counting_not_idempotent():
+    assert not COUNTING.idempotent_add
+    assert COUNTING.add(2, 2) == 4
+
+
+def test_sum_and_product_fold():
+    assert COUNTING.sum([1, 2, 3]) == 6
+    assert COUNTING.product([2, 3, 4]) == 24
+    assert COUNTING.sum([]) == 0
+    assert COUNTING.product([]) == 1
+
+
+def test_why_minimization_drops_supersets():
+    value = WHY.add(WHY.token("a"),
+                    WHY.multiply(WHY.token("a"), WHY.token("b")))
+    minimized = WHY.minimized(value)
+    assert minimized == WHY.token("a")
+
+
+def test_lineage_token():
+    assert LINEAGE.token("t") == frozenset({"t"})
+    combined = LINEAGE.multiply(LINEAGE.token("a"), LINEAGE.token("b"))
+    assert combined == frozenset({"a", "b"})

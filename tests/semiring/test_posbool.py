@@ -1,0 +1,90 @@
+"""Tests for PosBool[X] and its correspondence with citation absorption."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semiring import check_semiring_laws
+from repro.semiring.posbool import POSBOOL
+
+a, b, c = POSBOOL.token("a"), POSBOOL.token("b"), POSBOOL.token("c")
+
+
+class TestBasics:
+    def test_laws(self):
+        samples = [
+            POSBOOL.zero, POSBOOL.one, a, b,
+            POSBOOL.add(a, b), POSBOOL.multiply(a, b),
+        ]
+        assert check_semiring_laws(POSBOOL, samples) == []
+
+    def test_absorption(self):
+        # a + a·b = a — the defining extra law of PosBool.
+        assert POSBOOL.add(a, POSBOOL.multiply(a, b)) == a
+
+    def test_multiplicative_idempotence(self):
+        assert POSBOOL.multiply(a, a) == a
+
+    def test_normal_form_is_antichain(self):
+        value = POSBOOL.add(
+            POSBOOL.multiply(a, b),
+            POSBOOL.add(a, POSBOOL.multiply(POSBOOL.multiply(a, b), c)),
+        )
+        assert value == a
+
+    def test_implication(self):
+        ab = POSBOOL.multiply(a, b)
+        assert POSBOOL.implied(ab, a)       # a·b ⇒ a
+        assert not POSBOOL.implied(a, ab)
+        assert POSBOOL.implied(POSBOOL.zero, a)   # false ⇒ anything
+        assert POSBOOL.implied(a, POSBOOL.one)    # anything ⇒ true
+
+
+tokens = st.sampled_from(["x", "y", "z"])
+values = st.recursive(
+    tokens.map(POSBOOL.token),
+    lambda children: st.tuples(children, children).map(
+        lambda pair: POSBOOL.add(*pair)
+    ) | st.tuples(children, children).map(
+        lambda pair: POSBOOL.multiply(*pair)
+    ),
+    max_leaves=6,
+)
+
+
+class TestProperties:
+    @given(values, values)
+    @settings(max_examples=100)
+    def test_absorption_law(self, p, q):
+        assert POSBOOL.add(p, POSBOOL.multiply(p, q)) == p
+
+    @given(values, values, values)
+    @settings(max_examples=75)
+    def test_distributivity_both_ways(self, p, q, r):
+        # PosBool is a distributive lattice: both distributions hold.
+        assert POSBOOL.multiply(p, POSBOOL.add(q, r)) == POSBOOL.add(
+            POSBOOL.multiply(p, q), POSBOOL.multiply(p, r)
+        )
+        assert POSBOOL.add(p, POSBOOL.multiply(q, r)) == POSBOOL.multiply(
+            POSBOOL.add(p, q), POSBOOL.add(p, r)
+        )
+
+    @given(values)
+    def test_normal_form_minimal(self, p):
+        for implicant in p:
+            assert not any(other < implicant for other in p)
+
+
+class TestCitationCorrespondence:
+    """PosBool absorption mirrors why-provenance minimization."""
+
+    def test_matches_why_minimization(self):
+        from repro.semiring import WHY
+        why_value = WHY.add(
+            WHY.token("a"),
+            WHY.multiply(WHY.token("a"), WHY.token("b")),
+        )
+        posbool_value = POSBOOL.add(
+            POSBOOL.token("a"),
+            POSBOOL.multiply(POSBOOL.token("a"), POSBOOL.token("b")),
+        )
+        assert WHY.minimized(why_value) == posbool_value

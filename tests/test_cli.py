@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def project(tmp_path):
+    path = tmp_path / "demo.json"
+    assert main(["init-demo", str(path)]) == 0
+    return path
+
+
+class TestInitDemo:
+    def test_writes_project(self, project):
+        payload = json.loads(project.read_text())
+        assert "Family" in payload["schema"]
+        assert len(payload["views"]) == 5
+
+
+class TestViews:
+    def test_lists_views(self, project, capsys):
+        assert main(["views", str(project)]) == 0
+        out = capsys.readouterr().out
+        for name in ("V1", "V2", "V3", "V4", "V5"):
+            assert name in out
+        assert "λ" in out  # parameters displayed
+
+
+class TestRewrite:
+    def test_shows_rewritings(self, project, capsys):
+        assert main([
+            "rewrite", str(project),
+            'Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), '
+            'Ty = "gpcr"',
+        ]) == 0
+        out = capsys.readouterr().out
+        assert 'V5(F, N, "gpcr", Tx)' in out
+        assert out.count("[total") == 4
+
+    def test_unsatisfiable_query(self, project, capsys):
+        assert main([
+            "rewrite", str(project),
+            'Q(N) :- Family(F, N, Ty), Ty = "a", Ty = "b"',
+        ]) == 0
+        assert "no rewritings" in capsys.readouterr().out
+
+
+class TestCite:
+    def test_json_output(self, project, capsys):
+        assert main([
+            "cite", str(project),
+            'Q(N) :- Family(F, N, Ty), Ty = "gpcr"',
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["policy"] == "focused"
+        assert payload["database"][0]["Owner"] == "Tony Harmar"
+
+    def test_text_format(self, project, capsys):
+        assert main([
+            "cite", str(project),
+            'Q(N) :- Family(F, N, Ty), Ty = "vgic"',
+            "--format", "text",
+        ]) == 0
+        assert "CatSper" in capsys.readouterr().out
+
+    def test_policy_choice(self, project, capsys):
+        assert main([
+            "cite", str(project),
+            'Q(N) :- Family(F, N, Ty), Ty = "gpcr"',
+            "--policy", "comprehensive",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["policy"] == "comprehensive"
+
+    def test_sql_mode(self, project, capsys):
+        assert main([
+            "cite", str(project),
+            "SELECT f.FName FROM Family f WHERE f.Type = 'gpcr'",
+            "--sql",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["citations"]
+
+    def test_explain_flag(self, project, capsys):
+        assert main([
+            "cite", str(project),
+            'Q(N) :- Family(F, N, Ty), Ty = "gpcr"',
+            "--format", "text", "--explain",
+        ]) == 0
+        assert "Citation explanation" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_missing_project_file(self, tmp_path, capsys):
+        assert main([
+            "views", str(tmp_path / "nope.json"),
+        ]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_command(self):
+        assert main(["frobnicate"]) != 0
+
+    def test_bibtex_and_xml_formats(self, project, capsys):
+        assert main([
+            "cite", str(project),
+            'Q(N) :- Family(F, N, Ty), Ty = "gpcr"',
+            "--format", "bibtex",
+        ]) == 0
+        assert "@misc" in capsys.readouterr().out
+        assert main([
+            "cite", str(project),
+            'Q(N) :- Family(F, N, Ty), Ty = "gpcr"',
+            "--format", "xml",
+        ]) == 0
+        assert "<citation>" in capsys.readouterr().out

@@ -1,0 +1,82 @@
+"""Remaining edge cases across modules."""
+
+import pytest
+
+from repro.citation.generator import CitationEngine
+from repro.gtopdb.sample import paper_database
+from repro.gtopdb.views import nested_family_citation
+from repro.workload.queries import QueryGenerator
+
+
+class TestNestedCitationFunction:
+    def test_empty_rows_fall_back_to_parameter(self):
+        fn = nested_family_citation(
+            "Contributors", group_index=1, member_index=2, outer_index=0
+        )
+        record = fn([], ("Type", "Name", "Committee"), {"Ty": "gpcr"})
+        assert record["Type"] == "gpcr"
+        assert record["Contributors"] == []
+
+    def test_empty_rows_no_params(self):
+        fn = nested_family_citation(
+            "Contributors", group_index=1, member_index=2, outer_index=0
+        )
+        record = fn([], ("Type", "Name", "Committee"), {})
+        assert record == {"Contributors": []}
+
+    def test_members_deduplicated_and_sorted(self):
+        fn = nested_family_citation(
+            "Contributors", group_index=0, member_index=1, outer_index=0
+        )
+        rows = [("fam", "Zoe"), ("fam", "Alice"), ("fam", "Zoe")]
+        record = fn(rows, ("Name", "Member"), {})
+        assert record["Contributors"][0]["Committee"] == ["Alice", "Zoe"]
+
+
+class TestGeneratorWithoutDatabase:
+    def test_generation_without_sampled_constants(self):
+        db = paper_database()
+        generator = QueryGenerator(db.schema, db=None, seed=1,
+                                   selection_probability=1.0)
+        queries = generator.generate_many(10)
+        # Without a database to sample from, no selections are added.
+        assert all(not q.comparisons for q in queries)
+        for query in queries:
+            query.check_safety()
+
+
+class TestEngineLimits:
+    def test_max_rewritings_limits_citation_breadth(self, db, registry):
+        from repro.citation.policy import comprehensive_policy
+        full = CitationEngine(db, registry,
+                              policy=comprehensive_policy())
+        capped = CitationEngine(db, registry,
+                                policy=comprehensive_policy(),
+                                max_rewritings=1)
+        query = ('Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), '
+                 'Ty = "gpcr"')
+        full_result = full.cite(query)
+        capped_result = capped.cite(query)
+        assert len(capped_result.rewritings) == 1
+        assert len(full_result.rewritings) == 4
+        # Same answers, narrower provenance.
+        assert set(full_result.tuples) == set(capped_result.tuples)
+
+    def test_include_partial_false_engine(self, db, registry):
+        engine = CitationEngine(db, registry, include_partial=False)
+        result = engine.cite(
+            "Q(N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)"
+        )
+        # Only partial rewritings exist for this query: none usable.
+        assert result.rewritings == ()
+        assert result.tuples == {}
+        assert result.records == result.database_citation
+
+
+class TestRenameApartStability:
+    def test_rename_apart_is_deterministic(self):
+        from repro.cq.parser import parse_query
+        query = parse_query("Q(A) :- R(A, B), S(B, C)")
+        first, __ = query.rename_apart(["A", "B"])
+        second, __ = query.rename_apart(["A", "B"])
+        assert repr(first) == repr(second)

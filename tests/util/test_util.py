@@ -1,0 +1,120 @@
+"""Tests for shared utilities: name supply, ordered sets, JSON helpers."""
+
+from repro.util.jsonutil import canonical_json, merge_records, union_records
+from repro.util.naming import NameSupply, fresh_variable_name
+from repro.util.orderedset import OrderedSet
+
+
+class TestNameSupply:
+    def test_fresh_avoids_collisions(self):
+        supply = NameSupply(avoid=["_v0", "_v1"])
+        assert supply.fresh() == "_v2"
+
+    def test_hint_used_when_free(self):
+        supply = NameSupply(avoid=["x"])
+        assert supply.fresh(hint="y") == "y"
+
+    def test_hint_skipped_when_taken(self):
+        supply = NameSupply(avoid=["y"])
+        name = supply.fresh(hint="y")
+        assert name != "y"
+
+    def test_never_repeats(self):
+        supply = NameSupply()
+        names = {supply.fresh() for __ in range(100)}
+        assert len(names) == 100
+
+    def test_reserve(self):
+        supply = NameSupply()
+        supply.reserve(["_v0"])
+        assert supply.fresh() == "_v1"
+
+    def test_fresh_variable_name(self):
+        assert fresh_variable_name(["a"], hint="b") == "b"
+        assert fresh_variable_name(["b"], hint="b") == "b0"
+        assert fresh_variable_name(["b", "b0"], hint="b") == "b1"
+
+
+class TestOrderedSet:
+    def test_insertion_order_preserved(self):
+        s = OrderedSet([3, 1, 2, 1])
+        assert list(s) == [3, 1, 2]
+
+    def test_membership(self):
+        s = OrderedSet("abc")
+        assert "a" in s and "z" not in s
+
+    def test_add_discard(self):
+        s = OrderedSet()
+        s.add(1)
+        s.add(1)
+        assert len(s) == 1
+        s.discard(1)
+        s.discard(1)  # no error
+        assert len(s) == 0
+
+    def test_union_intersection_difference(self):
+        a = OrderedSet([1, 2, 3])
+        b = OrderedSet([2, 3, 4])
+        assert list(a.union(b)) == [1, 2, 3, 4]
+        assert list(a.intersection(b)) == [2, 3]
+        assert list(a.difference(b)) == [1]
+
+    def test_equality_with_builtin_set(self):
+        assert OrderedSet([1, 2]) == {2, 1}
+        assert OrderedSet([1, 2]) == OrderedSet([2, 1])
+
+    def test_hash_order_insensitive(self):
+        assert hash(OrderedSet([1, 2])) == hash(OrderedSet([2, 1]))
+
+    def test_copy_independent(self):
+        a = OrderedSet([1])
+        b = a.copy()
+        b.add(2)
+        assert 2 not in a
+
+
+class TestJsonUtil:
+    def test_canonical_json_sorts_keys(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_union_records_dedupes(self):
+        records = [{"a": 1}, {"a": 1}, {"b": 2}]
+        assert union_records(records) == [{"a": 1}, {"b": 2}]
+
+    def test_merge_records_factors_common_fields(self):
+        # The paper's Example 3.5 merge.
+        left = {"ID": "11", "Name": "Calcitonin",
+                "Committee": ["Hay", "Poyner"]}
+        right = {"ID": "11", "Name": "Calcitonin",
+                 "Text": "The calcitonin peptide family",
+                 "Contributors": ["Brown", "Smith"]}
+        merged = merge_records([left, right])
+        assert merged == {
+            "ID": "11",
+            "Name": "Calcitonin",
+            "Committee": ["Hay", "Poyner"],
+            "Text": "The calcitonin peptide family",
+            "Contributors": ["Brown", "Smith"],
+        }
+
+    def test_merge_records_unions_conflicting_lists(self):
+        merged = merge_records([
+            {"Committee": ["Hay"]},
+            {"Committee": ["Brown"]},
+        ])
+        assert merged == {"Committee": ["Hay", "Brown"]}
+
+    def test_merge_records_conflicting_scalars_become_list(self):
+        merged = merge_records([{"Name": "A"}, {"Name": "B"}])
+        assert merged == {"Name": ["A", "B"]}
+
+    def test_merge_records_nested_dicts(self):
+        merged = merge_records([
+            {"Meta": {"a": 1}},
+            {"Meta": {"b": 2}},
+        ])
+        assert merged == {"Meta": {"a": 1, "b": 2}}
+
+    def test_merge_empty(self):
+        assert merge_records([]) == {}

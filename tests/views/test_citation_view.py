@@ -1,0 +1,121 @@
+"""Tests for the citation-view triple (Def 2.1)."""
+
+import pytest
+
+from repro.errors import ParameterError, ViewError
+from repro.views.citation_view import (
+    CitationView,
+    RecordCitationFunction,
+    default_citation_function,
+)
+
+
+class TestConstruction:
+    def test_from_strings(self):
+        view = CitationView.from_strings(
+            view="lambda F. V1(F, N, Ty) :- Family(F, N, Ty)",
+            citation_query=(
+                "lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), "
+                "Person(C, Pn, A)"
+            ),
+            labels=("ID", "Name", "Committee"),
+        )
+        assert view.name == "V1"
+        assert [p.name for p in view.parameters] == ["F"]
+
+    def test_parameter_names_must_match(self):
+        with pytest.raises(ParameterError):
+            CitationView.from_strings(
+                view="lambda F. V(F, N) :- Family(F, N, Ty)",
+                citation_query="lambda G. CV(G, N) :- Family(G, N, Ty)",
+            )
+
+    def test_parameter_must_be_head_variable(self):
+        # Def 2.1 requires X ⊆ Y for the view definition.
+        with pytest.raises(ViewError):
+            CitationView.from_strings(
+                view="lambda Ty. V(F, N) :- Family(F, N, Ty)",
+                citation_query="lambda Ty. CV(N) :- Family(F, N, Ty)",
+            )
+
+    def test_citation_query_parameter_need_not_be_head(self):
+        # For C_V the paper only requires X ⊆ vars(Q').
+        CitationView.from_strings(
+            view="lambda F. V(F, N) :- Family(F, N, Ty)",
+            citation_query="lambda F. CV(N) :- Family(F, N, Ty)",
+        )
+
+    def test_label_count_checked(self):
+        with pytest.raises(ViewError):
+            CitationView.from_strings(
+                view="V(F) :- Family(F, N, Ty)",
+                citation_query="CV(F, N) :- Family(F, N, Ty)",
+                labels=("one",),
+            )
+
+    def test_default_labels(self):
+        view = CitationView.from_strings(
+            view="V(F) :- Family(F, N, Ty)",
+            citation_query="CV(F, N) :- Family(F, N, Ty)",
+        )
+        assert view.labels == ("col0", "col1")
+
+    def test_parameter_positions(self):
+        view = CitationView.from_strings(
+            view="lambda Ty, F. V(F, N, Ty) :- Family(F, N, Ty)",
+            citation_query="lambda Ty, F. CV(Ty) :- Family(F, N, Ty)",
+        )
+        assert view.parameter_positions() == (2, 0)
+
+
+class TestSemantics:
+    def test_instance_with_params(self, db, registry):
+        v1 = registry.get("V1")
+        assert v1.instance(db, ["11"]) == [("11", "Calcitonin", "gpcr")]
+
+    def test_instance_unparameterized_extension(self, db, registry):
+        v1 = registry.get("V1")
+        assert len(v1.instance(db)) == len(db.relation("Family"))
+
+    def test_citation_rows(self, db, registry):
+        v1 = registry.get("V1")
+        rows = v1.citation_rows(db, ["11"])
+        names = {row[2] for row in rows}
+        assert names == {"Hay", "Poyner"}
+
+    def test_citation_for_wrong_arity(self, db, registry):
+        with pytest.raises(ParameterError):
+            registry.get("V1").citation_for(db, ())
+
+    def test_citation_for_empty_instance(self, db, registry):
+        record = registry.get("V1").citation_for(db, ("no-such-family",))
+        assert record == {}
+
+
+class TestCitationFunctions:
+    def test_default_folds_multivalued_columns(self):
+        rows = [("11", "Calcitonin", "Hay"), ("11", "Calcitonin", "Poyner")]
+        record = default_citation_function(
+            rows, ("ID", "Name", "Committee"), {}
+        )
+        assert record == {"ID": "11", "Name": "Calcitonin",
+                          "Committee": ["Hay", "Poyner"]}
+
+    def test_default_empty_rows(self):
+        assert default_citation_function([], ("A",), {}) == {}
+
+    def test_record_function_forces_lists(self):
+        fn = RecordCitationFunction(list_fields=("Committee",))
+        record = fn([("11", "Hay")], ("ID", "Committee"), {})
+        assert record == {"ID": "11", "Committee": ["Hay"]}
+
+    def test_record_function_constant_fields(self):
+        fn = RecordCitationFunction(constant_fields={"Database": "GtoPdb"})
+        record = fn([("11",)], ("ID",), {})
+        assert record["Database"] == "GtoPdb"
+
+    def test_unsortable_values_fall_back_to_repr_order(self):
+        record = default_citation_function(
+            [(1,), ("a",)], ("Mixed",), {}
+        )
+        assert len(record["Mixed"]) == 2

@@ -1,0 +1,62 @@
+"""Tests for view inclusion (Example 3.8's 'best fit' order)."""
+
+from repro.gtopdb.schema import gtopdb_schema
+from repro.views.citation_view import CitationView
+from repro.views.inclusion import view_included_in, view_strictly_finer
+from repro.views.registry import ViewRegistry
+
+
+def make(view, cq=None, name=None):
+    return CitationView.from_strings(
+        view=view, citation_query=cq or view.replace("V(", "CV(", 1)
+    )
+
+
+class TestInclusion:
+    def test_v1_included_in_v3_and_vice_versa(self, registry):
+        # Same body, same head: extensions coincide.
+        v1, v3 = registry.get("V1"), registry.get("V3")
+        assert view_included_in(v1, v3)
+        assert view_included_in(v3, v1)
+
+    def test_v1_strictly_finer_than_v3(self, registry):
+        # Equal extensions, but λF partitions more finely than no λ.
+        v1, v3 = registry.get("V1"), registry.get("V3")
+        assert view_strictly_finer(v1, v3)
+        assert not view_strictly_finer(v3, v1)
+
+    def test_v1_and_v4_equivalent_extensions(self, registry):
+        v1, v4 = registry.get("V1"), registry.get("V4")
+        assert view_included_in(v1, v4)
+        assert view_included_in(v4, v1)
+        # Same parameter count: neither strictly finer.
+        assert not view_strictly_finer(v1, v4)
+        assert not view_strictly_finer(v4, v1)
+
+    def test_different_arities_incomparable(self, registry):
+        v1, v2 = registry.get("V1"), registry.get("V2")
+        assert not view_included_in(v1, v2)
+        assert not view_included_in(v2, v1)
+
+    def test_selective_view_strictly_included(self):
+        narrow = make('V(F, N, Ty) :- Family(F, N, Ty), Ty = "gpcr"')
+        wide = make("V(F, N, Ty) :- Family(F, N, Ty)")
+        assert view_included_in(narrow, wide)
+        assert not view_included_in(wide, narrow)
+        assert view_strictly_finer(narrow, wide)
+
+    def test_join_view_included_in_projection_compatible_base(self):
+        joined = CitationView.from_strings(
+            view="V(F, N, Ty) :- Family(F, N, Ty), FamilyIntro(F, Tx)",
+            citation_query="CV(F) :- Family(F, N, Ty)",
+        )
+        base = make("V(F, N, Ty) :- Family(F, N, Ty)")
+        assert view_included_in(joined, base)
+        assert not view_included_in(base, joined)
+
+    def test_registry_views_validate(self, registry):
+        # Sanity: pairwise inclusion never crashes across V1..V5.
+        views = list(registry)
+        for a in views:
+            for b in views:
+                view_included_in(a, b)

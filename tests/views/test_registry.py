@@ -1,0 +1,82 @@
+"""Tests for the view registry."""
+
+import pytest
+
+from repro.errors import DuplicateViewError, UnknownRelationError, ViewError
+from repro.gtopdb.schema import gtopdb_schema
+from repro.views.citation_view import CitationView
+from repro.views.registry import ViewRegistry
+
+
+def make_view(name="V9"):
+    return CitationView.from_strings(
+        view=f"lambda F. {name}(F, N) :- Family(F, N, Ty)",
+        citation_query=f"lambda F. C{name}(F, N) :- Family(F, N, Ty)",
+    )
+
+
+class TestAdd:
+    def test_duplicate_name_rejected(self):
+        registry = ViewRegistry(gtopdb_schema(), [make_view()])
+        with pytest.raises(DuplicateViewError):
+            registry.add(make_view())
+
+    def test_clash_with_base_relation_rejected(self):
+        registry = ViewRegistry(gtopdb_schema())
+        with pytest.raises(ViewError):
+            registry.add(make_view(name="Family"))
+
+    def test_unknown_relation_in_body_rejected(self):
+        view = CitationView.from_strings(
+            view="V(X) :- Nope(X)",
+            citation_query="CV(X) :- Nope(X)",
+        )
+        with pytest.raises(UnknownRelationError):
+            ViewRegistry(gtopdb_schema(), [view])
+
+    def test_arity_mismatch_rejected(self):
+        view = CitationView.from_strings(
+            view="V(F) :- Family(F, N)",  # Family has arity 3
+            citation_query="CV(F) :- Family(F, N)",
+        )
+        with pytest.raises(Exception):
+            ViewRegistry(gtopdb_schema(), [view])
+
+    def test_unknown_relation_in_citation_query_rejected(self):
+        view = CitationView.from_strings(
+            view="V(F) :- Family(F, N, Ty)",
+            citation_query="CV(X) :- Nope(X)",
+        )
+        with pytest.raises(UnknownRelationError):
+            ViewRegistry(gtopdb_schema(), [view])
+
+
+class TestAccess:
+    def test_get_and_contains(self, registry):
+        assert registry.get("V1").name == "V1"
+        assert "V1" in registry and "V9" not in registry
+
+    def test_get_unknown_raises(self, registry):
+        with pytest.raises(ViewError):
+            registry.get("V9")
+
+    def test_names_in_order(self, registry):
+        assert registry.names == ("V1", "V2", "V3", "V4", "V5")
+
+    def test_len_and_iter(self, registry):
+        assert len(registry) == 5
+        assert [v.name for v in registry] == list(registry.names)
+
+
+class TestMaterialize:
+    def test_extensions_match_definitions(self, db, registry):
+        materialized = registry.materialize(db)
+        assert set(materialized) == set(registry.names)
+        # V1's unparameterized extension is the whole Family table.
+        assert len(materialized["V1"]) == len(db.relation("Family"))
+        # V5 joins Family with FamilyIntro.
+        assert len(materialized["V5"]) == len(db.relation("FamilyIntro"))
+
+    def test_subset_materialization(self, db, registry):
+        materialized = registry.materialize(db, names=["V3"])
+        assert set(materialized) == {"V3"}

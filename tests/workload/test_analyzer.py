@@ -1,0 +1,94 @@
+"""Tests for query-log analysis."""
+
+import pytest
+
+from repro.workload.analyzer import analyze_log
+from repro.workload.logs import QueryLog
+
+
+@pytest.fixture
+def log():
+    entries = QueryLog()
+    entries.record('Q(N) :- Family(F, N, Ty), Ty = "gpcr"', frequency=10)
+    entries.record(
+        "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)", frequency=4
+    )
+    entries.record('Q(Tx) :- FamilyIntro(F, Tx), F = "11"', frequency=6)
+    return entries
+
+
+class TestProfileBasics:
+    def test_totals(self, log):
+        profile = analyze_log(log)
+        assert profile.total_queries == 3
+        assert profile.total_frequency == 20
+
+    def test_relation_counts_weighted(self, log):
+        profile = analyze_log(log)
+        assert profile.relation_counts["Family"] == 14
+        assert profile.relation_counts["FamilyIntro"] == 10
+
+    def test_top_relations(self, log):
+        profile = analyze_log(log)
+        assert profile.top_relations(1) == [("Family", 14)]
+
+
+class TestSelections:
+    def test_comparison_selection_counted(self, log):
+        profile = analyze_log(log)
+        # Ty = "gpcr" filters Family position 2.
+        assert profile.selection_counts[("Family", 2)] == 10
+        # F = "11" filters FamilyIntro position 0.
+        assert profile.selection_counts[("FamilyIntro", 0)] == 6
+
+    def test_selection_constants_recorded(self, log):
+        profile = analyze_log(log)
+        constants = profile.selection_constants[("Family", 2)]
+        assert constants["gpcr"] == 10
+
+    def test_inline_constant_counted(self):
+        log = QueryLog()
+        log.record('Q(N) :- Family("11", N, Ty)', frequency=3)
+        profile = analyze_log(log)
+        assert profile.selection_counts[("Family", 0)] == 3
+        assert profile.selection_constants[("Family", 0)]["11"] == 3
+
+    def test_top_selections_are_lambda_candidates(self, log):
+        profile = analyze_log(log)
+        assert profile.top_selections(1)[0][0] == ("Family", 2)
+
+
+class TestJoins:
+    def test_fk_join_counted(self, log):
+        profile = analyze_log(log)
+        key = tuple(sorted(((
+            "Family", 0), ("FamilyIntro", 0))))
+        assert profile.join_counts[key] == 4
+
+    def test_join_orientation_canonical(self):
+        log = QueryLog()
+        log.record("Q(N) :- Family(F, N, Ty), FamilyIntro(F, Tx)")
+        log.record("Q(Tx) :- FamilyIntro(F, Tx), Family(F, N, Ty)")
+        profile = analyze_log(log)
+        assert len(profile.join_counts) == 1
+        assert list(profile.join_counts.values()) == [2]
+
+
+class TestProjections:
+    def test_head_positions_counted(self, log):
+        profile = analyze_log(log)
+        # N (Family position 1) is projected in queries 1 and 2: 10 + 4.
+        assert profile.projection_counts[("Family", 1)] == 14
+
+
+class TestDescribe:
+    def test_renders_summary(self, log):
+        text = analyze_log(log).describe()
+        assert "3 queries, 20 executions" in text
+        assert "Family" in text
+        assert "λ candidates" in text
+
+    def test_empty_log(self):
+        profile = analyze_log(QueryLog())
+        assert profile.total_queries == 0
+        assert "0 queries" in profile.describe()

@@ -1,0 +1,132 @@
+"""Tests for query generation, logs, and view suggestion."""
+
+import pytest
+
+from repro.cq.evaluation import evaluate_query
+from repro.gtopdb.sample import paper_database
+from repro.gtopdb.schema import gtopdb_schema
+from repro.views.registry import ViewRegistry
+from repro.workload.logs import LogEntry, QueryLog
+from repro.workload.queries import QueryGenerator
+from repro.workload.suggest import coverage_of_views, suggest_views
+
+
+@pytest.fixture(scope="module")
+def db():
+    return paper_database()
+
+
+class TestQueryGenerator:
+    def test_deterministic_under_seed(self, db):
+        q1 = QueryGenerator(db.schema, db, seed=5).generate_many(10)
+        q2 = QueryGenerator(db.schema, db, seed=5).generate_many(10)
+        assert [repr(q) for q in q1] == [repr(q) for q in q2]
+
+    def test_all_queries_safe_and_evaluable(self, db):
+        generator = QueryGenerator(db.schema, db, seed=8)
+        for query in generator.generate_many(25):
+            query.check_safety()
+            evaluate_query(query, db)  # must not raise
+
+    def test_atom_budget_respected(self, db):
+        generator = QueryGenerator(db.schema, db, seed=3, max_atoms=2)
+        assert all(
+            len(q.atoms) <= 2 for q in generator.generate_many(20)
+        )
+
+    def test_joins_follow_foreign_keys(self, db):
+        generator = QueryGenerator(db.schema, db, seed=4, max_atoms=3,
+                                   selection_probability=0.0)
+        multi = [q for q in generator.generate_many(30)
+                 if len(q.atoms) >= 2]
+        assert multi, "expected some join queries"
+        joined = [
+            q for q in multi
+            if set(q.atoms[0].variables()) & set(q.atoms[1].variables())
+        ]
+        assert joined, "expected FK-connected joins"
+
+    def test_selection_constants_sampled_from_db(self, db):
+        generator = QueryGenerator(db.schema, db, seed=6,
+                                   selection_probability=1.0)
+        queries = generator.generate_many(20)
+        with_selection = [q for q in queries if q.comparisons]
+        assert with_selection
+        for query in with_selection:
+            # Constants exist in the database, so queries are satisfiable
+            # at least structurally (value occurs somewhere).
+            constant = query.comparisons[0].right
+            assert constant.is_constant
+
+
+class TestQueryLog:
+    def test_record_accepts_strings(self):
+        log = QueryLog()
+        log.record("Q(N) :- Family(F, N, Ty)", frequency=3)
+        assert len(log) == 1
+        assert log.total_frequency == 3
+
+    def test_record_accepts_entries(self):
+        from repro.cq.parser import parse_query
+        entry = LogEntry(parse_query("Q(N) :- Family(F, N, Ty)"), 2)
+        log = QueryLog([entry])
+        assert log.total_frequency == 2
+
+    def test_queries_in_order(self):
+        log = QueryLog()
+        log.record("Q(N) :- Family(F, N, Ty)")
+        log.record("Q(Tx) :- FamilyIntro(F, Tx)")
+        assert [q.atoms[0].relation for q in log.queries()] == [
+            "Family", "FamilyIntro",
+        ]
+
+
+class TestSuggestViews:
+    def test_suggestions_generalize_selections(self):
+        log = QueryLog()
+        log.record('Q(N) :- Family(F, N, Ty), Ty = "gpcr"', frequency=10)
+        suggested = suggest_views(log, ViewRegistry(gtopdb_schema()), k=1)
+        assert len(suggested) == 1
+        view = suggested[0].view
+        # The constant was generalized into a λ-parameter (like V4).
+        assert view.is_parameterized
+
+    def test_coverage_improves_with_k(self):
+        log = QueryLog()
+        log.record('Q(N) :- Family(F, N, Ty), Ty = "gpcr"', frequency=5)
+        log.record("Q(Tx) :- FamilyIntro(F, Tx)", frequency=5)
+        log.record("Q(Pn) :- Person(P, Pn, A)", frequency=5)
+        registry = ViewRegistry(gtopdb_schema())
+        one = suggest_views(log, registry, k=1)
+        three = suggest_views(log, registry, k=3)
+        assert coverage_of_views(three, log) >= coverage_of_views(one, log)
+
+    def test_greedy_prefers_frequent_patterns(self):
+        log = QueryLog()
+        log.record('Q(N) :- Family(F, N, Ty), Ty = "gpcr"', frequency=100)
+        log.record("Q(Pn) :- Person(P, Pn, A)", frequency=1)
+        suggested = suggest_views(log, ViewRegistry(gtopdb_schema()), k=1)
+        assert suggested[0].view.atoms[0].relation == "Family"
+
+    def test_empty_log_suggests_nothing(self):
+        assert suggest_views(QueryLog(), ViewRegistry(gtopdb_schema())) == []
+
+    def test_suggested_names_deterministic(self):
+        log = QueryLog()
+        log.record("Q(N) :- Family(F, N, Ty)", frequency=2)
+        suggested = suggest_views(log, ViewRegistry(gtopdb_schema()), k=2)
+        assert [v.name for v in suggested] == [
+            f"SV{i}" for i in range(len(suggested))
+        ]
+
+    def test_suggested_views_registrable(self, db):
+        log = QueryLog()
+        log.record('Q(N) :- Family(F, N, Ty), Ty = "gpcr"', frequency=4)
+        log.record("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)",
+                   frequency=2)
+        suggested = suggest_views(log, ViewRegistry(gtopdb_schema()), k=3)
+        registry = ViewRegistry(gtopdb_schema(), suggested)
+        assert len(registry) == len(suggested)
+
+    def test_coverage_of_empty_log(self):
+        assert coverage_of_views([], QueryLog()) == 0.0
