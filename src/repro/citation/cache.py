@@ -17,46 +17,18 @@ we keep the sound per-structure cache.
 
 from __future__ import annotations
 
+from repro.cq.canonical import canonical_key
 from repro.cq.query import ConjunctiveQuery
-from repro.cq.terms import Variable
 from repro.rewriting.engine import RewritingEngine
 from repro.rewriting.rewriting import Rewriting
 from repro.views.registry import ViewRegistry
 
+__all__ = ["CachedRewritingEngine", "cached_engine", "canonical_key"]
 
-def canonical_key(query: ConjunctiveQuery) -> str:
-    """A cache key invariant under variable renaming.
-
-    Variables are renamed ``v0, v1, ...`` in order of first occurrence
-    across the head, the atoms (in order), and the comparisons (sorted by
-    their canonical repr after renaming is deterministic enough for our
-    construction order).  Two α-equivalent queries map to the same key;
-    distinct structures map to distinct keys.
-    """
-    renaming: dict[str, str] = {}
-
-    def canon(term: object) -> str:
-        if isinstance(term, Variable):
-            if term.name not in renaming:
-                renaming[term.name] = f"v{len(renaming)}"
-            return renaming[term.name]
-        return repr(term)
-
-    parts = ["H:" + ",".join(canon(t) for t in query.head)]
-    for atom in query.atoms:
-        parts.append(
-            f"A:{atom.relation}(" + ",".join(canon(t) for t in atom.terms)
-            + ")"
-        )
-    comparison_parts = []
-    for comparison in query.comparisons:
-        normalized = comparison.normalized()
-        comparison_parts.append(
-            f"C:{canon(normalized.left)}{normalized.op}"
-            f"{canon(normalized.right)}"
-        )
-    parts.extend(sorted(comparison_parts))
-    return "|".join(parts)
+# ``canonical_key`` now lives in :mod:`repro.cq.canonical` so the query
+# planner (repro.cq.plan) can share the α-equivalence cache key without
+# importing upward into the citation layer; it is re-exported here for
+# backward compatibility.
 
 
 class CachedRewritingEngine:

@@ -18,6 +18,7 @@ The :class:`CitationEngine` pipeline:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Any
 
@@ -35,7 +36,9 @@ from repro.citation.tokens import (
     ViewCitationToken,
 )
 from repro.cq.evaluation import evaluate_with_bindings
+from repro.cq.executor import IndexedVirtualRelations
 from repro.cq.parser import parse_query
+from repro.cq.plan import QueryPlanner
 from repro.cq.query import ConjunctiveQuery
 from repro.cq.sql_parser import parse_sql
 from repro.cq.terms import Constant, Variable
@@ -166,7 +169,10 @@ class CitationEngine:
         if database_citation is None:
             database_citation = _default_database_citation(db)
         self.database_citation = database_citation
-        self._virtual: dict[str, list[tuple[Any, ...]]] | None = None
+        #: Shared plan cache: every rewriting of every query evaluated by
+        #: this engine reuses plans across α-equivalent structures.
+        self.planner = QueryPlanner(db)
+        self._virtual: IndexedVirtualRelations | None = None
         self._record_cache: dict[CitationToken, Record] = {}
 
     # ------------------------------------------------------------------
@@ -175,10 +181,13 @@ class CitationEngine:
         """Drop materialized views and cached records after DB updates."""
         self._virtual = None
         self._record_cache.clear()
+        self.planner.clear()
 
-    def _materialized(self) -> dict[str, list[tuple[Any, ...]]]:
+    def _materialized(self) -> IndexedVirtualRelations:
         if self._virtual is None:
-            self._virtual = self.registry.materialize(self.db)
+            self._virtual = IndexedVirtualRelations(
+                self.registry.materialize(self.db)
+            )
         return self._virtual
 
     # ------------------------------------------------------------------
@@ -211,7 +220,10 @@ class CitationEngine:
     ) -> dict[tuple[Any, ...], CitationPolynomial]:
         """Def 3.2: per-tuple polynomials for one rewriting."""
         grouped = evaluate_with_bindings(
-            rewriting.query, self.db, virtual=self._materialized()
+            rewriting.query,
+            self.db,
+            virtual=self._materialized(),
+            planner=self.planner,
         )
         result: dict[tuple[Any, ...], CitationPolynomial] = {}
         for output, bindings in grouped.items():
@@ -332,6 +344,34 @@ class CitationEngine:
             records=aggregated_records,
             database_citation=list(self.database_citation),
         )
+
+    def cite_batch(
+        self, queries: "Sequence[ConjunctiveQuery | str]"
+    ) -> list[CitationResult]:
+        """Cite a whole workload, sharing work across the queries.
+
+        This is the repository-front-end entry point: repeated or
+        template-shaped traffic pays each expensive step once —
+
+        - rewriting enumeration is memoized per α-equivalence class (the
+          engine is upgraded to a
+          :class:`~repro.citation.cache.CachedRewritingEngine` if it is
+          not one already; the upgrade is transparent and persists, so a
+          follow-up batch starts warm);
+        - query plans are shared through :attr:`planner`;
+        - views are materialized once up front, and their hash indexes
+          accumulate across the batch.
+
+        Returns one :class:`CitationResult` per query, in order.
+        """
+        from repro.citation.cache import CachedRewritingEngine
+
+        if not isinstance(self.rewriting_engine, CachedRewritingEngine):
+            self.rewriting_engine = CachedRewritingEngine(
+                self.rewriting_engine
+            )
+        self._materialized()
+        return [self.cite(query) for query in queries]
 
     def cite_sql(self, sql: str) -> CitationResult:
         """Compute the citation for a SQL SELECT statement."""

@@ -12,6 +12,8 @@ end to end:
     python -m repro.cli cite gtopdb.json 'Q(N) :- Family(F,N,Ty), Ty = "gpcr"'
     python -m repro.cli cite gtopdb.json --sql "SELECT FName FROM Family" \
         --policy comprehensive --format text
+    python -m repro.cli plan gtopdb.json 'Q(N) :- Family(F,N,Ty), Ty = "gpcr"'
+    python -m repro.cli cite-batch gtopdb.json queries.txt --stats
 
 Exit codes: 0 on success, 1 on usage errors, 2 on processing errors.
 """
@@ -182,6 +184,47 @@ def cmd_cite(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_plan(args: argparse.Namespace) -> int:
+    """Show the cost-based query plan (EXPLAIN) for a query."""
+    from repro.cq.parser import parse_query
+    from repro.cq.plan import plan_query
+    from repro.cq.sql_parser import parse_sql
+
+    db, __ = _load(args.project)
+    if args.sql:
+        query = parse_sql(args.query, db.schema)
+    else:
+        query = parse_query(args.query)
+    print(plan_query(query, db).explain())
+    return 0
+
+
+def cmd_cite_batch(args: argparse.Namespace) -> int:
+    """Cite a file of queries (one Datalog query per line) as one batch.
+
+    Blank lines and ``#`` comments are skipped.  Plans, rewritings, and
+    materialized-view indexes are shared across the whole batch; --stats
+    prints the cache-effectiveness report afterwards.
+    """
+    from repro.workload.runner import run_workload
+
+    db, registry = _load(args.project)
+    engine = _build_engine(db, registry, args.policy)
+    with open(args.queries, encoding="utf-8") as handle:
+        queries = [
+            line.strip()
+            for line in handle
+            if line.strip() and not line.strip().startswith("#")
+        ]
+    report = run_workload(engine, queries)
+    renderer = _FORMATS[args.format]
+    for result in report.results:
+        print(renderer(result))
+    if args.stats:
+        print(report.describe(), file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -217,6 +260,30 @@ def build_parser() -> argparse.ArgumentParser:
     cite.add_argument("--explain", action="store_true",
                       help="append a human-readable explanation")
     cite.set_defaults(func=cmd_cite)
+
+    plan = commands.add_parser(
+        "plan", help="show the cost-based query plan (EXPLAIN)"
+    )
+    plan.add_argument("project")
+    plan.add_argument("query")
+    plan.add_argument("--sql", action="store_true",
+                      help="interpret the query as SQL")
+    plan.set_defaults(func=cmd_plan)
+
+    cite_batch = commands.add_parser(
+        "cite-batch",
+        help="cite a file of queries as one batch (shared plans/rewritings)",
+    )
+    cite_batch.add_argument("project")
+    cite_batch.add_argument("queries",
+                            help="file with one Datalog query per line")
+    cite_batch.add_argument("--policy", default="focused",
+                            choices=sorted(_POLICIES))
+    cite_batch.add_argument("--format", default="json",
+                            choices=sorted(_FORMATS))
+    cite_batch.add_argument("--stats", action="store_true",
+                            help="print cache-effectiveness statistics")
+    cite_batch.set_defaults(func=cmd_cite_batch)
     return parser
 
 

@@ -22,7 +22,15 @@ from repro.cq.atoms import RelationalAtom, ComparisonAtom
 from repro.cq.query import ConjunctiveQuery
 from repro.cq.parser import parse_query, parse_atom
 from repro.cq.sql_parser import parse_sql
-from repro.cq.evaluation import evaluate_query, enumerate_bindings, Binding
+from repro.cq.canonical import canonical_key, canonicalize
+from repro.cq.plan import JoinStep, QueryPlan, QueryPlanner, plan_query
+from repro.cq.executor import IndexedVirtualRelations, execute_plan
+from repro.cq.evaluation import (
+    evaluate_query,
+    enumerate_bindings,
+    reference_bindings,
+    Binding,
+)
 from repro.cq.containment import (
     is_contained_in,
     are_equivalent,
@@ -46,8 +54,17 @@ __all__ = [
     "parse_query",
     "parse_atom",
     "parse_sql",
+    "canonical_key",
+    "canonicalize",
+    "JoinStep",
+    "QueryPlan",
+    "QueryPlanner",
+    "plan_query",
+    "IndexedVirtualRelations",
+    "execute_plan",
     "evaluate_query",
     "enumerate_bindings",
+    "reference_bindings",
     "Binding",
     "is_contained_in",
     "are_equivalent",

@@ -6,11 +6,21 @@ head.  Bindings — not just head tuples — are first-class here because the
 citation model (paper, Def 3.1/3.2) sums citations *per binding*: every
 binding that yields an output tuple contributes one monomial.
 
-The evaluator is a straightforward index-nested-loop join: atoms are
-ordered greedily by boundness, each atom probes a hash index on its bound
-positions, and comparison atoms fire as soon as their variables are bound.
-Virtual relations (e.g. materialized view instances during rewriting
-validation) can be supplied alongside the database.
+Since the planner refactor this module is a thin facade over the
+three-stage pipeline:
+
+- :mod:`repro.relational.statistics` — per-relation cardinality and
+  distinct counts, maintained incrementally;
+- :mod:`repro.cq.plan` — cost-based join ordering and static access
+  paths (:func:`~repro.cq.plan.plan_query`), cached across α-equivalent
+  queries by :class:`~repro.cq.plan.QueryPlanner`;
+- :mod:`repro.cq.executor` — iterator-style operators streaming the
+  bindings.
+
+:func:`reference_bindings` keeps the old stats-blind greedy
+index-nested-loop interpreter as an executable specification: property
+tests assert the planned executor produces binding-for-binding identical
+results, and the planner benchmark uses it as the baseline.
 """
 
 from __future__ import annotations
@@ -19,29 +29,121 @@ from collections.abc import Iterator, Mapping, Sequence
 from typing import Any
 
 from repro.cq.atoms import ComparisonAtom, RelationalAtom
+from repro.cq.executor import Binding, IndexedVirtualRelations, execute_plan
+from repro.cq.plan import QueryPlanner, plan_query
 from repro.cq.query import ConjunctiveQuery
 from repro.cq.terms import Constant, Variable
 from repro.errors import QueryError
 from repro.relational.database import Database
-
-#: A binding maps every body variable to a concrete value.
-Binding = dict[Variable, Any]
 
 #: Virtual relations: name -> list of value tuples (used to evaluate
 #: rewritings whose atoms reference views).
 VirtualRelations = Mapping[str, Sequence[tuple[Any, ...]]]
 
 
+def enumerate_bindings(
+    query: ConjunctiveQuery,
+    db: Database,
+    virtual: VirtualRelations | None = None,
+    planner: QueryPlanner | None = None,
+) -> Iterator[Binding]:
+    """Yield every satisfying binding of the query's body variables.
+
+    The query must be safe and non-parameterized (instantiate λ-parameters
+    first via :meth:`~repro.cq.query.ConjunctiveQuery.instantiate`).
+    When ``planner`` is given, its plan cache is consulted (and filled);
+    otherwise the query is planned from scratch — still cheap, but
+    workloads should share a :class:`~repro.cq.plan.QueryPlanner`.
+    """
+    indexed = IndexedVirtualRelations.wrap(virtual)
+    if planner is not None:
+        plan = planner.plan(query, indexed)
+    else:
+        plan = plan_query(query, db, indexed)
+    yield from execute_plan(plan, db, indexed)
+
+
+def head_tuple(query: ConjunctiveQuery, binding: Binding) -> tuple[Any, ...]:
+    """Project a binding onto the query head."""
+    result = []
+    for term in query.head:
+        if isinstance(term, Constant):
+            result.append(term.value)
+        else:
+            result.append(binding[term])
+    return tuple(result)
+
+
+def evaluate_query(
+    query: ConjunctiveQuery,
+    db: Database,
+    params: Sequence[Any] | None = None,
+    virtual: VirtualRelations | None = None,
+    planner: QueryPlanner | None = None,
+) -> list[tuple[Any, ...]]:
+    """Evaluate a query under set semantics.
+
+    Parameters
+    ----------
+    query:
+        The conjunctive query.  If parameterized, ``params`` must supply a
+        valuation.
+    db:
+        The database instance.
+    params:
+        λ-parameter values (the paper's ``V(Y)(a1..an)`` application).
+    virtual:
+        Extra virtual relations visible to the query body.
+    planner:
+        Optional shared plan cache.
+
+    Returns
+    -------
+    list of head-value tuples, deduplicated, in first-derivation order.
+    """
+    if params is not None:
+        query = query.instantiate(params)
+    results: dict[tuple[Any, ...], None] = {}
+    for binding in enumerate_bindings(query, db, virtual, planner):
+        results.setdefault(head_tuple(query, binding))
+    return list(results)
+
+
+def evaluate_with_bindings(
+    query: ConjunctiveQuery,
+    db: Database,
+    params: Sequence[Any] | None = None,
+    virtual: VirtualRelations | None = None,
+    planner: QueryPlanner | None = None,
+) -> dict[tuple[Any, ...], list[Binding]]:
+    """Evaluate and group all satisfying bindings by output tuple.
+
+    This is the paper's ``β_t`` (Def 3.2): the set of bindings yielding
+    each output tuple ``t``.
+    """
+    if params is not None:
+        query = query.instantiate(params)
+    grouped: dict[tuple[Any, ...], list[Binding]] = {}
+    for binding in enumerate_bindings(query, db, virtual, planner):
+        grouped.setdefault(head_tuple(query, binding), []).append(binding)
+    return grouped
+
+
+# ---------------------------------------------------------------------------
+# Reference evaluator (the pre-planner greedy interpreter)
+# ---------------------------------------------------------------------------
+
+
 def _atom_rows(
     atom: RelationalAtom,
     db: Database,
-    virtual: VirtualRelations | None,
+    virtual: IndexedVirtualRelations | None,
     bound: Binding,
 ) -> Iterator[tuple[Any, ...]]:
     """Rows matching ``atom`` given already-bound variables.
 
-    For database relations this uses hash indexes on the bound positions;
-    virtual relations are filtered by scan.
+    Both database and virtual relations use hash indexes on the bound
+    positions; arity is validated once per relation, not per row.
     """
     constraints: list[tuple[int, Any]] = []
     for position, term in enumerate(atom.terms):
@@ -49,15 +151,12 @@ def _atom_rows(
             constraints.append((position, term.value))
         elif term in bound:
             constraints.append((position, bound[term]))
+    positions = tuple(i for i, __ in constraints)
+    values = tuple(v for __, v in constraints)
 
     if virtual is not None and atom.relation in virtual:
-        for values in virtual[atom.relation]:
-            if len(values) != atom.arity:
-                raise QueryError(
-                    f"virtual relation {atom.relation!r} arity mismatch"
-                )
-            if all(values[i] == v for i, v in constraints):
-                yield tuple(values)
+        virtual.validate_arity(atom.relation, atom.arity)
+        yield from virtual.lookup(atom.relation, positions, values)
         return
 
     instance = db.relation(atom.relation)
@@ -66,8 +165,6 @@ def _atom_rows(
             f"atom {atom!r} has arity {atom.arity}, relation has "
             f"{instance.schema.arity}"
         )
-    positions = tuple(i for i, __ in constraints)
-    values = tuple(v for __, v in constraints)
     for row in instance.lookup(positions, values):
         yield row.values
 
@@ -103,7 +200,10 @@ _MISSING = _Missing()
 
 def _order_atoms(query: ConjunctiveQuery) -> list[RelationalAtom]:
     """Greedy join order: repeatedly pick the atom sharing the most
-    variables with those already bound (ties broken by original order)."""
+    variables with those already bound (ties broken by original order).
+
+    This is the stats-blind heuristic the planner replaced; it survives
+    here as the reference behaviour."""
     remaining = list(query.atoms)
     ordered: list[RelationalAtom] = []
     bound_vars: set[Variable] = set()
@@ -121,12 +221,6 @@ def _order_atoms(query: ConjunctiveQuery) -> list[RelationalAtom]:
     return ordered
 
 
-def _comparison_ready(
-    comparison: ComparisonAtom, bound_vars: set[Variable]
-) -> bool:
-    return all(var in bound_vars for var in comparison.variables())
-
-
 def _check_comparison(comparison: ComparisonAtom, binding: Binding) -> bool:
     def value_of(term: Any) -> Any:
         if isinstance(term, Constant):
@@ -141,15 +235,16 @@ def _check_comparison(comparison: ComparisonAtom, binding: Binding) -> bool:
         return False
 
 
-def enumerate_bindings(
+def reference_bindings(
     query: ConjunctiveQuery,
     db: Database,
     virtual: VirtualRelations | None = None,
 ) -> Iterator[Binding]:
-    """Yield every satisfying binding of the query's body variables.
+    """The pre-planner evaluator: greedy join order, recursive descent.
 
-    The query must be safe and non-parameterized (instantiate λ-parameters
-    first via :meth:`~repro.cq.query.ConjunctiveQuery.instantiate`).
+    Semantically identical to :func:`enumerate_bindings` (the property
+    suite asserts it); kept as the executable specification and as the
+    stats-blind baseline for the planner benchmark.
     """
     if query.is_parameterized:
         raise QueryError(
@@ -157,6 +252,7 @@ def enumerate_bindings(
             "its λ-parameters first"
         )
     query.check_safety()
+    indexed = IndexedVirtualRelations.wrap(virtual)
 
     # Ground comparisons hold for every binding or none.
     pending: list[ComparisonAtom] = []
@@ -177,7 +273,7 @@ def enumerate_bindings(
         bound_so_far.update(atom.variables())
         still_pending = []
         for comparison in pending:
-            if _comparison_ready(comparison, bound_so_far):
+            if all(v in bound_so_far for v in comparison.variables()):
                 schedule[index].append(comparison)
             else:
                 still_pending.append(comparison)
@@ -191,7 +287,7 @@ def enumerate_bindings(
             yield binding
             return
         atom = ordered_atoms[index]
-        for values in _atom_rows(atom, db, virtual, binding):
+        for values in _atom_rows(atom, db, indexed, binding):
             extension = _consistent_extension(atom, values, binding)
             if extension is None:
                 continue
@@ -204,65 +300,3 @@ def enumerate_bindings(
         yield {}
         return
     yield from recurse(0, {})
-
-
-def head_tuple(query: ConjunctiveQuery, binding: Binding) -> tuple[Any, ...]:
-    """Project a binding onto the query head."""
-    result = []
-    for term in query.head:
-        if isinstance(term, Constant):
-            result.append(term.value)
-        else:
-            result.append(binding[term])
-    return tuple(result)
-
-
-def evaluate_query(
-    query: ConjunctiveQuery,
-    db: Database,
-    params: Sequence[Any] | None = None,
-    virtual: VirtualRelations | None = None,
-) -> list[tuple[Any, ...]]:
-    """Evaluate a query under set semantics.
-
-    Parameters
-    ----------
-    query:
-        The conjunctive query.  If parameterized, ``params`` must supply a
-        valuation.
-    db:
-        The database instance.
-    params:
-        λ-parameter values (the paper's ``V(Y)(a1..an)`` application).
-    virtual:
-        Extra virtual relations visible to the query body.
-
-    Returns
-    -------
-    list of head-value tuples, deduplicated, in first-derivation order.
-    """
-    if params is not None:
-        query = query.instantiate(params)
-    results: dict[tuple[Any, ...], None] = {}
-    for binding in enumerate_bindings(query, db, virtual):
-        results.setdefault(head_tuple(query, binding))
-    return list(results)
-
-
-def evaluate_with_bindings(
-    query: ConjunctiveQuery,
-    db: Database,
-    params: Sequence[Any] | None = None,
-    virtual: VirtualRelations | None = None,
-) -> dict[tuple[Any, ...], list[Binding]]:
-    """Evaluate and group all satisfying bindings by output tuple.
-
-    This is the paper's ``β_t`` (Def 3.2): the set of bindings yielding
-    each output tuple ``t``.
-    """
-    if params is not None:
-        query = query.instantiate(params)
-    grouped: dict[tuple[Any, ...], list[Binding]] = {}
-    for binding in enumerate_bindings(query, db, virtual):
-        grouped.setdefault(head_tuple(query, binding), []).append(binding)
-    return grouped

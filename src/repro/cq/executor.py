@@ -1,0 +1,249 @@
+"""Plan execution with iterator-style operators.
+
+This is stage three of the **statistics → logical plan → executor**
+pipeline: it takes a :class:`~repro.cq.plan.QueryPlan` and streams the
+satisfying bindings.  Each :class:`~repro.cq.plan.JoinStep` becomes an
+:class:`IndexJoinOperator` pulling bindings from its upstream operator,
+probing the step's access path, and emitting extended bindings — the
+pipelined (non-blocking) shape of a classic iterator/Volcano executor,
+replacing the recursive closure the old interpreter used.
+
+Virtual relations (materialized view instances used while evaluating
+rewritings) are served through :class:`IndexedVirtualRelations`, which
+validates arity once and builds hash indexes per bound-position set —
+the old evaluator re-scanned the whole extension and re-checked arity on
+every probe.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections.abc import Iterator, Mapping, Sequence
+from typing import Any, Callable
+
+from repro.cq.atoms import ComparisonAtom
+from repro.cq.plan import JoinStep, QueryPlan
+from repro.cq.terms import Constant, Variable
+from repro.errors import MixedTypeComparisonWarning, QueryError
+from repro.relational.database import Database
+from repro.relational.statistics import RelationStatistics, statistics_of
+
+#: A binding maps every body variable to a concrete value.
+Binding = dict[Variable, Any]
+
+#: Rows of one virtual relation, and the mapping the caller supplies.
+VirtualRows = Sequence[tuple[Any, ...]]
+VirtualRelations = Mapping[str, VirtualRows]
+
+
+class IndexedVirtualRelations(Mapping):
+    """Virtual relations with per-position hash indexes and statistics.
+
+    Wraps a plain ``{name: rows}`` mapping.  Arity is validated once per
+    relation (not once per row per probe), statistics are computed once
+    for the planner, and hash indexes over bound positions are built
+    lazily and reused across probes *and* across queries — the
+    :class:`~repro.citation.generator.CitationEngine` keeps one instance
+    per materialization, so every rewriting of every query in a workload
+    shares the same indexes.
+    """
+
+    def __init__(self, relations: VirtualRelations) -> None:
+        self._relations: dict[str, VirtualRows] = dict(relations)
+        self._validated_arity: dict[str, int] = {}
+        self._stats: dict[str, RelationStatistics] = {}
+        self._indexes: dict[
+            tuple[str, tuple[int, ...]],
+            dict[tuple[Any, ...], list[tuple[Any, ...]]],
+        ] = {}
+
+    @classmethod
+    def wrap(
+        cls, virtual: VirtualRelations | None
+    ) -> "IndexedVirtualRelations | None":
+        """Adopt a caller-supplied mapping (idempotent, None-preserving)."""
+        if virtual is None or isinstance(virtual, cls):
+            return virtual
+        return cls(virtual)
+
+    # -- Mapping protocol (legacy callers see a plain mapping) ---------------
+
+    def __getitem__(self, name: str) -> VirtualRows:
+        return self._relations[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    # -- planner/executor services -------------------------------------------
+
+    def validate_arity(self, name: str, arity: int) -> None:
+        """Check every row once; subsequent calls are O(1)."""
+        known = self._validated_arity.get(name)
+        if known == arity:
+            return
+        for values in self._relations[name]:
+            if len(values) != arity:
+                raise QueryError(
+                    f"virtual relation {name!r} arity mismatch"
+                )
+        self._validated_arity[name] = arity
+
+    def statistics_for(self, name: str, arity: int) -> RelationStatistics:
+        """Statistics for the planner's cost model (computed once)."""
+        self.validate_arity(name, arity)
+        stats = self._stats.get(name)
+        if stats is None:
+            stats = statistics_of(self._relations[name], arity)
+            self._stats[name] = stats
+        return stats
+
+    def lookup(
+        self,
+        name: str,
+        positions: tuple[int, ...],
+        values: tuple[Any, ...],
+    ) -> Sequence[tuple[Any, ...]]:
+        """Rows of ``name`` whose projection on ``positions`` is ``values``."""
+        rows = self._relations[name]
+        if not positions:
+            return rows
+        key = (name, positions)
+        index = self._indexes.get(key)
+        if index is None:
+            index = {}
+            for row in rows:
+                index.setdefault(
+                    tuple(row[i] for i in positions), []
+                ).append(row)
+            self._indexes[key] = index
+        return index.get(values, ())
+
+
+def _comparison_checker(
+    query_name: str, warned: set[ComparisonAtom]
+) -> Callable[[ComparisonAtom, Binding], bool]:
+    """A comparison evaluator that warns (once per query execution) on
+    mixed-type comparisons instead of silently returning False."""
+
+    def check(comparison: ComparisonAtom, binding: Binding) -> bool:
+        left = comparison.left
+        right = comparison.right
+        left_value = left.value if isinstance(left, Constant) else binding[left]
+        right_value = (
+            right.value if isinstance(right, Constant) else binding[right]
+        )
+        try:
+            return comparison.op.function(left_value, right_value)
+        except TypeError:
+            if comparison not in warned:
+                warned.add(comparison)
+                warnings.warn(
+                    MixedTypeComparisonWarning(
+                        query_name,
+                        repr(comparison),
+                        type(left_value).__name__,
+                        type(right_value).__name__,
+                    ),
+                    stacklevel=2,
+                )
+            return False
+
+    return check
+
+
+class SingletonBindingOperator:
+    """The plan's source: one empty binding."""
+
+    def __iter__(self) -> Iterator[Binding]:
+        yield {}
+
+
+class IndexJoinOperator:
+    """One join step as a pulling iterator.
+
+    For every upstream binding, probes the step's access path (hash index
+    on the bound positions), applies the residual repeated-variable
+    checks, extends the binding with the newly introduced variables, and
+    filters through the comparisons scheduled at this step.
+    """
+
+    def __init__(
+        self,
+        source: Any,
+        step: JoinStep,
+        rows_for: Callable[[tuple[Any, ...]], Sequence[tuple[Any, ...]]],
+        check: Callable[[ComparisonAtom, Binding], bool],
+    ) -> None:
+        self.source = source
+        self.step = step
+        self.rows_for = rows_for
+        self.check = check
+
+    def __iter__(self) -> Iterator[Binding]:
+        step = self.step
+        rows_for = self.rows_for
+        check = self.check
+        lookup_terms = step.lookup_terms
+        introduces = step.introduces
+        equal_positions = step.equal_positions
+        comparisons = step.comparisons
+        for binding in self.source:
+            probe = tuple(
+                term.value if isinstance(term, Constant) else binding[term]
+                for term in lookup_terms
+            )
+            for row in rows_for(probe):
+                if any(row[i] != row[j] for i, j in equal_positions):
+                    continue
+                extension = dict(binding)
+                for var, position in introduces:
+                    extension[var] = row[position]
+                if all(check(c, extension) for c in comparisons):
+                    yield extension
+
+
+def _row_source(
+    step: JoinStep,
+    db: Database,
+    virtual: IndexedVirtualRelations | None,
+) -> Callable[[tuple[Any, ...]], Sequence[tuple[Any, ...]]]:
+    """Bind a step's access path to concrete storage."""
+    positions = step.lookup_positions
+    if step.virtual:
+        assert virtual is not None
+        name = step.atom.relation
+        virtual.validate_arity(name, step.atom.arity)
+        return lambda values: virtual.lookup(name, positions, values)
+    instance = db.relation(step.atom.relation)
+
+    def base_rows(values: tuple[Any, ...]) -> list[tuple[Any, ...]]:
+        return [row.values for row in instance.lookup(positions, values)]
+
+    return base_rows
+
+
+def execute_plan(
+    plan: QueryPlan,
+    db: Database,
+    virtual: VirtualRelations | None = None,
+) -> Iterator[Binding]:
+    """Stream every satisfying binding of a planned query.
+
+    The operator chain is built once per call; bindings are produced
+    lazily.  ``virtual`` should be the same relations the plan was built
+    against (the facades in :mod:`repro.cq.evaluation` guarantee this).
+    """
+    if plan.empty:
+        return
+    indexed = IndexedVirtualRelations.wrap(virtual)
+    warned: set[ComparisonAtom] = set()
+    check = _comparison_checker(plan.query.name, warned)
+    operator: Any = SingletonBindingOperator()
+    for step in plan.steps:
+        operator = IndexJoinOperator(
+            operator, step, _row_source(step, db, indexed), check
+        )
+    yield from operator

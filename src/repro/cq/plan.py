@@ -1,0 +1,419 @@
+"""Cost-based logical plans for conjunctive-query evaluation.
+
+The evaluation pipeline is **statistics → logical plan → executor**:
+
+1. :mod:`repro.relational.statistics` maintains per-relation cardinality
+   and per-column distinct/frequency counts incrementally on every
+   insert/delete;
+2. this module turns a query into a :class:`QueryPlan` — an ordered
+   sequence of :class:`JoinStep` s with a cost-based join order and a
+   static access path (which positions each index probe binds) — using
+   those statistics;
+3. :mod:`repro.cq.executor` runs the plan with iterator-style operators.
+
+Join ordering is greedy minimum-intermediate-cardinality: at each step
+the planner picks the atom whose index probe is estimated to return the
+fewest rows given the variables already bound, which is exactly the
+stats-aware version of the old boundness heuristic.  Because the join
+order is fixed at plan time, every per-row decision the old interpreter
+made (which positions are bound, which comparisons are ready, where
+repeated variables force equality) is precomputed into the step.
+
+Plans for α-equivalent queries are shared: :class:`QueryPlanner` caches
+the plan of the *canonical* query (see :mod:`repro.cq.canonical`) and
+rebinds it to each caller's variables, keyed by the same canonical key
+the rewriting cache uses.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cq.atoms import ComparisonAtom, RelationalAtom
+from repro.cq.canonical import canonical_key_and_renaming, canonical_query
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.terms import Constant, Term, Variable
+from repro.errors import QueryError
+from repro.relational.database import Database
+from repro.relational.statistics import RelationStatistics, statistics_of
+
+#: Virtual relations: name -> rows.  Anything with a ``statistics_for``
+#: method (e.g. :class:`repro.cq.executor.IndexedVirtualRelations`) serves
+#: cached statistics; plain mappings are profiled on the fly.
+VirtualRelations = Mapping[str, Sequence[tuple[Any, ...]]]
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """One join of the plan: probe an access path, extend the binding.
+
+    Attributes
+    ----------
+    atom:
+        The relational atom this step evaluates.
+    atom_index:
+        The atom's position in the query body (stable across
+        α-equivalent queries, which is what makes plan rebinding sound).
+    virtual:
+        True when the atom resolves to a virtual relation.
+    lookup_positions / lookup_terms:
+        The access path: positions constrained at probe time, and the
+        aligned terms supplying the probe values (constants, or variables
+        bound by earlier steps).
+    introduces:
+        ``(variable, position)`` pairs bound by this step (first
+        occurrence of each new variable).
+    equal_positions:
+        Residual equality checks for repeated *new* variables within the
+        atom (repeats of already-bound variables are part of the probe).
+    comparisons:
+        Comparison atoms whose variables are all bound once this step
+        fires; checked before the binding is emitted.
+    estimated_matches:
+        Estimated rows per probe (from statistics, at plan time).
+    estimated_bindings:
+        Estimated cumulative bindings after this step.
+    """
+
+    atom: RelationalAtom
+    atom_index: int
+    virtual: bool
+    lookup_positions: tuple[int, ...]
+    lookup_terms: tuple[Term, ...]
+    introduces: tuple[tuple[Variable, int], ...]
+    equal_positions: tuple[tuple[int, int], ...]
+    comparisons: tuple[ComparisonAtom, ...]
+    estimated_matches: float
+    estimated_bindings: float
+
+    @property
+    def access_path(self) -> str:
+        """Human-readable access description for :meth:`QueryPlan.explain`."""
+        kind = "virtual " if self.virtual else ""
+        if not self.lookup_positions:
+            return f"{kind}scan"
+        bound = ", ".join(
+            f"[{position}]={term!r}"
+            for position, term in zip(self.lookup_positions, self.lookup_terms)
+        )
+        return f"{kind}index on {bound}"
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """An executable logical plan for one conjunctive query."""
+
+    query: ConjunctiveQuery
+    steps: tuple[JoinStep, ...]
+    estimated_cost: float
+    estimated_bindings: float
+    #: True when a false ground comparison makes the result empty without
+    #: touching any data.
+    empty: bool = False
+
+    def explain(self) -> str:
+        """Render the plan the way EXPLAIN would."""
+        lines = [
+            f"plan for {self.query}",
+            f"  estimated cost {self.estimated_cost:.1f}, "
+            f"estimated bindings {self.estimated_bindings:.1f}",
+        ]
+        if self.empty:
+            lines.append("  empty result (false ground comparison)")
+            return "\n".join(lines)
+        if not self.steps:
+            lines.append("  single empty binding (no relational atoms)")
+        for number, step in enumerate(self.steps, start=1):
+            line = (
+                f"  {number}. {step.atom!r}  [{step.access_path}]  "
+                f"est. {step.estimated_matches:.2f} rows/probe, "
+                f"{step.estimated_bindings:.1f} bindings"
+            )
+            if step.comparisons:
+                checks = ", ".join(repr(c) for c in step.comparisons)
+                line += f"  then check {checks}"
+            lines.append(line)
+        return "\n".join(lines)
+
+    def rebind(
+        self,
+        query: ConjunctiveQuery,
+        renaming: Mapping[Variable, Variable],
+    ) -> "QueryPlan":
+        """Map a plan built for the canonical query back to ``query``.
+
+        ``renaming`` is the caller's ``original -> canonical`` renaming;
+        the plan's canonical variables are substituted through its
+        inverse, and atoms are taken from the caller's body by index.
+        """
+        inverse = {canon: orig for orig, canon in renaming.items()}
+
+        def back(term: Term) -> Term:
+            if isinstance(term, Variable):
+                return inverse[term]
+            return term
+
+        steps = tuple(
+            JoinStep(
+                atom=query.atoms[step.atom_index],
+                atom_index=step.atom_index,
+                virtual=step.virtual,
+                lookup_positions=step.lookup_positions,
+                lookup_terms=tuple(back(t) for t in step.lookup_terms),
+                introduces=tuple(
+                    (inverse[var], position)
+                    for var, position in step.introduces
+                ),
+                equal_positions=step.equal_positions,
+                comparisons=tuple(
+                    c.substitute(inverse) for c in step.comparisons
+                ),
+                estimated_matches=step.estimated_matches,
+                estimated_bindings=step.estimated_bindings,
+            )
+            for step in self.steps
+        )
+        return QueryPlan(
+            query=query,
+            steps=steps,
+            estimated_cost=self.estimated_cost,
+            estimated_bindings=self.estimated_bindings,
+            empty=self.empty,
+        )
+
+
+def _statistics_for_atom(
+    atom: RelationalAtom,
+    db: Database,
+    virtual: VirtualRelations | None,
+) -> tuple[RelationStatistics, bool]:
+    """Resolve an atom to (statistics, is_virtual), validating arity."""
+    if virtual is not None and atom.relation in virtual:
+        provider = getattr(virtual, "statistics_for", None)
+        if provider is not None:
+            return provider(atom.relation, atom.arity), True
+        rows = virtual[atom.relation]
+        for values in rows:
+            if len(values) != atom.arity:
+                raise QueryError(
+                    f"virtual relation {atom.relation!r} arity mismatch"
+                )
+        return statistics_of(rows, atom.arity), True
+    instance = db.relation(atom.relation)
+    if instance.schema.arity != atom.arity:
+        raise QueryError(
+            f"atom {atom!r} has arity {atom.arity}, relation has "
+            f"{instance.schema.arity}"
+        )
+    return instance.stats, False
+
+
+def _estimate_matches(
+    atom: RelationalAtom,
+    stats: RelationStatistics,
+    bound_vars: set[Variable],
+) -> float:
+    """Estimated rows one probe of ``atom`` returns given bound variables."""
+    variable_positions: list[int] = []
+    constant_constraints: list[tuple[int, Any]] = []
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            constant_constraints.append((position, term.value))
+        elif term in bound_vars:
+            variable_positions.append(position)
+    return stats.estimate_matches(variable_positions, constant_constraints)
+
+
+def _build_step(
+    atom: RelationalAtom,
+    atom_index: int,
+    virtual: bool,
+    bound_vars: set[Variable],
+    comparisons: Sequence[ComparisonAtom],
+    estimated_matches: float,
+    estimated_bindings: float,
+) -> JoinStep:
+    """Precompute the access path and residual checks for one join."""
+    lookup_positions: list[int] = []
+    lookup_terms: list[Term] = []
+    introduces: list[tuple[Variable, int]] = []
+    first_position: dict[Variable, int] = {}
+    equal_positions: list[tuple[int, int]] = []
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Constant) or term in bound_vars:
+            lookup_positions.append(position)
+            lookup_terms.append(term)
+        elif term in first_position:
+            equal_positions.append((first_position[term], position))
+        else:
+            first_position[term] = position
+            introduces.append((term, position))
+    return JoinStep(
+        atom=atom,
+        atom_index=atom_index,
+        virtual=virtual,
+        lookup_positions=tuple(lookup_positions),
+        lookup_terms=tuple(lookup_terms),
+        introduces=tuple(introduces),
+        equal_positions=tuple(equal_positions),
+        comparisons=tuple(comparisons),
+        estimated_matches=estimated_matches,
+        estimated_bindings=estimated_bindings,
+    )
+
+
+def plan_query(
+    query: ConjunctiveQuery,
+    db: Database,
+    virtual: VirtualRelations | None = None,
+) -> QueryPlan:
+    """Build a cost-based plan for ``query`` over ``db``.
+
+    The query must be safe and non-parameterized, exactly like the old
+    evaluator entry points.  Raises :class:`QueryError` on arity
+    mismatches (base and virtual) at plan time — before any data is
+    touched.
+    """
+    if query.is_parameterized:
+        raise QueryError(
+            f"cannot evaluate parameterized query {query.name}: instantiate "
+            "its λ-parameters first"
+        )
+    query.check_safety()
+
+    # Ground comparisons hold for every binding or none.
+    pending: list[ComparisonAtom] = []
+    for comparison in query.comparisons:
+        if comparison.is_ground:
+            if not comparison.evaluate_ground():
+                return QueryPlan(query, (), 0.0, 0.0, empty=True)
+        else:
+            pending.append(comparison)
+
+    resolved = [
+        _statistics_for_atom(atom, db, virtual) for atom in query.atoms
+    ]
+    remaining = list(range(len(query.atoms)))
+    bound_vars: set[Variable] = set()
+    steps: list[JoinStep] = []
+    bindings = 1.0
+    cost = 0.0
+    while remaining:
+        best_index = None
+        best_estimate = None
+        for atom_index in remaining:
+            estimate = _estimate_matches(
+                query.atoms[atom_index], resolved[atom_index][0], bound_vars
+            )
+            if best_estimate is None or estimate < best_estimate:
+                best_index, best_estimate = atom_index, estimate
+        remaining.remove(best_index)
+        atom = query.atoms[best_index]
+        cost += bindings * max(best_estimate, 1.0)
+        bindings *= best_estimate
+
+        new_bound = bound_vars | set(atom.variables())
+        ready = [c for c in pending if set(c.variables()) <= new_bound]
+        pending = [c for c in pending if not set(c.variables()) <= new_bound]
+        steps.append(
+            _build_step(
+                atom,
+                best_index,
+                resolved[best_index][1],
+                bound_vars,
+                ready,
+                best_estimate,
+                bindings,
+            )
+        )
+        bound_vars = new_bound
+    if pending:
+        # Safety check above should prevent this.
+        raise QueryError("comparison variables not bound by relational atoms")
+    return QueryPlan(query, tuple(steps), cost, bindings)
+
+
+class QueryPlanner:
+    """A plan cache keyed by the α-equivalence canonical key.
+
+    Plans are built once per query *structure* (for its canonical form)
+    and rebound to each caller's variables — the same sharing discipline
+    as :class:`repro.citation.cache.CachedRewritingEngine`.  A cached
+    entry is invalidated when the database statistics change
+    (:attr:`~repro.relational.database.Database.stats_version`) or when
+    the referenced virtual relations change size, since either can change
+    the optimal join order.
+    """
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self._cache: dict[str, tuple[QueryPlan, int, tuple]] = {}
+        # Exact-match fast path: repeated evaluation of the *same* query
+        # (the common front-end case) skips canonicalization and rebinding
+        # entirely.  Queries hash by structure, so equal query objects
+        # share the entry.
+        self._exact: dict[ConjunctiveQuery, tuple[QueryPlan, int, tuple]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _virtual_fingerprint(
+        self, query: ConjunctiveQuery, virtual: VirtualRelations | None
+    ) -> tuple:
+        if virtual is None:
+            return ()
+        return tuple(
+            (name, len(virtual[name]))
+            for name in query.relation_names()
+            if name in virtual
+        )
+
+    def plan(
+        self,
+        query: ConjunctiveQuery,
+        virtual: VirtualRelations | None = None,
+    ) -> QueryPlan:
+        if query.is_parameterized:
+            # The canonical key ignores λ-parameters, so without this
+            # guard an instantiated sibling's cached plan would silently
+            # evaluate the parameterized query as if its parameters were
+            # free variables.
+            raise QueryError(
+                f"cannot evaluate parameterized query {query.name}: "
+                "instantiate its λ-parameters first"
+            )
+        version = self.db.stats_version
+        fingerprint = self._virtual_fingerprint(query, virtual)
+        exact = self._exact.get(query)
+        if exact is not None:
+            plan, cached_version, cached_fingerprint = exact
+            if cached_version == version and cached_fingerprint == fingerprint:
+                self.hits += 1
+                return plan
+        key, renaming = canonical_key_and_renaming(query)
+        entry = self._cache.get(key)
+        if entry is not None:
+            plan, cached_version, cached_fingerprint = entry
+            if cached_version == version and cached_fingerprint == fingerprint:
+                self.hits += 1
+                rebound = plan.rebind(query, renaming)
+                self._exact[query] = (rebound, cached_version,
+                                      cached_fingerprint)
+                return rebound
+        self.misses += 1
+        plan = plan_query(canonical_query(query, renaming), self.db, virtual)
+        self._cache[key] = (plan, version, fingerprint)
+        rebound = plan.rebind(query, renaming)
+        self._exact[query] = (rebound, version, fingerprint)
+        return rebound
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self._exact.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def size(self) -> int:
+        return len(self._cache)

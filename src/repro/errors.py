@@ -87,6 +87,34 @@ class UnsatisfiableQueryError(QueryError):
     """The comparison predicates of a query are contradictory."""
 
 
+class MixedTypeComparisonWarning(ReproError, UserWarning):
+    """A comparison mixed incomparable types and was treated as false.
+
+    Evaluation treats ``TypeError`` from a comparison (e.g. ``int < str``)
+    as "binding does not satisfy the atom" — sound for set semantics, but
+    a query whose comparisons *always* mix types silently returns an
+    empty result.  The executor emits this warning once per query
+    execution so such queries are debuggable.
+    """
+
+    def __init__(
+        self,
+        query_name: str,
+        comparison: str,
+        left_type: str,
+        right_type: str,
+    ) -> None:
+        super().__init__(
+            f"query {query_name!r}: comparison {comparison} mixes "
+            f"incomparable types ({left_type} vs {right_type}); treating "
+            "it as false"
+        )
+        self.query_name = query_name
+        self.comparison = comparison
+        self.left_type = left_type
+        self.right_type = right_type
+
+
 # ---------------------------------------------------------------------------
 # Citation views
 # ---------------------------------------------------------------------------

@@ -18,6 +18,7 @@ from repro.relational.types import (
     value_matches,
 )
 from repro.relational.schema import Attribute, ForeignKey, RelationSchema, Schema
+from repro.relational.statistics import RelationStatistics, statistics_of
 from repro.relational.tuples import Row
 from repro.relational.database import Database, RelationInstance
 from repro.relational.expressions import (
@@ -55,6 +56,8 @@ __all__ = [
     "Row",
     "Database",
     "RelationInstance",
+    "RelationStatistics",
+    "statistics_of",
     "ComparisonOp",
     "Condition",
     "AndCondition",

@@ -19,6 +19,7 @@ from repro.errors import (
     UnknownRelationError,
 )
 from repro.relational.schema import RelationSchema, Schema
+from repro.relational.statistics import RelationStatistics
 from repro.relational.tuples import Row
 from repro.relational.types import check_value
 
@@ -28,6 +29,7 @@ class RelationInstance:
 
     def __init__(self, schema: RelationSchema) -> None:
         self.schema = schema
+        self.stats = RelationStatistics(schema.arity)
         self._rows: dict[Row, None] = {}
         self._key_index: dict[tuple[Any, ...], Row] = {}
         # Secondary hash indexes, built lazily: positions -> {values: [rows]}
@@ -58,17 +60,35 @@ class RelationInstance:
                     f"existing row {existing!r}, new row {row!r}"
                 )
         self._rows[row] = None
+        self.stats.add_row(row.values)
         if self.schema.key:
             self._key_index[row.project(self.schema.key_positions())] = row
         for positions, index in self._indexes.items():
             index.setdefault(row.project(positions), []).append(row)
         return row
 
+    def insert_many(
+        self, rows: Iterable[Sequence[Any]], enforce_key: bool = True
+    ) -> list[Row]:
+        """Batch insert.
+
+        Semantically ``[insert(r) for r in rows]``, but when the batch is
+        large relative to the current extension, cached secondary indexes
+        are dropped up front instead of being updated row by row — they
+        rebuild lazily on the next :meth:`lookup`, which is a single pass
+        instead of one dict update per (row, index) pair.
+        """
+        batch = [values for values in rows]
+        if self._indexes and len(batch) > max(64, len(self._rows)):
+            self._indexes.clear()
+        return [self.insert(values, enforce_key=enforce_key) for values in batch]
+
     def delete(self, row: Row) -> bool:
         """Remove a row; returns True if it was present."""
         if row not in self._rows:
             return False
         del self._rows[row]
+        self.stats.remove_row(row.values)
         if self.schema.key:
             self._key_index.pop(row.project(self.schema.key_positions()), None)
         for positions, index in self._indexes.items():
@@ -146,6 +166,11 @@ class Database:
         """Total number of rows across all relations."""
         return sum(len(instance) for instance in self._instances.values())
 
+    @property
+    def stats_version(self) -> int:
+        """Monotone counter over all mutations; plan caches key on this."""
+        return sum(inst.stats.version for inst in self._instances.values())
+
     # -- mutation ---------------------------------------------------------------
 
     def insert(self, relation: str, *values: Any) -> Row:
@@ -154,8 +179,21 @@ class Database:
 
     def insert_all(self, relation: str, rows: Iterable[Sequence[Any]]) -> list[Row]:
         """Bulk insert; returns the stored rows."""
-        instance = self.relation(relation)
-        return [instance.insert(values) for values in rows]
+        return self.relation(relation).insert_many(rows)
+
+    def insert_batch(
+        self, batches: dict[str, Iterable[Sequence[Any]]]
+    ) -> dict[str, list[Row]]:
+        """Bulk insert into several relations at once.
+
+        Loaders and benchmark generators use this to populate an instance
+        in one call; each relation goes through :meth:`RelationInstance
+        .insert_many`, so large loads skip per-row index maintenance.
+        """
+        return {
+            relation: self.relation(relation).insert_many(rows)
+            for relation, rows in batches.items()
+        }
 
     def delete(self, relation: str, *values: Any) -> bool:
         """Delete a tuple from ``relation``; returns True if present."""

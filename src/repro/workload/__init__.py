@@ -16,6 +16,7 @@ from repro.workload.queries import QueryGenerator
 from repro.workload.logs import QueryLog, LogEntry
 from repro.workload.suggest import suggest_views, coverage_of_views
 from repro.workload.analyzer import LogAnalyzer, LogProfile, analyze_log
+from repro.workload.runner import WorkloadReport, run_workload
 
 __all__ = [
     "QueryGenerator",
@@ -26,4 +27,6 @@ __all__ = [
     "LogAnalyzer",
     "LogProfile",
     "analyze_log",
+    "WorkloadReport",
+    "run_workload",
 ]

@@ -1,0 +1,242 @@
+"""Tests for the cost-based planner (repro.cq.plan) and the executor."""
+
+import warnings
+
+import pytest
+
+from repro.cq.canonical import canonical_key, canonicalize
+from repro.cq.evaluation import enumerate_bindings
+from repro.cq.executor import IndexedVirtualRelations, execute_plan
+from repro.cq.parser import parse_query
+from repro.cq.plan import QueryPlanner, plan_query
+from repro.cq.terms import Variable
+from repro.errors import MixedTypeComparisonWarning, QueryError
+from repro.relational.database import Database
+from repro.relational.schema import RelationSchema, Schema
+
+
+@pytest.fixture
+def skewed_db():
+    """Big(a, b) is 200 rows; Small(b, c) is 2 rows."""
+    schema = Schema([
+        RelationSchema("Big", ["a", "b"]),
+        RelationSchema("Small", ["b", "c"]),
+    ])
+    db = Database(schema)
+    db.insert_all("Big", [(i, i % 50) for i in range(200)])
+    db.insert_all("Small", [(1, 100), (2, 200)])
+    return db
+
+
+class TestCostModel:
+    def test_small_relation_joined_first(self, skewed_db):
+        q = parse_query("Q(A, C) :- Big(A, B), Small(B, C)")
+        plan = plan_query(q, skewed_db)
+        assert [step.atom.relation for step in plan.steps] == \
+            ["Small", "Big"]
+
+    def test_first_step_estimate_is_cardinality(self, skewed_db):
+        q = parse_query("Q(A, C) :- Big(A, B), Small(B, C)")
+        plan = plan_query(q, skewed_db)
+        assert plan.steps[0].estimated_matches == 2.0
+
+    def test_join_step_uses_average_fanout(self, skewed_db):
+        # Big has 200 rows over 50 distinct b-values: 4 rows per probe.
+        q = parse_query("Q(A, C) :- Big(A, B), Small(B, C)")
+        plan = plan_query(q, skewed_db)
+        assert plan.steps[1].estimated_matches == pytest.approx(4.0)
+
+    def test_constant_selectivity_is_exact(self, skewed_db):
+        q = parse_query("Q(B) :- Big(7, B)")
+        plan = plan_query(q, skewed_db)
+        # Exactly one row has a = 7.
+        assert plan.steps[0].estimated_matches == pytest.approx(1.0)
+
+    def test_empty_relation_ordered_first_and_zero_bindings(self):
+        schema = Schema([
+            RelationSchema("Big", ["a", "b"]),
+            RelationSchema("Empty", ["b", "c"]),
+        ])
+        db = Database(schema)
+        db.insert_all("Big", [(i, i) for i in range(50)])
+        q = parse_query("Q(A, C) :- Big(A, B), Empty(B, C)")
+        plan = plan_query(q, db)
+        assert plan.steps[0].atom.relation == "Empty"
+        assert plan.estimated_bindings == 0.0
+
+    def test_cross_product_ordered_small_first(self, skewed_db):
+        q = parse_query("Q(A, C) :- Big(A, B1), Small(B2, C)")
+        plan = plan_query(q, skewed_db)
+        assert plan.steps[0].atom.relation == "Small"
+
+
+class TestAccessPaths:
+    def test_bound_positions_become_index_lookup(self, skewed_db):
+        q = parse_query("Q(A, C) :- Big(A, B), Small(B, C)")
+        plan = plan_query(q, skewed_db)
+        join = plan.steps[1]
+        assert join.lookup_positions == (1,)
+        assert join.lookup_terms == (Variable("B"),)
+
+    def test_repeated_new_variable_checked_residually(self, skewed_db):
+        q = parse_query("Q(A) :- Big(A, A)")
+        plan = plan_query(q, skewed_db)
+        assert plan.steps[0].equal_positions == ((0, 1),)
+        assert plan.steps[0].introduces == ((Variable("A"), 0),)
+
+    def test_comparisons_scheduled_at_binding_step(self, skewed_db):
+        q = parse_query("Q(A, C) :- Big(A, B), Small(B, C), A < C")
+        plan = plan_query(q, skewed_db)
+        # A < C is only checkable once both atoms have fired.
+        assert not plan.steps[0].comparisons
+        assert len(plan.steps[1].comparisons) == 1
+
+
+class TestExplain:
+    def test_explain_mentions_every_atom(self, skewed_db):
+        q = parse_query("Q(A, C) :- Big(A, B), Small(B, C)")
+        text = plan_query(q, skewed_db).explain()
+        assert "Big" in text and "Small" in text
+        assert "estimated cost" in text
+        assert "index on" in text
+        assert "scan" in text
+
+    def test_explain_empty_plan(self, skewed_db):
+        q = parse_query("Q(A) :- Big(A, B), 1 = 2")
+        plan = plan_query(q, skewed_db)
+        assert plan.empty
+        assert "empty result" in plan.explain()
+
+    def test_explain_no_atoms(self, skewed_db):
+        q = parse_query('Q("ok") :- 1 < 2')
+        text = plan_query(q, skewed_db).explain()
+        assert "single empty binding" in text
+
+
+class TestPlanErrors:
+    def test_parameterized_query_rejected(self, skewed_db):
+        q = parse_query("lambda A. V(A, B) :- Big(A, B)")
+        with pytest.raises(QueryError):
+            plan_query(q, skewed_db)
+
+    def test_base_arity_mismatch_rejected_at_plan_time(self, skewed_db):
+        q = parse_query("Q(A) :- Big(A)")
+        with pytest.raises(QueryError):
+            plan_query(q, skewed_db)
+
+    def test_virtual_arity_mismatch_rejected(self, skewed_db):
+        q = parse_query("Q(X) :- V(X, Y)")
+        with pytest.raises(QueryError):
+            plan_query(q, skewed_db, {"V": [(1,)]})
+
+
+class TestPlanner:
+    def test_alpha_equivalent_queries_share_plan(self, skewed_db):
+        planner = QueryPlanner(skewed_db)
+        planner.plan(parse_query("Q(A, C) :- Big(A, B), Small(B, C)"))
+        planner.plan(parse_query("Q(X, Z) :- Big(X, Y), Small(Y, Z)"))
+        assert planner.hits == 1 and planner.misses == 1
+        assert planner.size == 1
+
+    def test_rebound_plan_uses_caller_variables(self, skewed_db):
+        planner = QueryPlanner(skewed_db)
+        planner.plan(parse_query("Q(A, C) :- Big(A, B), Small(B, C)"))
+        rebound = planner.plan(
+            parse_query("Q(X, Z) :- Big(X, Y), Small(Y, Z)")
+        )
+        join = rebound.steps[1]
+        assert join.lookup_terms == (Variable("Y"),)
+        bindings = list(execute_plan(rebound, skewed_db))
+        assert bindings and all(Variable("X") in b for b in bindings)
+
+    def test_data_change_invalidates_plan(self, skewed_db):
+        planner = QueryPlanner(skewed_db)
+        q = parse_query("Q(A, C) :- Big(A, B), Small(B, C)")
+        planner.plan(q)
+        skewed_db.insert("Small", 3, 300)
+        planner.plan(q)
+        assert planner.misses == 2 and planner.hits == 0
+
+    def test_virtual_size_change_invalidates_plan(self, skewed_db):
+        planner = QueryPlanner(skewed_db)
+        q = parse_query("Q(X, B) :- V(X), Big(X, B)")
+        planner.plan(q, {"V": [(1,)]})
+        planner.plan(q, {"V": [(1,), (2,)]})
+        assert planner.misses == 2
+
+    def test_clear(self, skewed_db):
+        planner = QueryPlanner(skewed_db)
+        planner.plan(parse_query("Q(A) :- Big(A, B)"))
+        planner.clear()
+        assert planner.size == 0 and planner.misses == 0
+
+    def test_parameterized_query_rejected_even_on_warm_cache(self, skewed_db):
+        """λ-parameters are invisible to the canonical key, so the planner
+        must reject parameterized queries before cache lookup — a warm
+        cache must not hand back the instantiated sibling's plan."""
+        planner = QueryPlanner(skewed_db)
+        planner.plan(parse_query("Q(A) :- Big(A, B)"))
+        with pytest.raises(QueryError):
+            planner.plan(parse_query("lambda B. Q(A) :- Big(A, B)"))
+
+
+class TestCanonicalize:
+    def test_canonical_queries_equal_for_alpha_variants(self):
+        q1 = parse_query('Q(N) :- Family(F, N, Ty), Ty = "gpcr"')
+        q2 = parse_query('Q(M) :- Family(G, M, T2), T2 = "gpcr"')
+        c1, __ = canonicalize(q1)
+        c2, __ = canonicalize(q2)
+        assert c1 == c2
+        assert canonical_key(q1) == canonical_key(q2)
+
+    def test_renaming_round_trips(self):
+        q = parse_query("Q(A, C) :- R(A, B), S(B, C), A < C")
+        canonical, renaming = canonicalize(q)
+        assert set(renaming) == {Variable("A"), Variable("B"), Variable("C")}
+        inverse = {canon: orig for orig, canon in renaming.items()}
+        assert canonical.substitute(inverse).atoms == q.atoms
+
+
+class TestIndexedVirtualRelations:
+    def test_lookup_uses_index(self):
+        virtual = IndexedVirtualRelations({"V": [(1, 10), (2, 20), (1, 30)]})
+        assert sorted(virtual.lookup("V", (0,), (1,))) == [(1, 10), (1, 30)]
+        assert virtual.lookup("V", (0,), (9,)) == ()
+
+    def test_wrap_is_idempotent(self):
+        virtual = IndexedVirtualRelations({"V": [(1,)]})
+        assert IndexedVirtualRelations.wrap(virtual) is virtual
+        assert IndexedVirtualRelations.wrap(None) is None
+
+    def test_mapping_protocol(self):
+        virtual = IndexedVirtualRelations({"V": [(1,)], "W": []})
+        assert "V" in virtual and len(virtual) == 2
+        assert list(virtual["V"]) == [(1,)]
+
+    def test_arity_validated_once_then_cached(self):
+        virtual = IndexedVirtualRelations({"V": [(1, 2)]})
+        virtual.validate_arity("V", 2)
+        with pytest.raises(QueryError):
+            virtual.validate_arity("V", 3)
+
+    def test_statistics(self):
+        virtual = IndexedVirtualRelations({"V": [(1, 10), (2, 10)]})
+        stats = virtual.statistics_for("V", 2)
+        assert stats.cardinality == 2
+        assert stats.distinct(0) == 2
+        assert stats.distinct(1) == 1
+
+
+class TestMixedTypeWarning:
+    def test_warns_once_per_query_execution(self, skewed_db):
+        q = parse_query('Q(A) :- Big(A, B), B < "zzz"')
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = list(enumerate_bindings(q, skewed_db))
+        assert result == []
+        mixed = [w for w in caught
+                 if issubclass(w.category, MixedTypeComparisonWarning)]
+        assert len(mixed) == 1
+        message = mixed[0].message
+        assert message.query_name == "Q"
+        assert message.left_type == "int" and message.right_type == "str"

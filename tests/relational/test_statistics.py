@@ -1,0 +1,107 @@
+"""Tests for incrementally maintained relation statistics."""
+
+import pytest
+
+from repro.relational.database import Database
+from repro.relational.schema import RelationSchema, Schema
+from repro.relational.statistics import RelationStatistics, statistics_of
+from repro.relational.tuples import Row
+
+
+@pytest.fixture
+def db():
+    schema = Schema([
+        RelationSchema("R", ["a", "b"]),
+        RelationSchema("S", ["b", "c"]),
+    ])
+    return Database(schema)
+
+
+class TestIncrementalMaintenance:
+    def test_insert_updates_stats(self, db):
+        db.insert_all("R", [(1, 10), (2, 10), (3, 20)])
+        stats = db.relation("R").stats
+        assert stats.cardinality == 3
+        assert stats.distinct(0) == 3
+        assert stats.distinct(1) == 2
+        assert stats.frequency(1, 10) == 2
+
+    def test_duplicate_insert_not_double_counted(self, db):
+        db.insert("R", 1, 10)
+        db.insert("R", 1, 10)  # set semantics: no-op
+        assert db.relation("R").stats.cardinality == 1
+
+    def test_delete_updates_stats(self, db):
+        db.insert_all("R", [(1, 10), (2, 10)])
+        db.delete("R", 1, 10)
+        stats = db.relation("R").stats
+        assert stats.cardinality == 1
+        assert stats.frequency(1, 10) == 1
+        assert stats.distinct(0) == 1
+
+    def test_delete_removes_exhausted_values(self, db):
+        db.insert("R", 1, 10)
+        db.delete("R", 1, 10)
+        stats = db.relation("R").stats
+        assert stats.cardinality == 0
+        assert stats.distinct(0) == 0
+        assert stats.frequency(0, 1) == 0
+
+    def test_version_monotone(self, db):
+        before = db.stats_version
+        db.insert("R", 1, 10)
+        mid = db.stats_version
+        db.delete("R", 1, 10)
+        after = db.stats_version
+        assert before < mid < after
+
+
+class TestEstimators:
+    def test_equality_selectivity(self):
+        stats = statistics_of([(1, 10), (2, 10), (3, 20), (4, 20)], 2)
+        assert stats.equality_selectivity(0) == pytest.approx(0.25)
+        assert stats.equality_selectivity(1) == pytest.approx(0.5)
+
+    def test_value_selectivity_exact(self):
+        stats = statistics_of([(1, 10), (2, 10), (3, 20)], 2)
+        assert stats.value_selectivity(1, 10) == pytest.approx(2 / 3)
+        assert stats.value_selectivity(1, 99) == 0.0
+
+    def test_estimate_matches_combines_constraints(self):
+        rows = [(i, i % 2, "x") for i in range(10)]
+        stats = statistics_of(rows, 3)
+        # position 0: 10 distinct; position 1: 2 distinct.
+        assert stats.estimate_matches([0]) == pytest.approx(1.0)
+        assert stats.estimate_matches([1]) == pytest.approx(5.0)
+        assert stats.estimate_matches([0, 1]) == pytest.approx(0.5)
+
+    def test_empty_relation(self):
+        stats = RelationStatistics(2)
+        assert stats.cardinality == 0
+        assert stats.equality_selectivity(0) == 0.0
+        assert stats.estimate_matches([0]) == 0.0
+
+
+class TestBatchInsert:
+    def test_insert_many_equivalent_to_loop(self, db):
+        instance = db.relation("R")
+        rows = [(i, i % 3) for i in range(100)]
+        instance.insert_many(rows)
+        assert len(instance) == 100
+        assert instance.stats.cardinality == 100
+
+    def test_large_batch_drops_and_rebuilds_indexes(self, db):
+        instance = db.relation("R")
+        instance.insert((0, 0))
+        # Force a secondary index into existence, then bulk-load past it.
+        assert instance.lookup((1,), (0,)) == [Row("R", (0, 0))]
+        instance.insert_many([(i, 5) for i in range(1, 200)])
+        assert len(instance.lookup((1,), (5,))) == 199
+
+    def test_database_insert_batch(self, db):
+        stored = db.insert_batch({
+            "R": [(1, 10), (2, 20)],
+            "S": [(10, 100)],
+        })
+        assert len(stored["R"]) == 2
+        assert len(db.relation("S")) == 1

@@ -94,6 +94,56 @@ class TestCite:
         assert "Citation explanation" in capsys.readouterr().out
 
 
+class TestPlan:
+    def test_shows_plan(self, project, capsys):
+        assert main([
+            "plan", str(project),
+            'Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), '
+            'Ty = "gpcr"',
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "plan for" in out
+        assert "estimated cost" in out
+        assert "Family" in out and "FamilyIntro" in out
+
+    def test_sql_plan(self, project, capsys):
+        assert main([
+            "plan", str(project),
+            "SELECT f.FName FROM Family f WHERE f.Type = 'gpcr'",
+            "--sql",
+        ]) == 0
+        assert "plan for" in capsys.readouterr().out
+
+
+class TestCiteBatch:
+    @pytest.fixture
+    def query_file(self, tmp_path):
+        path = tmp_path / "queries.txt"
+        path.write_text(
+            'Q(N) :- Family(F, N, Ty), Ty = "gpcr"\n'
+            "\n"
+            "# repeated shape, different variable names\n"
+            'Q(M) :- Family(G, M, T2), T2 = "gpcr"\n'
+        )
+        return path
+
+    def test_cites_every_query(self, project, query_file, capsys):
+        assert main([
+            "cite-batch", str(project), str(query_file),
+            "--format", "text",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Sources:") == 2
+
+    def test_stats_flag_reports_cache_hits(self, project, query_file,
+                                           capsys):
+        assert main([
+            "cite-batch", str(project), str(query_file), "--stats",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "rewriting cache" in err and "plan cache" in err
+
+
 class TestErrors:
     def test_missing_project_file(self, tmp_path, capsys):
         assert main([

@@ -1,0 +1,65 @@
+"""Tests for batch workload execution (repro.workload.runner)."""
+
+import pytest
+
+from repro.citation.cache import CachedRewritingEngine
+from repro.citation.generator import CitationEngine
+from repro.workload.logs import QueryLog
+from repro.workload.runner import run_workload
+
+QUERIES = [
+    'Q(N) :- Family(F, N, Ty), Ty = "gpcr"',
+    'Q(M) :- Family(G, M, T2), T2 = "gpcr"',  # α-equivalent to the first
+    "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)",
+]
+
+
+@pytest.fixture
+def engine(db, registry):
+    return CitationEngine(db, registry)
+
+
+class TestRunWorkload:
+    def test_results_match_single_cites(self, db, registry, engine):
+        report = run_workload(engine, QUERIES)
+        assert report.queries_run == 3
+        fresh = CitationEngine(db, registry)
+        for query, result in zip(QUERIES, report.results):
+            single = fresh.cite(query)
+            assert set(result.tuples) == set(single.tuples)
+            for output in single.tuples:
+                assert result.tuples[output].polynomial == \
+                    single.tuples[output].polynomial
+
+    def test_alpha_equivalent_queries_hit_caches(self, engine):
+        report = run_workload(engine, QUERIES)
+        assert report.rewriting_hits >= 1
+        assert report.plan_hits >= 1
+        assert 0.0 < report.rewriting_hit_rate <= 1.0
+
+    def test_engine_upgraded_to_cached_rewriting(self, engine):
+        assert not isinstance(engine.rewriting_engine, CachedRewritingEngine)
+        run_workload(engine, QUERIES[:1])
+        assert isinstance(engine.rewriting_engine, CachedRewritingEngine)
+
+    def test_second_batch_starts_warm(self, engine):
+        run_workload(engine, QUERIES)
+        warm = run_workload(engine, QUERIES)
+        assert warm.rewriting_misses == 0
+        assert warm.plan_misses == 0
+
+    def test_query_log_with_frequencies(self, engine):
+        log = QueryLog()
+        log.record(QUERIES[0], frequency=5)
+        log.record(QUERIES[2], frequency=2)
+        distinct = run_workload(engine, log)
+        assert distinct.queries_run == 2
+        repeated = run_workload(engine, log, repeat_frequencies=True)
+        assert repeated.queries_run == 7
+        # Raw traffic is almost entirely cache hits.
+        assert repeated.rewriting_hits == 7
+
+    def test_describe_mentions_caches(self, engine):
+        report = run_workload(engine, QUERIES)
+        text = report.describe()
+        assert "rewriting cache" in text and "plan cache" in text
