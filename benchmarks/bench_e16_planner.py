@@ -94,6 +94,29 @@ def skewed_database(probe_rows: int = 20000) -> Database:
 SKEWED_QUERY = "Q(A, D) :- Probe(A, B), Tiny(B, C), Mid(C, D)"
 
 
+def selective_equality_database(rows: int = 20000,
+                                matching: int = 20) -> Database:
+    """The comparison-pushdown shape: a selective equality on a wide scan.
+
+    Only ``matching`` of ``rows`` tuples carry the rare type, so
+    ``Ty = "rare"`` as a *post-filter* scans everything while the pushed
+    version probes the hash index on the Ty column and touches only the
+    matching sliver.
+    """
+    schema = Schema([RelationSchema("Wide", ["a", "b", "ty"])])
+    db = Database(schema)
+    db.insert_batch({
+        "Wide": [
+            (i, i % 100, "rare" if i < matching else "common")
+            for i in range(rows)
+        ],
+    })
+    return db
+
+
+SELECTIVE_QUERY = 'Q(A, B) :- Wide(A, B, Ty), Ty = "rare"'
+
+
 # ---------------------------------------------------------------------------
 # Timing (pytest-benchmark)
 # ---------------------------------------------------------------------------
@@ -180,3 +203,98 @@ def test_e16_plan_cache_amortizes_planning():
     planner.plan(parse_query(SKEWED_QUERY))
     planner.plan(parse_query("Q(X, W) :- Probe(X, Y), Tiny(Y, Z), Mid(Z, W)"))
     assert planner.hits == 1 and planner.misses == 1
+
+
+# ---------------------------------------------------------------------------
+# Comparison pushdown (selective-equality shape)
+# ---------------------------------------------------------------------------
+
+
+def test_e16_selective_equality_is_pushed_into_access_path():
+    """The plan shape behind the speedup: the equality is absorbed by the
+    index probe, nothing is left to post-filter."""
+    db = selective_equality_database(rows=2000)
+    plan = QueryPlanner(db).plan(parse_query(SELECTIVE_QUERY))
+    step = plan.steps[0]
+    assert 2 in step.lookup_positions
+    assert not step.comparisons
+    assert plan.pushed
+    assert "pushed into access paths" in plan.explain()
+
+
+def test_e16_selective_equality_pushdown_speedup(benchmark):
+    """The pushdown claim: ≥1.5× over scan-and-filter on a selective
+    equality (in practice the gap tracks rows/matching, ~100×+)."""
+    db = selective_equality_database()
+    query = parse_query(SELECTIVE_QUERY)
+    planner = QueryPlanner(db)
+    planner.plan(query)  # warm the plan cache: steady-state comparison
+
+    bindings = benchmark(
+        lambda: sum(1 for __ in enumerate_bindings(query, db,
+                                                   planner=planner))
+    )
+    assert bindings == 20
+
+    planned = _best_of(_drain_planned(query, db, planner))
+    greedy = _best_of(_drain_greedy(query, db))
+    speedup = greedy / planned
+    assert speedup >= 1.5, (
+        f"planned {planned:.6f}s, greedy {greedy:.6f}s, "
+        f"speedup {speedup:.2f}x"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Parallel batch execution
+# ---------------------------------------------------------------------------
+
+
+def _cite_batch_workload():
+    """A batch big enough that shard workers actually engage."""
+    from repro.gtopdb.views import paper_registry
+
+    db = generate_database(families=600, persons=300, seed=29)
+    registry = paper_registry(db.schema)
+    queries = [
+        E8_E9_QUERY,
+        "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)",
+    ] * 3
+    return db, registry, queries
+
+
+def test_e16_parallel_cite_batch_never_slower():
+    """Sharded batch citation must not lose to serial.  On GIL
+    interpreters threads cannot multiply throughput, so the claim is
+    that the shard-and-merge driver's overhead is negligible (on
+    free-threaded builds the same knob scales).  Best-of-5 with a 25%
+    noise budget: wall-clock ratios on shared CI runners jitter well
+    beyond the driver's actual overhead, and a flaky assertion here
+    would be worse than a looser bound."""
+    from repro.citation.generator import CitationEngine
+
+    db, registry, queries = _cite_batch_workload()
+
+    def once(parallelism):
+        engine = CitationEngine(db, registry)
+        def run():
+            engine.cite_batch(queries, parallelism=parallelism)
+        return run
+
+    serial = _best_of(once(1), rounds=5)
+    parallel = _best_of(once(4), rounds=5)
+    assert parallel <= serial * 1.25, (
+        f"parallel {parallel:.6f}s vs serial {serial:.6f}s"
+    )
+
+
+def test_e16_parallel_cite_batch_matches_serial():
+    from repro.citation.generator import CitationEngine
+
+    db, registry, queries = _cite_batch_workload()
+    serial = CitationEngine(db, registry).cite_batch(queries[:3])
+    parallel = CitationEngine(db, registry).cite_batch(
+        queries[:3], parallelism=4
+    )
+    for left, right in zip(serial, parallel):
+        assert left.citation() == right.citation()

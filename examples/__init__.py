@@ -1,0 +1,6 @@
+"""Runnable example scripts (``python -m examples.<name>``).
+
+Each module is self-contained; see docs/examples.md for the tour.
+Requires ``repro`` on the path (``PYTHONPATH=src`` from the repository
+root, or an editable install).
+"""

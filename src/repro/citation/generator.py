@@ -139,6 +139,11 @@ class CitationEngine:
         the ``MetaData`` relation when present.
     include_partial / validate / max_rewritings:
         Passed to the :class:`~repro.rewriting.engine.RewritingEngine`.
+    parallelism / use_processes:
+        Worker count (and thread/process choice) for the shard-and-merge
+        executor (:mod:`repro.cq.parallel`) used by every rewriting
+        evaluation; 1 runs serially.  Results are identical at any
+        setting.  :meth:`cite_batch` can override both per batch.
     """
 
     def __init__(
@@ -151,6 +156,8 @@ class CitationEngine:
         validate: bool = True,
         max_rewritings: int | None = None,
         cache_rewritings: bool = False,
+        parallelism: int = 1,
+        use_processes: bool = False,
     ) -> None:
         self.db = db
         self.registry = registry
@@ -172,6 +179,8 @@ class CitationEngine:
         #: Shared plan cache: every rewriting of every query evaluated by
         #: this engine reuses plans across α-equivalent structures.
         self.planner = QueryPlanner(db)
+        self.parallelism = parallelism
+        self.use_processes = use_processes
         self._virtual: IndexedVirtualRelations | None = None
         self._record_cache: dict[CitationToken, Record] = {}
 
@@ -224,6 +233,8 @@ class CitationEngine:
             self.db,
             virtual=self._materialized(),
             planner=self.planner,
+            parallelism=self.parallelism,
+            use_processes=self.use_processes,
         )
         result: dict[tuple[Any, ...], CitationPolynomial] = {}
         for output, bindings in grouped.items():
@@ -295,7 +306,28 @@ class CitationEngine:
     # ------------------------------------------------------------------
 
     def cite(self, query: ConjunctiveQuery | str) -> CitationResult:
-        """Compute ``cite(D, Q, V)`` for a query (Datalog string or CQ)."""
+        """Compute ``cite(D, Q, V)`` — the paper's Defs 3.1–3.4, end to end.
+
+        Enumerates the Def 2.2 rewritings of the query, builds one
+        ``·``-monomial per binding (Def 3.1), sums them into per-tuple,
+        per-rewriting polynomials (Def 3.2), combines the rewritings with
+        ``+R`` (Def 3.3 / Section 3.4 "best"), and aggregates across the
+        result set with ``Agg`` (Def 3.4).
+
+        Parameters
+        ----------
+        query:
+            The user query — a :class:`~repro.cq.query.ConjunctiveQuery`
+            or a Datalog string (parsed with
+            :func:`~repro.cq.parser.parse_query`).
+
+        Returns
+        -------
+        CitationResult
+            Per-tuple citations (:attr:`CitationResult.tuples`), the
+            aggregated polynomial, and the rendered citation records
+            under this engine's policy.
+        """
         if isinstance(query, str):
             query = parse_query(query)
         rewritings = tuple(self.rewriting_engine.rewrite(query))
@@ -346,7 +378,10 @@ class CitationEngine:
         )
 
     def cite_batch(
-        self, queries: "Sequence[ConjunctiveQuery | str]"
+        self,
+        queries: "Sequence[ConjunctiveQuery | str]",
+        parallelism: int | None = None,
+        use_processes: bool | None = None,
     ) -> list[CitationResult]:
         """Cite a whole workload, sharing work across the queries.
 
@@ -362,10 +397,31 @@ class CitationEngine:
         - views are materialized once up front, and their hash indexes
           accumulate across the batch.
 
-        Returns one :class:`CitationResult` per query, in order.
+        Parameters
+        ----------
+        queries:
+            The workload, as query objects or Datalog strings.
+        parallelism:
+            When given, sets the engine's shard-and-merge worker count
+            (:mod:`repro.cq.parallel`) for this and later batches; every
+            rewriting evaluation partitions its first join step across
+            that many workers.  Like the rewriting-cache upgrade, the
+            setting persists on the engine.
+        use_processes:
+            When given, switches the workers between threads (False,
+            default) and a process pool (True).
+
+        Returns
+        -------
+        One :class:`CitationResult` per query, in order.  Results are
+        identical at any parallelism (bindings merge in serial order).
         """
         from repro.citation.cache import CachedRewritingEngine
 
+        if parallelism is not None:
+            self.parallelism = parallelism
+        if use_processes is not None:
+            self.use_processes = use_processes
         if not isinstance(self.rewriting_engine, CachedRewritingEngine):
             self.rewriting_engine = CachedRewritingEngine(
                 self.rewriting_engine

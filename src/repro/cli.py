@@ -14,6 +14,7 @@ end to end:
         --policy comprehensive --format text
     python -m repro.cli plan gtopdb.json 'Q(N) :- Family(F,N,Ty), Ty = "gpcr"'
     python -m repro.cli cite-batch gtopdb.json queries.txt --stats
+    python -m repro.cli cite-batch gtopdb.json queries.txt --parallelism 4
 
 Exit codes: 0 on success, 1 on usage errors, 2 on processing errors.
 """
@@ -203,7 +204,9 @@ def cmd_cite_batch(args: argparse.Namespace) -> int:
     """Cite a file of queries (one Datalog query per line) as one batch.
 
     Blank lines and ``#`` comments are skipped.  Plans, rewritings, and
-    materialized-view indexes are shared across the whole batch; --stats
+    materialized-view indexes are shared across the whole batch;
+    --parallelism N evaluates each query's join pipeline on N workers
+    (--processes switches them from threads to a process pool); --stats
     prints the cache-effectiveness report afterwards.
     """
     from repro.workload.runner import run_workload
@@ -216,7 +219,12 @@ def cmd_cite_batch(args: argparse.Namespace) -> int:
             for line in handle
             if line.strip() and not line.strip().startswith("#")
         ]
-    report = run_workload(engine, queries)
+    report = run_workload(
+        engine,
+        queries,
+        parallelism=args.parallelism,
+        use_processes=args.processes,
+    )
     renderer = _FORMATS[args.format]
     for result in report.results:
         print(renderer(result))
@@ -281,6 +289,13 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=sorted(_POLICIES))
     cite_batch.add_argument("--format", default="json",
                             choices=sorted(_FORMATS))
+    cite_batch.add_argument("--parallelism", type=int, default=1,
+                            metavar="N",
+                            help="evaluate each query's join pipeline on "
+                                 "N parallel workers (default 1: serial)")
+    cite_batch.add_argument("--processes", action="store_true",
+                            help="with --parallelism, use a process pool "
+                                 "instead of threads")
     cite_batch.add_argument("--stats", action="store_true",
                             help="print cache-effectiveness statistics")
     cite_batch.set_defaults(func=cmd_cite_batch)

@@ -30,6 +30,7 @@ from typing import Any
 
 from repro.cq.atoms import ComparisonAtom, RelationalAtom
 from repro.cq.executor import Binding, IndexedVirtualRelations, execute_plan
+from repro.cq.parallel import execute_plan_parallel
 from repro.cq.plan import QueryPlanner, plan_query
 from repro.cq.query import ConjunctiveQuery
 from repro.cq.terms import Constant, Variable
@@ -46,21 +47,57 @@ def enumerate_bindings(
     db: Database,
     virtual: VirtualRelations | None = None,
     planner: QueryPlanner | None = None,
+    parallelism: int = 1,
+    use_processes: bool = False,
 ) -> Iterator[Binding]:
     """Yield every satisfying binding of the query's body variables.
 
-    The query must be safe and non-parameterized (instantiate λ-parameters
-    first via :meth:`~repro.cq.query.ConjunctiveQuery.instantiate`).
-    When ``planner`` is given, its plan cache is consulted (and filled);
-    otherwise the query is planned from scratch — still cheap, but
-    workloads should share a :class:`~repro.cq.plan.QueryPlanner`.
+    Bindings are the paper's valuations (Def 2.1 semantics): every
+    assignment of body variables satisfying all relational and comparison
+    atoms, one per derivation (duplicates included — Def 3.2 counts them).
+
+    Parameters
+    ----------
+    query:
+        The conjunctive query; must be safe and non-parameterized
+        (instantiate λ-parameters first via
+        :meth:`~repro.cq.query.ConjunctiveQuery.instantiate`).
+    db:
+        The database instance to evaluate against.
+    virtual:
+        Extra virtual relations (materialized view instances) visible to
+        the query body.
+    planner:
+        When given, its plan cache is consulted (and filled); otherwise
+        the query is planned from scratch — still cheap, but workloads
+        should share a :class:`~repro.cq.plan.QueryPlanner`.
+    parallelism:
+        Number of workers for the shard-and-merge executor
+        (:mod:`repro.cq.parallel`); 1 (the default) runs serially.  The
+        binding sequence is identical either way — same multiset *and*
+        same order (shards are contiguous and merged in shard order).
+    use_processes:
+        With ``parallelism > 1``, use a process pool instead of threads.
+
+    Yields
+    ------
+    dict mapping every body :class:`~repro.cq.terms.Variable` to a value.
     """
     indexed = IndexedVirtualRelations.wrap(virtual)
     if planner is not None:
         plan = planner.plan(query, indexed)
     else:
         plan = plan_query(query, db, indexed)
-    yield from execute_plan(plan, db, indexed)
+    if parallelism > 1:
+        yield from execute_plan_parallel(
+            plan,
+            db,
+            indexed,
+            parallelism=parallelism,
+            use_processes=use_processes,
+        )
+    else:
+        yield from execute_plan(plan, db, indexed)
 
 
 def head_tuple(query: ConjunctiveQuery, binding: Binding) -> tuple[Any, ...]:
@@ -80,8 +117,15 @@ def evaluate_query(
     params: Sequence[Any] | None = None,
     virtual: VirtualRelations | None = None,
     planner: QueryPlanner | None = None,
+    parallelism: int = 1,
+    use_processes: bool = False,
 ) -> list[tuple[Any, ...]]:
-    """Evaluate a query under set semantics.
+    """Evaluate a query under set semantics (the paper's Def 2.1).
+
+    This is the user-facing query result — the head projection of every
+    satisfying binding, deduplicated.  (The citation pipeline uses
+    :func:`evaluate_with_bindings` instead, because Defs 3.1/3.2 cite per
+    *binding*, not per output tuple.)
 
     Parameters
     ----------
@@ -91,11 +135,15 @@ def evaluate_query(
     db:
         The database instance.
     params:
-        λ-parameter values (the paper's ``V(Y)(a1..an)`` application).
+        λ-parameter values (the paper's ``V(Y)(a1..an)`` application,
+        Def 2.1).
     virtual:
         Extra virtual relations visible to the query body.
     planner:
         Optional shared plan cache.
+    parallelism / use_processes:
+        Worker count (and thread/process choice) for the shard-and-merge
+        executor; 1 runs serially.  Results are identical either way.
 
     Returns
     -------
@@ -104,7 +152,9 @@ def evaluate_query(
     if params is not None:
         query = query.instantiate(params)
     results: dict[tuple[Any, ...], None] = {}
-    for binding in enumerate_bindings(query, db, virtual, planner):
+    for binding in enumerate_bindings(
+        query, db, virtual, planner, parallelism, use_processes
+    ):
         results.setdefault(head_tuple(query, binding))
     return list(results)
 
@@ -115,16 +165,29 @@ def evaluate_with_bindings(
     params: Sequence[Any] | None = None,
     virtual: VirtualRelations | None = None,
     planner: QueryPlanner | None = None,
+    parallelism: int = 1,
+    use_processes: bool = False,
 ) -> dict[tuple[Any, ...], list[Binding]]:
     """Evaluate and group all satisfying bindings by output tuple.
 
-    This is the paper's ``β_t`` (Def 3.2): the set of bindings yielding
-    each output tuple ``t``.
+    This is the paper's ``β_t`` (Def 3.2): the list of bindings yielding
+    each output tuple ``t``, duplicates preserved — the citation engine
+    sums one monomial per binding.  Grouping follows the executor's
+    first derivation of each tuple, which is deterministic and identical
+    at any ``parallelism`` (the parallel merge preserves serial order).
+
+    Parameters are exactly those of :func:`evaluate_query`.
+
+    Returns
+    -------
+    dict mapping each output tuple to its (non-empty) binding list.
     """
     if params is not None:
         query = query.instantiate(params)
     grouped: dict[tuple[Any, ...], list[Binding]] = {}
-    for binding in enumerate_bindings(query, db, virtual, planner):
+    for binding in enumerate_bindings(
+        query, db, virtual, planner, parallelism, use_processes
+    ):
         grouped.setdefault(head_tuple(query, binding), []).append(binding)
     return grouped
 

@@ -100,6 +100,21 @@ class IndexedVirtualRelations(Mapping):
             self._stats[name] = stats
         return stats
 
+    def ensure_index(self, name: str, positions: tuple[int, ...]) -> None:
+        """Build the hash index on ``positions`` of ``name`` now.
+
+        :meth:`lookup` builds indexes lazily; the parallel executor warms
+        them before fanning out so shard workers never race to build the
+        same one.
+        """
+        key = (name, positions)
+        if not positions or key in self._indexes:
+            return
+        index: dict[tuple[Any, ...], list[tuple[Any, ...]]] = {}
+        for row in self._relations[name]:
+            index.setdefault(tuple(row[i] for i in positions), []).append(row)
+        self._indexes[key] = index
+
     def lookup(
         self,
         name: str,
@@ -107,19 +122,10 @@ class IndexedVirtualRelations(Mapping):
         values: tuple[Any, ...],
     ) -> Sequence[tuple[Any, ...]]:
         """Rows of ``name`` whose projection on ``positions`` is ``values``."""
-        rows = self._relations[name]
         if not positions:
-            return rows
-        key = (name, positions)
-        index = self._indexes.get(key)
-        if index is None:
-            index = {}
-            for row in rows:
-                index.setdefault(
-                    tuple(row[i] for i in positions), []
-                ).append(row)
-            self._indexes[key] = index
-        return index.get(values, ())
+            return self._relations[name]
+        self.ensure_index(name, positions)
+        return self._indexes[name, positions].get(values, ())
 
 
 def _comparison_checker(
@@ -159,6 +165,21 @@ class SingletonBindingOperator:
 
     def __iter__(self) -> Iterator[Binding]:
         yield {}
+
+
+class SequenceSourceOperator:
+    """A source replaying a fixed sequence of bindings.
+
+    The parallel executor (:mod:`repro.cq.parallel`) materializes the
+    first step's bindings, partitions them into shards, and runs the
+    remaining steps of each shard over one of these sources.
+    """
+
+    def __init__(self, bindings: Sequence[Binding]) -> None:
+        self.bindings = bindings
+
+    def __iter__(self) -> Iterator[Binding]:
+        return iter(self.bindings)
 
 
 class IndexJoinOperator:
@@ -225,6 +246,26 @@ def _row_source(
     return base_rows
 
 
+def build_operator_chain(
+    source: Any,
+    steps: Sequence[JoinStep],
+    db: Database,
+    virtual: IndexedVirtualRelations | None,
+    check: Callable[[ComparisonAtom, Binding], bool],
+) -> Any:
+    """Stack one :class:`IndexJoinOperator` per step on top of ``source``.
+
+    Shared by :func:`execute_plan` (whole plan over the singleton source)
+    and the parallel executor (plan suffix over one shard's bindings).
+    """
+    operator = source
+    for step in steps:
+        operator = IndexJoinOperator(
+            operator, step, _row_source(step, db, virtual), check
+        )
+    return operator
+
+
 def execute_plan(
     plan: QueryPlan,
     db: Database,
@@ -241,9 +282,6 @@ def execute_plan(
     indexed = IndexedVirtualRelations.wrap(virtual)
     warned: set[ComparisonAtom] = set()
     check = _comparison_checker(plan.query.name, warned)
-    operator: Any = SingletonBindingOperator()
-    for step in plan.steps:
-        operator = IndexJoinOperator(
-            operator, step, _row_source(step, db, indexed), check
-        )
-    yield from operator
+    yield from build_operator_chain(
+        SingletonBindingOperator(), plan.steps, db, indexed, check
+    )

@@ -1,0 +1,272 @@
+"""Shard-and-merge parallel execution of query plans.
+
+The iterator operators of :mod:`repro.cq.executor` are pull-based and
+stateless, so a plan's step pipeline can run over any partition of its
+input bindings.  This module exploits that: it materializes the *first*
+join step's bindings, partitions them into balanced contiguous shards
+(:func:`repro.relational.statistics.shard_cardinalities` supplies the
+split arithmetic), runs the remaining steps of each shard on a worker,
+and streams the merged bindings back to the caller.
+
+Partitioning the first step — rather than the queries of a batch — keeps
+the sharding inside a single plan execution, so every layer above
+(:func:`repro.cq.evaluation.enumerate_bindings`,
+:meth:`repro.citation.generator.CitationEngine.cite_batch`,
+:func:`repro.workload.runner.run_workload`, the ``cite-batch`` CLI) gets
+a ``parallelism`` knob for free.
+
+Workers are **threads** by default: they share the database's and the
+materialization's hash indexes (warmed up front so workers never race to
+build the same index), and the driver falls back to serial execution
+whenever sharding cannot pay for itself (``parallelism <= 1``,
+single-step plans, or fewer first-step bindings than ``min_partition``).
+A **process pool** is available behind ``use_processes=True`` for
+CPU-bound plans on interpreters where threads contend for the GIL; it
+pickles the plan, database, and shard to each worker, so it only pays
+off when the surviving work dwarfs the copy.  Mixed-type comparison
+warnings raised inside process workers are emitted in the child and not
+re-raised in the parent; thread workers warn normally.
+
+Bindings are streamed in chunks as workers produce them, and the merge
+releases chunks in shard order: since shards are contiguous runs of the
+first step's bindings, the merged stream is the serial executor's
+binding sequence exactly — same multiset (the property suite asserts
+this) *and* same order, so upper layers behave identically at any
+``parallelism``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections.abc import Iterator, Sequence
+from typing import Any
+
+from repro.cq.executor import (
+    Binding,
+    IndexedVirtualRelations,
+    SequenceSourceOperator,
+    SingletonBindingOperator,
+    VirtualRelations,
+    _comparison_checker,
+    build_operator_chain,
+    execute_plan,
+)
+from repro.cq.plan import JoinStep, QueryPlan
+from repro.relational.database import Database
+from repro.relational.statistics import shard_cardinalities
+
+#: Below this many first-step bindings, sharding overhead (threads,
+#: queues) cannot win; the driver runs the plan suffix serially instead.
+DEFAULT_MIN_PARTITION = 64
+
+#: Bindings per queue message: workers batch results so the merge queue
+#: costs one put/get per chunk, not per binding.
+_CHUNK_BINDINGS = 256
+
+
+def partition_bindings(
+    seeds: Sequence[Binding], shards: int
+) -> list[Sequence[Binding]]:
+    """Split ``seeds`` into at most ``shards`` balanced contiguous runs.
+
+    Empty runs (when ``len(seeds) < shards``) are dropped, so every
+    returned shard has work.
+    """
+    partitions: list[Sequence[Binding]] = []
+    start = 0
+    for size in shard_cardinalities(len(seeds), shards):
+        if size:
+            partitions.append(seeds[start:start + size])
+        start += size
+    return partitions
+
+
+def _warm_access_paths(
+    steps: Sequence[JoinStep],
+    db: Database,
+    virtual: IndexedVirtualRelations | None,
+) -> None:
+    """Build every hash index the steps will probe before fanning out.
+
+    Index construction is lazy on first probe; warming serially avoids N
+    workers each building (and all but one discarding) the same index.
+    """
+    for step in steps:
+        if not step.lookup_positions:
+            continue
+        if step.virtual:
+            assert virtual is not None
+            virtual.ensure_index(step.atom.relation, step.lookup_positions)
+        else:
+            db.relation(step.atom.relation).ensure_index(
+                step.lookup_positions
+            )
+
+
+def _run_thread_shards(
+    shards: list[Sequence[Binding]],
+    rest: Sequence[JoinStep],
+    db: Database,
+    virtual: IndexedVirtualRelations | None,
+    check: Any,
+) -> Iterator[Binding]:
+    """One thread per shard; bindings stream back through a merge queue.
+
+    Workers emit chunks as they go, but the merge releases them *in shard
+    order*: because shards are contiguous runs of the first step's
+    bindings, the merged stream is exactly the serial executor's order,
+    so parallelism never changes downstream iteration order (citation
+    record order, first-derivation dedup order, ...).
+    """
+    results: queue.SimpleQueue = queue.SimpleQueue()
+    cancelled = threading.Event()
+
+    def work(index: int, shard: Sequence[Binding]) -> None:
+        chunk: list[Binding] = []
+        try:
+            operator = build_operator_chain(
+                SequenceSourceOperator(shard), rest, db, virtual, check
+            )
+            for binding in operator:
+                if cancelled.is_set():
+                    # The consumer abandoned the iterator; stop burning
+                    # CPU and filling the (unbounded) merge queue.
+                    return
+                chunk.append(binding)
+                if len(chunk) >= _CHUNK_BINDINGS:
+                    results.put(("chunk", index, chunk))
+                    chunk = []
+            results.put(("done", index, chunk))
+        except BaseException as exc:  # propagated to the consumer below
+            results.put(("error", index, exc))
+
+    workers = [
+        threading.Thread(target=work, args=(index, shard), daemon=True)
+        for index, shard in enumerate(shards)
+    ]
+    for worker in workers:
+        worker.start()
+    buffered: list[list[list[Binding]]] = [[] for __ in shards]
+    finished: set[int] = set()
+    failure: BaseException | None = None
+    next_shard = 0
+    try:
+        while next_shard < len(shards):
+            kind, index, payload = results.get()
+            if kind == "error":
+                failure = failure or payload
+                finished.add(index)
+            else:
+                if kind == "done":
+                    finished.add(index)
+                buffered[index].append(payload)
+            if failure is not None:
+                if len(finished) == len(shards):
+                    break
+                continue
+            while next_shard < len(shards):
+                chunks = buffered[next_shard]
+                while chunks:
+                    yield from chunks.pop(0)
+                if next_shard in finished:
+                    next_shard += 1
+                else:
+                    break
+    finally:
+        # Runs on normal completion, worker failure, and generator close
+        # (the consumer stopped early): tell workers to stop, then wait —
+        # they check the flag per binding, so this is prompt.
+        cancelled.set()
+        for worker in workers:
+            worker.join()
+    if failure is not None:
+        raise failure
+
+
+def _execute_shard(
+    payload: tuple[
+        QueryPlan,
+        Database,
+        dict[str, list[tuple[Any, ...]]] | None,
+        Sequence[Binding],
+    ],
+) -> list[Binding]:
+    """Process-pool worker: run the plan suffix over one pickled shard."""
+    plan, db, virtual_rows, shard = payload
+    virtual = (
+        IndexedVirtualRelations(virtual_rows)
+        if virtual_rows is not None
+        else None
+    )
+    check = _comparison_checker(plan.query.name, set())
+    operator = build_operator_chain(
+        SequenceSourceOperator(shard), plan.steps[1:], db, virtual, check
+    )
+    return list(operator)
+
+
+def _run_process_shards(
+    plan: QueryPlan,
+    db: Database,
+    virtual: IndexedVirtualRelations | None,
+    shards: list[Sequence[Binding]],
+) -> Iterator[Binding]:
+    """One process per shard; each receives a pickled copy of the world."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    virtual_rows = (
+        {name: list(virtual[name]) for name in virtual}
+        if virtual is not None
+        else None
+    )
+    with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+        futures = [
+            pool.submit(_execute_shard, (plan, db, virtual_rows, shard))
+            for shard in shards
+        ]
+        for future in futures:
+            yield from future.result()
+
+
+def execute_plan_parallel(
+    plan: QueryPlan,
+    db: Database,
+    virtual: VirtualRelations | None = None,
+    parallelism: int = 2,
+    use_processes: bool = False,
+    min_partition: int = DEFAULT_MIN_PARTITION,
+) -> Iterator[Binding]:
+    """Stream a plan's bindings using up to ``parallelism`` workers.
+
+    Produces exactly the binding sequence of
+    :func:`~repro.cq.executor.execute_plan` — same multiset, same order
+    (shards are contiguous and merged in shard order).  Falls back to
+    serial execution whenever sharding cannot pay for itself;
+    ``min_partition`` is the first-step binding count below which that
+    fallback triggers (tests lower it to force the parallel path on
+    small data).
+    """
+    if plan.empty:
+        return
+    if parallelism <= 1 or len(plan.steps) < 2:
+        yield from execute_plan(plan, db, virtual)
+        return
+    indexed = IndexedVirtualRelations.wrap(virtual)
+    check = _comparison_checker(plan.query.name, set())
+    first = build_operator_chain(
+        SingletonBindingOperator(), plan.steps[:1], db, indexed, check
+    )
+    seeds = list(first)
+    rest = plan.steps[1:]
+    if len(seeds) < max(2, min_partition):
+        yield from build_operator_chain(
+            SequenceSourceOperator(seeds), rest, db, indexed, check
+        )
+        return
+    shards = partition_bindings(seeds, parallelism)
+    if use_processes:
+        yield from _run_process_shards(plan, db, indexed, shards)
+        return
+    _warm_access_paths(rest, db, indexed)
+    yield from _run_thread_shards(shards, rest, db, indexed, check)

@@ -37,12 +37,122 @@ from repro.cq.query import ConjunctiveQuery
 from repro.cq.terms import Constant, Term, Variable
 from repro.errors import QueryError
 from repro.relational.database import Database
+from repro.relational.expressions import ComparisonOp
 from repro.relational.statistics import RelationStatistics, statistics_of
 
 #: Virtual relations: name -> rows.  Anything with a ``statistics_for``
 #: method (e.g. :class:`repro.cq.executor.IndexedVirtualRelations`) serves
 #: cached statistics; plain mappings are profiled on the fly.
 VirtualRelations = Mapping[str, Sequence[tuple[Any, ...]]]
+
+
+class _EqualityClosure:
+    """Union-find over the variables connected by pushable ``=`` atoms.
+
+    Equality comparisons between a variable and a constant
+    (``Ty = "gpcr"``) and between two variables (``X = Y``) — including
+    everything they *transitively* imply — constrain values before any
+    data is read, so the planner folds them into access paths instead of
+    scheduling them as post-filters.  Each equivalence class either
+    carries a constant (every member is forced to that value and probes
+    use the constant directly) or not (later members probe with the value
+    of the first member bound by an earlier step).
+
+    :attr:`contradiction` is set when one class accumulates two constants
+    with unequal values; no binding can satisfy the query then, and the
+    plan short-circuits to an empty result.
+    """
+
+    __slots__ = ("_parent", "_constants", "contradiction", "pushed")
+
+    def __init__(self) -> None:
+        self._parent: dict[Variable, Variable] = {}
+        self._constants: dict[Variable, Constant] = {}
+        self.contradiction = False
+        self.pushed: list[ComparisonAtom] = []
+
+    def find(self, var: Variable) -> Variable:
+        """Class representative of ``var`` (itself when unconstrained)."""
+        parent = self._parent
+        if var not in parent:
+            return var
+        root = var
+        while parent[root] != root:
+            root = parent[root]
+        while parent[var] != root:
+            parent[var], var = root, parent[var]
+        return root
+
+    def constant_for(self, var: Variable) -> Constant | None:
+        """The constant ``var`` is forced to, if its class carries one."""
+        return self._constants.get(self.find(var))
+
+    def _bind_constant(self, root: Variable, constant: Constant) -> None:
+        existing = self._constants.get(root)
+        if existing is None:
+            self._constants[root] = constant
+        elif not existing.value == constant.value:
+            # Value equality, not Constant equality: X = 1, X = 1.0 is
+            # satisfiable (probing with either finds the same rows), but
+            # X = 1, X = 2 never is.
+            self.contradiction = True
+
+    def _union(self, left: Variable, right: Variable) -> None:
+        self._parent.setdefault(left, left)
+        self._parent.setdefault(right, right)
+        left_root, right_root = self.find(left), self.find(right)
+        if left_root == right_root:
+            return
+        self._parent[right_root] = left_root
+        constant = self._constants.pop(right_root, None)
+        if constant is not None:
+            self._bind_constant(left_root, constant)
+
+    def absorb(self, comparison: ComparisonAtom) -> bool:
+        """Fold a comparison into the closure; False → keep it residual.
+
+        Hash-index probes match by identity-or-equality while a residual
+        filter uses ``==`` only — the two differ exactly on non-reflexive
+        values (NaN).  So: ``X = X`` and ``X = <non-reflexive constant>``
+        are never absorbed, and variable-variable equalities are absorbed
+        for probing *and* still re-checked residually (the caller keeps
+        them in the comparison schedule), which makes the probe a pure
+        narrowing optimization.
+        """
+        if comparison.op is not ComparisonOp.EQ or comparison.is_ground:
+            return False
+        left, right = comparison.left, comparison.right
+        if left == right:
+            return False
+        if isinstance(left, Variable) and isinstance(right, Variable):
+            self._union(left, right)
+        else:
+            var, const = (
+                (left, right) if isinstance(left, Variable) else (right, left)
+            )
+            assert isinstance(var, Variable) and isinstance(const, Constant)
+            if const.value != const.value:
+                # A probe with a NaN constant could match rows by object
+                # identity; the == filter never does.  Keep it residual
+                # (it is always false, like the reference evaluator).
+                return False
+            self._parent.setdefault(var, var)
+            self._bind_constant(self.find(var), const)
+        self.pushed.append(comparison)
+        return True
+
+    def needs_recheck(self, comparison: ComparisonAtom) -> bool:
+        """True for absorbed equalities that must also run as filters.
+
+        Variable-variable equalities probe with a runtime value, which
+        may be non-reflexive (NaN); only the residual ``==`` re-check
+        preserves reference semantics for those rows.  (Probes are
+        supersets of ``==`` matches — equal objects hash equal — so
+        probe + re-check is exact.)
+        """
+        return isinstance(comparison.left, Variable) and isinstance(
+            comparison.right, Variable
+        )
 
 
 @dataclass(frozen=True)
@@ -109,9 +219,12 @@ class QueryPlan:
     steps: tuple[JoinStep, ...]
     estimated_cost: float
     estimated_bindings: float
-    #: True when a false ground comparison makes the result empty without
-    #: touching any data.
+    #: Equality comparisons folded into access paths (they do not appear
+    #: in any step's residual ``comparisons``).
+    pushed: tuple[ComparisonAtom, ...] = ()
+    #: True when the result is provably empty without touching any data.
     empty: bool = False
+    empty_reason: str = "false ground comparison"
 
     def explain(self) -> str:
         """Render the plan the way EXPLAIN would."""
@@ -121,8 +234,11 @@ class QueryPlan:
             f"estimated bindings {self.estimated_bindings:.1f}",
         ]
         if self.empty:
-            lines.append("  empty result (false ground comparison)")
+            lines.append(f"  empty result ({self.empty_reason})")
             return "\n".join(lines)
+        if self.pushed:
+            folded = ", ".join(repr(c) for c in self.pushed)
+            lines.append(f"  pushed into access paths: {folded}")
         if not self.steps:
             lines.append("  single empty binding (no relational atoms)")
         for number, step in enumerate(self.steps, start=1):
@@ -133,7 +249,7 @@ class QueryPlan:
             )
             if step.comparisons:
                 checks = ", ".join(repr(c) for c in step.comparisons)
-                line += f"  then check {checks}"
+                line += f"  then check residual {checks}"
             lines.append(line)
         return "\n".join(lines)
 
@@ -180,7 +296,9 @@ class QueryPlan:
             steps=steps,
             estimated_cost=self.estimated_cost,
             estimated_bindings=self.estimated_bindings,
+            pushed=tuple(c.substitute(inverse) for c in self.pushed),
             empty=self.empty,
+            empty_reason=self.empty_reason,
         )
 
 
@@ -213,15 +331,25 @@ def _statistics_for_atom(
 def _estimate_matches(
     atom: RelationalAtom,
     stats: RelationStatistics,
-    bound_vars: set[Variable],
+    closure: _EqualityClosure,
+    bound_reps: Mapping[Variable, Variable],
 ) -> float:
-    """Estimated rows one probe of ``atom`` returns given bound variables."""
+    """Estimated rows one probe of ``atom`` returns given bound variables.
+
+    Variables forced to a constant by the equality closure count as
+    constant constraints (exact frequencies); variables whose class has a
+    member bound by an earlier step count as bound join variables.
+    """
     variable_positions: list[int] = []
     constant_constraints: list[tuple[int, Any]] = []
     for position, term in enumerate(atom.terms):
         if isinstance(term, Constant):
             constant_constraints.append((position, term.value))
-        elif term in bound_vars:
+            continue
+        constant = closure.constant_for(term)
+        if constant is not None:
+            constant_constraints.append((position, constant.value))
+        elif closure.find(term) in bound_reps:
             variable_positions.append(position)
     return stats.estimate_matches(variable_positions, constant_constraints)
 
@@ -231,25 +359,66 @@ def _build_step(
     atom_index: int,
     virtual: bool,
     bound_vars: set[Variable],
+    bound_reps: Mapping[Variable, Variable],
+    closure: _EqualityClosure,
     comparisons: Sequence[ComparisonAtom],
     estimated_matches: float,
     estimated_bindings: float,
 ) -> JoinStep:
-    """Precompute the access path and residual checks for one join."""
+    """Precompute the access path and residual checks for one join.
+
+    Positions whose variable is forced to a constant by the equality
+    closure probe with that constant; positions whose variable's class
+    was bound by an earlier step probe with the bound member.  Either
+    way the variable is still *introduced* from the matching row, so
+    bindings keep every body variable (the citation model sums per
+    binding, Def 3.2).
+    """
     lookup_positions: list[int] = []
     lookup_terms: list[Term] = []
     introduces: list[tuple[Variable, int]] = []
-    first_position: dict[Variable, int] = {}
+    introduced: set[Variable] = set()
+    class_first_position: dict[Variable, int] = {}
     equal_positions: list[tuple[int, int]] = []
     for position, term in enumerate(atom.terms):
-        if isinstance(term, Constant) or term in bound_vars:
+        if isinstance(term, Constant):
             lookup_positions.append(position)
             lookup_terms.append(term)
-        elif term in first_position:
-            equal_positions.append((first_position[term], position))
-        else:
-            first_position[term] = position
-            introduces.append((term, position))
+            continue
+        constant = closure.constant_for(term)
+        if constant is not None:
+            lookup_positions.append(position)
+            lookup_terms.append(constant)
+            if term not in bound_vars and term not in introduced:
+                introduces.append((term, position))
+                introduced.add(term)
+            continue
+        if term in bound_vars:
+            lookup_positions.append(position)
+            lookup_terms.append(term)
+            continue
+        root = closure.find(term)
+        bound_mate = bound_reps.get(root)
+        if bound_mate is not None:
+            # X = Y pushdown: Y's class-mate X is already bound, so probe
+            # with X's value instead of filtering afterwards.
+            lookup_positions.append(position)
+            lookup_terms.append(bound_mate)
+            if term not in introduced:
+                introduces.append((term, position))
+                introduced.add(term)
+            continue
+        if root in class_first_position:
+            # Repeated variable, or two class-mates first met in this
+            # atom: a same-row equality check enforces both cases.
+            equal_positions.append((class_first_position[root], position))
+            if term not in introduced:
+                introduces.append((term, position))
+                introduced.add(term)
+            continue
+        class_first_position[root] = position
+        introduces.append((term, position))
+        introduced.add(term)
     return JoinStep(
         atom=atom,
         atom_index=atom_index,
@@ -271,10 +440,32 @@ def plan_query(
 ) -> QueryPlan:
     """Build a cost-based plan for ``query`` over ``db``.
 
-    The query must be safe and non-parameterized, exactly like the old
-    evaluator entry points.  Raises :class:`QueryError` on arity
-    mismatches (base and virtual) at plan time — before any data is
-    touched.
+    This is the entry into stage two of the evaluation pipeline (the
+    paper's query semantics, Def 2.1): it chooses a greedy
+    minimum-intermediate-cardinality join order from statistics, folds
+    pushable equality comparisons into access paths through the equality
+    closure, and schedules the residual comparisons at the earliest step
+    that binds their variables.
+
+    Parameters
+    ----------
+    query:
+        The conjunctive query; must be safe and non-parameterized,
+        exactly like the old evaluator entry points.
+    db:
+        The database whose statistics drive the cost model (and whose
+        relations the plan's base access paths resolve to).
+    virtual:
+        Optional virtual relations (materialized view instances) visible
+        to the query body.
+
+    Returns
+    -------
+    QueryPlan
+        An executable plan; ``empty`` is set when a false ground
+        comparison or contradictory pushed equalities prove the result
+        empty without touching data.  Raises :class:`QueryError` on arity
+        mismatches (base and virtual) at plan time.
     """
     if query.is_parameterized:
         raise QueryError(
@@ -283,20 +474,38 @@ def plan_query(
         )
     query.check_safety()
 
-    # Ground comparisons hold for every binding or none.
+    # Ground comparisons hold for every binding or none; pushable
+    # equalities fold into the closure; everything else stays residual.
+    # Absorbed variable-variable equalities are *also* kept residual:
+    # their probes narrow, the re-check guarantees == semantics.
     pending: list[ComparisonAtom] = []
+    closure = _EqualityClosure()
     for comparison in query.comparisons:
         if comparison.is_ground:
             if not comparison.evaluate_ground():
                 return QueryPlan(query, (), 0.0, 0.0, empty=True)
-        else:
+        elif not closure.absorb(comparison) or closure.needs_recheck(
+            comparison
+        ):
             pending.append(comparison)
+    if closure.contradiction:
+        return QueryPlan(
+            query,
+            (),
+            0.0,
+            0.0,
+            pushed=tuple(closure.pushed),
+            empty=True,
+            empty_reason="contradictory equality comparisons",
+        )
 
     resolved = [
         _statistics_for_atom(atom, db, virtual) for atom in query.atoms
     ]
     remaining = list(range(len(query.atoms)))
     bound_vars: set[Variable] = set()
+    #: class representative -> first variable of the class bound so far.
+    bound_reps: dict[Variable, Variable] = {}
     steps: list[JoinStep] = []
     bindings = 1.0
     cost = 0.0
@@ -305,7 +514,10 @@ def plan_query(
         best_estimate = None
         for atom_index in remaining:
             estimate = _estimate_matches(
-                query.atoms[atom_index], resolved[atom_index][0], bound_vars
+                query.atoms[atom_index],
+                resolved[atom_index][0],
+                closure,
+                bound_reps,
             )
             if best_estimate is None or estimate < best_estimate:
                 best_index, best_estimate = atom_index, estimate
@@ -323,16 +535,22 @@ def plan_query(
                 best_index,
                 resolved[best_index][1],
                 bound_vars,
+                bound_reps,
+                closure,
                 ready,
                 best_estimate,
                 bindings,
             )
         )
         bound_vars = new_bound
+        for var in atom.variables():
+            bound_reps.setdefault(closure.find(var), var)
     if pending:
         # Safety check above should prevent this.
         raise QueryError("comparison variables not bound by relational atoms")
-    return QueryPlan(query, tuple(steps), cost, bindings)
+    return QueryPlan(
+        query, tuple(steps), cost, bindings, pushed=tuple(closure.pushed)
+    )
 
 
 class QueryPlanner:

@@ -118,6 +118,19 @@ class RelationInstance:
         """Primary-key point lookup."""
         return self._key_index.get(key_value)
 
+    def ensure_index(self, positions: tuple[int, ...]) -> None:
+        """Build (and cache) the hash index on ``positions`` now.
+
+        :meth:`lookup` does this lazily on first probe; the parallel
+        executor warms indexes up front so concurrent shard workers never
+        race to build the same one.
+        """
+        if positions and positions not in self._indexes:
+            index: dict[tuple[Any, ...], list[Row]] = {}
+            for row in self._rows:
+                index.setdefault(row.project(positions), []).append(row)
+            self._indexes[positions] = index
+
     def lookup(self, positions: tuple[int, ...], values: tuple[Any, ...]) -> list[Row]:
         """Rows whose projection on ``positions`` equals ``values``.
 
@@ -125,13 +138,8 @@ class RelationInstance:
         """
         if not positions:
             return self.rows()
-        index = self._indexes.get(positions)
-        if index is None:
-            index = {}
-            for row in self._rows:
-                index.setdefault(row.project(positions), []).append(row)
-            self._indexes[positions] = index
-        return list(index.get(values, ()))
+        self.ensure_index(positions)
+        return list(self._indexes[positions].get(values, ()))
 
     def __repr__(self) -> str:
         return f"RelationInstance({self.schema.name!r}, {len(self)} rows)"

@@ -122,6 +122,21 @@ class RelationStatistics:
         )
 
 
+def shard_cardinalities(total: int, shards: int) -> list[int]:
+    """Split a cardinality into balanced per-shard shares.
+
+    The parallel executor (:mod:`repro.cq.parallel`) partitions the first
+    join step's probe results into contiguous shards; this is the split
+    arithmetic it uses, shared here so cost reporting and the partitioner
+    agree.  Sizes differ by at most one and sum to ``total``; trailing
+    shards may be 0 when ``total < shards`` (the partitioner drops those).
+    """
+    if shards <= 0:
+        raise ValueError(f"shards must be positive, got {shards}")
+    base, extra = divmod(max(0, total), shards)
+    return [base + 1 if i < extra else base for i in range(shards)]
+
+
 def statistics_of(rows: Sequence[Sequence[Any]], arity: int) -> RelationStatistics:
     """Build statistics from scratch for an existing row collection.
 

@@ -31,6 +31,7 @@ class WorkloadReport:
     rewriting_misses: int = 0
     plan_hits: int = 0
     plan_misses: int = 0
+    parallelism: int = 1
 
     @property
     def rewriting_hit_rate(self) -> float:
@@ -45,6 +46,9 @@ class WorkloadReport:
     def describe(self) -> str:
         if self.elapsed_seconds <= 0:
             return f"{self.queries_run} queries"
+        suffix = ""
+        if self.parallelism > 1:
+            suffix = f", parallelism={self.parallelism}"
         return (
             f"{self.queries_run} queries in {self.elapsed_seconds:.3f}s "
             f"({self.queries_run / self.elapsed_seconds:.1f} q/s); "
@@ -52,6 +56,7 @@ class WorkloadReport:
             f"{self.rewriting_hits + self.rewriting_misses} hits, "
             f"plan cache {self.plan_hits}/"
             f"{self.plan_hits + self.plan_misses} hits"
+            f"{suffix}"
         )
 
 
@@ -59,8 +64,14 @@ def run_workload(
     engine: CitationEngine,
     workload: QueryLog | Sequence[ConjunctiveQuery | str],
     repeat_frequencies: bool = False,
+    parallelism: int | None = None,
+    use_processes: bool | None = None,
 ) -> WorkloadReport:
     """Cite every query of a workload through the batch pipeline.
+
+    This drives :meth:`~repro.citation.generator.CitationEngine
+    .cite_batch` — i.e. ``cite(D, Q, V)`` (Defs 3.1–3.4) for every query
+    of the workload — and measures what the shared caches saved.
 
     Parameters
     ----------
@@ -73,6 +84,19 @@ def run_workload(
         When the workload is a log and this is True, each entry is cited
         ``frequency`` times — simulating the raw traffic rather than the
         distinct-query set, which is how cache hit rates should be read.
+    parallelism:
+        When given, the shard-and-merge worker count for every rewriting
+        evaluation in the batch (:mod:`repro.cq.parallel`); forwarded to
+        ``cite_batch`` and persisted on the engine.
+    use_processes:
+        When given, use a process pool instead of threads.
+
+    Returns
+    -------
+    WorkloadReport
+        The per-query :class:`~repro.citation.generator.CitationResult`
+        list (in workload order, identical at any parallelism) plus
+        timing and cache-effectiveness counters.
     """
     queries: list[ConjunctiveQuery | str] = []
     if isinstance(workload, QueryLog):
@@ -90,7 +114,9 @@ def run_workload(
     plan_misses_before = planner.misses
 
     started = time.perf_counter()
-    results = engine.cite_batch(queries)
+    results = engine.cite_batch(
+        queries, parallelism=parallelism, use_processes=use_processes
+    )
     elapsed = time.perf_counter() - started
 
     # cite_batch may have upgraded the engine to a caching one mid-run.
@@ -103,4 +129,5 @@ def run_workload(
         rewriting_misses=getattr(rewriter, "misses", 0) - misses_before,
         plan_hits=planner.hits - plan_hits_before,
         plan_misses=planner.misses - plan_misses_before,
+        parallelism=engine.parallelism,
     )

@@ -1,0 +1,241 @@
+"""Tests for the shard-and-merge parallel executor (repro.cq.parallel)."""
+
+import warnings
+from collections import Counter
+
+import pytest
+
+from repro.citation.generator import CitationEngine
+from repro.cq.evaluation import enumerate_bindings
+from repro.cq.executor import execute_plan
+from repro.cq.parallel import execute_plan_parallel, partition_bindings
+from repro.cq.parser import parse_query
+from repro.cq.plan import plan_query
+from repro.cq.terms import Variable
+from repro.errors import MixedTypeComparisonWarning, QueryError
+from repro.gtopdb.sample import paper_database
+from repro.gtopdb.views import paper_views
+from repro.relational.database import Database
+from repro.relational.schema import RelationSchema, Schema
+from repro.relational.statistics import shard_cardinalities
+from repro.views.registry import ViewRegistry
+from repro.workload.runner import run_workload
+
+
+@pytest.fixture
+def joined_db():
+    """Big fans out over Small: hundreds of first-step bindings."""
+    schema = Schema([
+        RelationSchema("Big", ["a", "b"]),
+        RelationSchema("Small", ["b", "c"]),
+    ])
+    db = Database(schema)
+    db.insert_batch({
+        "Big": [(i, i % 30) for i in range(300)],
+        "Small": [(b, b * 2) for b in range(30)],
+    })
+    return db
+
+
+JOIN_QUERY = "Q(A, C) :- Big(A, B), Small(B, C)"
+
+
+def _serial(plan, db, virtual=None):
+    return list(execute_plan(plan, db, virtual))
+
+
+class TestShardCardinalities:
+    def test_balanced_and_complete(self):
+        assert shard_cardinalities(10, 4) == [3, 3, 2, 2]
+        assert shard_cardinalities(3, 5) == [1, 1, 1, 0, 0]
+        assert shard_cardinalities(0, 3) == [0, 0, 0]
+        assert sum(shard_cardinalities(97, 8)) == 97
+
+    def test_rejects_nonpositive_shards(self):
+        with pytest.raises(ValueError):
+            shard_cardinalities(5, 0)
+
+    def test_partition_drops_empty_shards(self):
+        seeds = [{"s": i} for i in range(3)]
+        shards = partition_bindings(seeds, 8)
+        assert [len(s) for s in shards] == [1, 1, 1]
+        assert [b for shard in shards for b in shard] == seeds
+
+
+class TestThreadEquivalence:
+    @pytest.mark.parametrize("parallelism", [2, 3, 8])
+    def test_order_exact_match_with_serial(self, joined_db, parallelism):
+        plan = plan_query(parse_query(JOIN_QUERY), joined_db)
+        parallel = list(execute_plan_parallel(
+            plan, joined_db, parallelism=parallelism, min_partition=1
+        ))
+        assert parallel == _serial(plan, joined_db)
+
+    def test_more_shards_than_seeds(self, joined_db):
+        q = parse_query("Q(C, A) :- Small(B, C), Big(A, B)")
+        plan = plan_query(q, joined_db)
+        parallel = list(execute_plan_parallel(
+            plan, joined_db, parallelism=64, min_partition=1
+        ))
+        assert parallel == _serial(plan, joined_db)
+
+    def test_virtual_relations_shared_across_workers(self, joined_db):
+        virtual = {"V": [(b, b + 100) for b in range(30)]}
+        q = parse_query("Q(A, X) :- Big(A, B), V(B, X)")
+        plan = plan_query(q, joined_db, virtual)
+        parallel = list(execute_plan_parallel(
+            plan, joined_db, virtual, parallelism=3, min_partition=1
+        ))
+        assert parallel == _serial(plan, joined_db, virtual)
+        assert len(parallel) == 300
+
+    def test_residual_comparisons_filter_in_workers(self, joined_db):
+        q = parse_query("Q(A, C) :- Big(A, B), Small(B, C), A < C")
+        plan = plan_query(q, joined_db)
+        parallel = list(execute_plan_parallel(
+            plan, joined_db, parallelism=4, min_partition=1
+        ))
+        assert parallel == _serial(plan, joined_db)
+
+    def test_mixed_type_warning_propagates_from_workers(self, joined_db):
+        q = parse_query('Q(A) :- Big(A, B), Small(B, C), C < "zzz"')
+        plan = plan_query(q, joined_db)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = list(execute_plan_parallel(
+                plan, joined_db, parallelism=3, min_partition=1
+            ))
+        assert result == []
+        assert any(
+            issubclass(w.category, MixedTypeComparisonWarning)
+            for w in caught
+        )
+
+    def test_worker_errors_propagate(self, joined_db):
+        plan_virtual = {"V": [(b, b) for b in range(400)]}
+        bad_virtual = {"V": [(b,) for b in range(400)]}
+        q = parse_query("Q(A, X) :- Big(A, B), V(B, X)")
+        plan = plan_query(q, joined_db, plan_virtual)
+        assert plan.steps[0].atom.relation == "Big"
+        with pytest.raises(QueryError):
+            list(execute_plan_parallel(
+                plan, joined_db, bad_virtual, parallelism=2, min_partition=1
+            ))
+
+
+class TestFallbacks:
+    def test_parallelism_one_is_serial(self, joined_db):
+        plan = plan_query(parse_query(JOIN_QUERY), joined_db)
+        assert list(execute_plan_parallel(
+            plan, joined_db, parallelism=1
+        )) == _serial(plan, joined_db)
+
+    def test_single_step_plan_is_serial(self, joined_db):
+        plan = plan_query(parse_query("Q(A, B) :- Big(A, B)"), joined_db)
+        assert len(plan.steps) == 1
+        assert list(execute_plan_parallel(
+            plan, joined_db, parallelism=4, min_partition=1
+        )) == _serial(plan, joined_db)
+
+    def test_empty_plan_yields_nothing(self, joined_db):
+        plan = plan_query(parse_query("Q(A) :- Big(A, B), 1 = 2"), joined_db)
+        assert plan.empty
+        assert list(execute_plan_parallel(
+            plan, joined_db, parallelism=4, min_partition=1
+        )) == []
+
+    def test_small_seed_count_falls_back_to_serial(self, joined_db):
+        # Default min_partition far exceeds the 30 Small rows.
+        q = parse_query("Q(C, A) :- Small(B, C), Big(A, B)")
+        plan = plan_query(q, joined_db)
+        assert list(execute_plan_parallel(
+            plan, joined_db, parallelism=4
+        )) == _serial(plan, joined_db)
+
+    def test_empty_first_step(self, joined_db):
+        q = parse_query("Q(A, C) :- Big(A, B), Small(B, C), Big(A, 999)")
+        plan = plan_query(q, joined_db)
+        assert list(execute_plan_parallel(
+            plan, joined_db, parallelism=2, min_partition=1
+        )) == []
+
+
+class TestEarlyAbandonment:
+    def test_closing_the_iterator_stops_workers(self, joined_db):
+        import threading
+
+        plan = plan_query(parse_query(JOIN_QUERY), joined_db)
+        before = threading.active_count()
+        stream = execute_plan_parallel(
+            plan, joined_db, parallelism=4, min_partition=1
+        )
+        first = next(stream)
+        assert first
+        stream.close()  # GeneratorExit -> cancellation flag -> join
+        assert threading.active_count() == before
+
+
+class TestProcessPool:
+    def test_results_match_serial(self, joined_db):
+        plan = plan_query(parse_query(JOIN_QUERY), joined_db)
+        parallel = list(execute_plan_parallel(
+            plan,
+            joined_db,
+            parallelism=2,
+            use_processes=True,
+            min_partition=1,
+        ))
+        assert parallel == _serial(plan, joined_db)
+
+
+class TestFacadeAndEngine:
+    def test_enumerate_bindings_parallelism_param(self, joined_db):
+        q = parse_query(JOIN_QUERY)
+        parallel = Counter(
+            tuple(sorted((v.name, value) for v, value in b.items()))
+            for b in enumerate_bindings(q, joined_db, parallelism=3)
+        )
+        serial = Counter(
+            tuple(sorted((v.name, value) for v, value in b.items()))
+            for b in enumerate_bindings(q, joined_db)
+        )
+        assert parallel == serial
+
+    def test_cite_batch_parallel_equals_serial(self):
+        queries = [
+            'Q(N) :- Family(F, N, Ty), Ty = "gpcr"',
+            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)",
+            "Q(Pn) :- FC(F, C), Person(C, Pn, A)",
+        ]
+        db = paper_database()
+        registry = ViewRegistry(db.schema, paper_views())
+        serial = CitationEngine(db, registry).cite_batch(queries)
+        parallel_engine = CitationEngine(db, registry)
+        parallel = parallel_engine.cite_batch(queries, parallelism=4)
+        assert parallel_engine.parallelism == 4
+        for left, right in zip(serial, parallel):
+            assert left.citation() == right.citation()
+            assert left.aggregate_polynomial == right.aggregate_polynomial
+
+    def test_run_workload_reports_parallelism(self):
+        db = paper_database()
+        registry = ViewRegistry(db.schema, paper_views())
+        engine = CitationEngine(db, registry)
+        report = run_workload(
+            engine,
+            ['Q(N) :- Family(F, N, Ty), Ty = "gpcr"'],
+            parallelism=2,
+        )
+        assert report.parallelism == 2
+        assert "parallelism=2" in report.describe()
+        assert engine.parallelism == 2
+
+    def test_engine_constructor_knob(self, joined_db):
+        db = paper_database()
+        registry = ViewRegistry(db.schema, paper_views())
+        engine = CitationEngine(db, registry, parallelism=3)
+        result = engine.cite('Q(N) :- Family(F, N, Ty), Ty = "gpcr"')
+        reference = CitationEngine(db, registry).cite(
+            'Q(N) :- Family(F, N, Ty), Ty = "gpcr"'
+        )
+        assert result.citation() == reference.citation()

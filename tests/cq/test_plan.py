@@ -1,18 +1,29 @@
 """Tests for the cost-based planner (repro.cq.plan) and the executor."""
 
 import warnings
+from collections import Counter
 
 import pytest
 
+from repro.cq.atoms import ComparisonAtom, RelationalAtom
 from repro.cq.canonical import canonical_key, canonicalize
-from repro.cq.evaluation import enumerate_bindings
+from repro.cq.evaluation import enumerate_bindings, reference_bindings
 from repro.cq.executor import IndexedVirtualRelations, execute_plan
 from repro.cq.parser import parse_query
 from repro.cq.plan import QueryPlanner, plan_query
-from repro.cq.terms import Variable
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.terms import Constant, Variable
 from repro.errors import MixedTypeComparisonWarning, QueryError
 from repro.relational.database import Database
+from repro.relational.expressions import ComparisonOp
 from repro.relational.schema import RelationSchema, Schema
+
+
+def _multiset(bindings):
+    return Counter(
+        tuple(sorted((var.name, value) for var, value in b.items()))
+        for b in bindings
+    )
 
 
 @pytest.fixture
@@ -92,6 +103,155 @@ class TestAccessPaths:
         assert len(plan.steps[1].comparisons) == 1
 
 
+class TestComparisonPushdown:
+    def test_constant_equality_becomes_bound_position(self, skewed_db):
+        q = parse_query("Q(A) :- Big(A, B), B = 7")
+        plan = plan_query(q, skewed_db)
+        step = plan.steps[0]
+        assert step.lookup_positions == (1,)
+        assert step.lookup_terms == (Constant(7),)
+        assert step.comparisons == ()
+        assert plan.pushed == (ComparisonAtom(
+            Variable("B"), ComparisonOp.EQ, Constant(7)
+        ),)
+
+    def test_pushed_variable_still_appears_in_bindings(self, skewed_db):
+        q = parse_query("Q(A) :- Big(A, B), B = 7")
+        bindings = list(enumerate_bindings(q, skewed_db))
+        assert bindings and all(b[Variable("B")] == 7 for b in bindings)
+        assert _multiset(bindings) == _multiset(
+            reference_bindings(q, skewed_db)
+        )
+
+    def test_transitive_constant_reaches_every_class_member(self, skewed_db):
+        q = parse_query("Q(A, C) :- Big(A, B), Small(D, C), B = D, D = 1")
+        plan = plan_query(q, skewed_db)
+        for step in plan.steps:
+            assert step.lookup_positions == (0 if
+                                             step.atom.relation == "Small"
+                                             else 1,)
+            assert step.lookup_terms == (Constant(1),)
+        # Both equalities are folded into the probes; only the var-var
+        # link keeps its residual re-check (NaN-safe == semantics).
+        assert len(plan.pushed) == 2
+        residual = [c for step in plan.steps for c in step.comparisons]
+        assert [repr(c) for c in residual] == ["B = D"]
+        assert _multiset(enumerate_bindings(q, skewed_db)) == _multiset(
+            reference_bindings(q, skewed_db)
+        )
+
+    def test_variable_equality_probes_with_bound_member(self, skewed_db):
+        q = parse_query("Q(A, C) :- Big(A, B), Small(D, C), B = D")
+        plan = plan_query(q, skewed_db)
+        # Small (2 rows) goes first and binds D; Big probes with it.  The
+        # equality is still re-checked residually (probe matching is
+        # identity-or-equality; only == preserves NaN semantics).
+        assert plan.steps[0].atom.relation == "Small"
+        big = plan.steps[1]
+        assert big.lookup_positions == (1,)
+        assert big.lookup_terms == (Variable("D"),)
+        assert len(big.comparisons) == 1
+        assert plan.pushed
+        assert _multiset(enumerate_bindings(q, skewed_db)) == _multiset(
+            reference_bindings(q, skewed_db)
+        )
+
+    def test_class_mates_met_in_one_atom_check_same_row(self, skewed_db):
+        q = parse_query("Q(A, B) :- Big(A, B), A = B")
+        plan = plan_query(q, skewed_db)
+        step = plan.steps[0]
+        assert step.equal_positions == ((0, 1),)
+        assert set(step.introduces) == {(Variable("A"), 0),
+                                        (Variable("B"), 1)}
+        assert _multiset(enumerate_bindings(q, skewed_db)) == _multiset(
+            reference_bindings(q, skewed_db)
+        )
+
+    def test_nan_constant_equality_stays_residual(self, skewed_db):
+        # Probing a hash index with NaN could match rows by object
+        # identity; == never does, so the comparison must not be pushed.
+        nan = float("nan")
+        skewed_db.insert("Big", 999, nan)
+        b = Variable("B")
+        q = ConjunctiveQuery(
+            "Q",
+            [Variable("A")],
+            [RelationalAtom("Big", [Variable("A"), b])],
+            [ComparisonAtom(b, ComparisonOp.EQ, Constant(nan))],
+        )
+        plan = plan_query(q, skewed_db)
+        assert plan.pushed == ()
+        assert list(enumerate_bindings(q, skewed_db)) == []
+        assert list(reference_bindings(q, skewed_db)) == []
+
+    def test_nan_values_rejected_by_variable_equality(self):
+        # The var-var probe may hit the NaN row via object identity; the
+        # residual re-check must reject it, matching the reference.
+        nan = float("nan")
+        schema = Schema([
+            RelationSchema("R", ["a", "b"]),
+            RelationSchema("S", ["b", "c"]),
+        ])
+        db = Database(schema)
+        db.insert_all("R", [(1, nan), (2, 5)])
+        db.insert_all("S", [(nan, 10), (5, 20)])
+        q = parse_query("Q(A, C) :- R(A, B), S(D, C), B = D")
+        planned = _multiset(enumerate_bindings(q, db))
+        assert planned == _multiset(reference_bindings(q, db))
+        assert sum(planned.values()) == 1  # only the 5 = 5 join survives
+
+    def test_contradictory_constants_short_circuit(self, skewed_db):
+        q = parse_query("Q(A) :- Big(A, B), B = 1, B = 2")
+        plan = plan_query(q, skewed_db)
+        assert plan.empty
+        assert "contradictory equality comparisons" in plan.explain()
+        assert list(enumerate_bindings(q, skewed_db)) == []
+        assert list(reference_bindings(q, skewed_db)) == []
+
+    def test_value_equal_constants_are_not_contradictory(self, skewed_db):
+        # X = 1 and X = 1.0 are jointly satisfiable (1 == 1.0); probing
+        # with either constant finds the same rows.
+        b = Variable("B")
+        q = ConjunctiveQuery(
+            "Q",
+            [Variable("A")],
+            [RelationalAtom("Big", [Variable("A"), b])],
+            [
+                ComparisonAtom(b, ComparisonOp.EQ, Constant(1)),
+                ComparisonAtom(b, ComparisonOp.EQ, Constant(1.0)),
+            ],
+        )
+        plan = plan_query(q, skewed_db)
+        assert not plan.empty
+        assert _multiset(enumerate_bindings(q, skewed_db)) == _multiset(
+            reference_bindings(q, skewed_db)
+        )
+
+    def test_order_comparisons_stay_residual(self, skewed_db):
+        q = parse_query("Q(A) :- Big(A, B), B < 5")
+        plan = plan_query(q, skewed_db)
+        assert plan.pushed == ()
+        assert len(plan.steps[0].comparisons) == 1
+
+    def test_self_equality_stays_residual(self, skewed_db):
+        q = parse_query("Q(A) :- Big(A, B), A = A")
+        plan = plan_query(q, skewed_db)
+        assert plan.pushed == ()
+        assert len(plan.steps[0].comparisons) == 1
+
+    def test_pushdown_survives_plan_cache_rebinding(self, skewed_db):
+        planner = QueryPlanner(skewed_db)
+        planner.plan(parse_query("Q(A) :- Big(A, B), B = 7"))
+        rebound = planner.plan(parse_query("Q(X) :- Big(X, Y), Y = 7"))
+        assert planner.hits == 1
+        assert rebound.steps[0].lookup_terms == (Constant(7),)
+        assert rebound.pushed == (ComparisonAtom(
+            Variable("Y"), ComparisonOp.EQ, Constant(7)
+        ),)
+        bindings = list(execute_plan(rebound, skewed_db))
+        assert bindings and all(b[Variable("Y")] == 7 for b in bindings)
+
+
 class TestExplain:
     def test_explain_mentions_every_atom(self, skewed_db):
         q = parse_query("Q(A, C) :- Big(A, B), Small(B, C)")
@@ -111,6 +271,32 @@ class TestExplain:
         q = parse_query('Q("ok") :- 1 < 2')
         text = plan_query(q, skewed_db).explain()
         assert "single empty binding" in text
+
+    def test_explain_renders_pushed_vs_residual(self, skewed_db):
+        q = parse_query("Q(A, C) :- Big(A, B), Small(B, C), B = 1, A < C")
+        text = plan_query(q, skewed_db).explain()
+        assert "pushed into access paths: B = 1" in text
+        assert "then check residual A < C" in text
+        assert "B = 1" not in text.split("then check residual", 1)[1]
+
+    def test_explain_without_pushed_comparisons_has_no_pushed_line(
+        self, skewed_db
+    ):
+        q = parse_query("Q(A, C) :- Big(A, B), Small(B, C)")
+        text = plan_query(q, skewed_db).explain()
+        assert "pushed into access paths" not in text
+
+    def test_explain_ground_false_short_circuit_reason(self, skewed_db):
+        q = parse_query("Q(A) :- Big(A, B), 1 = 2")
+        text = plan_query(q, skewed_db).explain()
+        assert "empty result (false ground comparison)" in text
+
+    def test_explain_contradiction_short_circuit_reason(self, skewed_db):
+        q = parse_query("Q(A) :- Big(A, B), B = 1, B = 2")
+        text = plan_query(q, skewed_db).explain()
+        assert "empty result (contradictory equality comparisons)" in text
+        # The short circuit never renders join steps.
+        assert "rows/probe" not in text
 
 
 class TestPlanErrors:

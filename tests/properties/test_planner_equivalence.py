@@ -22,7 +22,9 @@ from repro.cq.evaluation import (
     evaluate_query,
     reference_bindings,
 )
-from repro.cq.plan import QueryPlanner
+from repro.cq.executor import execute_plan
+from repro.cq.parallel import execute_plan_parallel
+from repro.cq.plan import QueryPlanner, plan_query
 from repro.cq.query import ConjunctiveQuery
 from repro.cq.terms import Constant, Variable
 from repro.relational.database import Database
@@ -157,6 +159,80 @@ def test_cached_plans_do_not_change_results(db, virtual, query):
     )
     assert first == second == reference
     assert planner.hits >= 1
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    db=databases(),
+    query=queries(relations=tuple(sorted(BASE_ARITIES))),
+    data=st.data(),
+)
+def test_pushdown_equality_chains_preserve_multiset(db, query, data):
+    """Extra ``=`` chains (X = Y, Y = c, contradictions, transitive
+    constants) are exactly what comparison pushdown folds into access
+    paths; the binding multiset must never change."""
+    variables = sorted(query.relational_variables())
+    comparisons = list(query.comparisons)
+    for __ in range(data.draw(st.integers(1, 3)) if variables else 0):
+        left = data.draw(st.sampled_from(variables))
+        right = data.draw(
+            st.one_of(
+                st.sampled_from(variables),
+                st.builds(Constant, VALUES),
+            )
+        )
+        comparisons.append(ComparisonAtom(left, ComparisonOp.EQ, right))
+    chained = ConjunctiveQuery(query.name, query.head, query.atoms,
+                               comparisons)
+    planned = Counter(
+        binding_key(b) for b in enumerate_bindings(chained, db)
+    )
+    reference = Counter(
+        binding_key(b) for b in reference_bindings(chained, db)
+    )
+    assert planned == reference
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    db=databases(),
+    virtual=virtual_relations(),
+    query=queries(),
+    parallelism=st.integers(2, 4),
+)
+def test_parallel_executor_equals_reference_multiset(
+    db, virtual, query, parallelism
+):
+    """The shard-and-merge executor produces the reference evaluator's
+    binding multiset at any worker count (Def 3.2 counts bindings, so
+    the multiset — not just the set — must survive sharding)."""
+    plan = plan_query(query, db, virtual)
+    parallel = Counter(
+        binding_key(b)
+        for b in execute_plan_parallel(
+            plan, db, virtual, parallelism=parallelism, min_partition=1
+        )
+    )
+    reference = Counter(
+        binding_key(b) for b in reference_bindings(query, db, virtual)
+    )
+    assert parallel == reference
+
+
+@settings(max_examples=40, deadline=None)
+@given(db=databases(), virtual=virtual_relations(), query=queries())
+def test_parallel_executor_preserves_serial_order(db, virtual, query):
+    """Contiguous shards merged in shard order reproduce the serial
+    binding sequence exactly, not just its multiset."""
+    plan = plan_query(query, db, virtual)
+    parallel = [
+        binding_key(b)
+        for b in execute_plan_parallel(
+            plan, db, virtual, parallelism=3, min_partition=1
+        )
+    ]
+    serial = [binding_key(b) for b in execute_plan(plan, db, virtual)]
+    assert parallel == serial
 
 
 @settings(max_examples=60, deadline=None)

@@ -1,0 +1,97 @@
+"""Documentation front-door guards.
+
+The CI docs job runs every example and the link checker on each push;
+these tests keep the same guarantees in the tier-1 suite so docs drift
+fails fast locally:
+
+- README.md exists and covers the CLI commands;
+- every example script is documented in docs/examples.md and runnable
+  as ``python -m examples.<name>``;
+- relative links in the Markdown front door resolve.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = ["README.md", "ARCHITECTURE.md", "docs/examples.md"]
+EXAMPLES = sorted(
+    path.stem
+    for path in (REPO / "examples").glob("*.py")
+    if path.stem != "__init__"
+)
+
+
+class TestReadme:
+    def test_exists_and_names_the_paper(self):
+        text = (REPO / "README.md").read_text(encoding="utf-8")
+        assert "Fine-Grained Data Citation" in text
+        assert "CIDR" in text
+
+    def test_documents_every_cli_command(self):
+        from repro.cli import build_parser
+
+        text = (REPO / "README.md").read_text(encoding="utf-8")
+        parser = build_parser()
+        subparsers = next(
+            action for action in parser._actions
+            if hasattr(action, "choices") and action.choices
+        )
+        for command in subparsers.choices:
+            assert command in text, f"README does not mention {command!r}"
+
+    def test_links_to_architecture_and_examples(self):
+        text = (REPO / "README.md").read_text(encoding="utf-8")
+        assert "ARCHITECTURE.md" in text
+        assert "docs/examples.md" in text
+
+
+class TestExamplesDoc:
+    def test_every_example_has_a_paragraph(self):
+        text = (REPO / "docs" / "examples.md").read_text(encoding="utf-8")
+        for name in EXAMPLES:
+            assert f"{name}.py" in text, (
+                f"examples/{name}.py is not documented in docs/examples.md"
+            )
+
+    def test_no_stale_example_entries(self):
+        text = (REPO / "docs" / "examples.md").read_text(encoding="utf-8")
+        import re
+
+        documented = set(re.findall(r"\[`([a-z_]+)\.py`\]", text))
+        assert documented == set(EXAMPLES)
+
+
+class TestLinks:
+    @pytest.mark.parametrize("doc", DOC_FILES)
+    def test_relative_links_resolve(self, doc):
+        sys.path.insert(0, str(REPO / "tools"))
+        try:
+            from check_doc_links import broken_links
+        finally:
+            sys.path.pop(0)
+        assert broken_links(REPO / doc) == []
+
+
+class TestExamplesRun:
+    def test_quickstart_runs_as_module(self):
+        """End-to-end smoke for the documented invocation; CI's docs job
+        runs all six examples, tier-1 keeps the fastest one."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "examples.quickstart"],
+            cwd=REPO,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "rendered citation" in proc.stdout

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Fail when a Markdown file contains a broken relative link.
+
+Usage::
+
+    python tools/check_doc_links.py README.md ARCHITECTURE.md docs/*.md
+
+Checks every inline link ``[text](target)`` whose target is relative
+(no URL scheme, not an in-page ``#anchor``): the target path, resolved
+against the file's directory and stripped of any ``#fragment``, must
+exist.  External URLs and anchors are ignored — this is a docs-drift
+guard, not a crawler.  Exits 1 listing every broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline Markdown links; deliberately simple — our docs don't nest
+#: brackets or use reference-style links.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def broken_links(path: Path) -> list[str]:
+    failures = []
+    for target in LINK.findall(path.read_text(encoding="utf-8")):
+        if SCHEME.match(target) or target.startswith("#"):
+            continue
+        resolved = path.parent / target.split("#", 1)[0]
+        if not resolved.exists():
+            failures.append(f"{path}: broken link -> {target}")
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_doc_links.py FILE.md [FILE.md ...]",
+              file=sys.stderr)
+        return 1
+    failures: list[str] = []
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            failures.append(f"{path}: file does not exist")
+            continue
+        failures.extend(broken_links(path))
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    if failures:
+        return 1
+    print(f"checked {len(argv)} file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
