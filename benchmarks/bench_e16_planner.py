@@ -33,6 +33,11 @@ E9_SIZES = [100, 400, 1600]
 REPEATS = 10
 
 
+def _scaled(size: int, quick: bool, floor: int = 50) -> int:
+    """Shrink an instance size under ``--quick`` (assertions kept)."""
+    return max(floor, size // 5) if quick else size
+
+
 def _best_of(callable_, rounds=3):
     best = None
     for __ in range(rounds):
@@ -59,10 +64,11 @@ def _drain_greedy(query, db):
     return run
 
 
-def _e8_e9_shapes():
+def _e8_e9_shapes(quick=False):
     """(label, db, query) for every E8/E9 scaling shape."""
     shapes = [("e8-paper-db", paper_database(), parse_query(E8_E9_QUERY))]
     for size in E9_SIZES:
+        size = _scaled(size, quick)
         db = generate_database(families=size, persons=size // 2, seed=29)
         shapes.append((f"e9-{size}", db, parse_query(E8_E9_QUERY)))
     return shapes
@@ -123,7 +129,8 @@ SELECTIVE_QUERY = 'Q(A, B) :- Wide(A, B, Ty), Ty = "rare"'
 
 
 @pytest.mark.parametrize("size", E9_SIZES)
-def test_e16_planned_executor_time_vs_data(benchmark, size):
+def test_e16_planned_executor_time_vs_data(benchmark, size, quick):
+    size = _scaled(size, quick)
     db = generate_database(families=size, persons=size // 2, seed=29)
     query = parse_query(E8_E9_QUERY)
     planner = QueryPlanner(db)
@@ -135,8 +142,8 @@ def test_e16_planned_executor_time_vs_data(benchmark, size):
     benchmark.extra_info["families"] = size
 
 
-def test_e16_skewed_multijoin_planned(benchmark):
-    db = skewed_database()
+def test_e16_skewed_multijoin_planned(benchmark, quick):
+    db = skewed_database(_scaled(20000, quick, floor=4000))
     query = parse_query(SKEWED_QUERY)
     planner = QueryPlanner(db)
     bindings = benchmark(
@@ -151,10 +158,10 @@ def test_e16_skewed_multijoin_planned(benchmark):
 # ---------------------------------------------------------------------------
 
 
-def test_e16_planned_no_slower_on_every_e8_e9_shape():
+def test_e16_planned_no_slower_on_every_e8_e9_shape(quick):
     """Steady-state planned execution is never slower than greedy on the
     E8/E9 scaling shapes (10% tolerance for timer noise)."""
-    for label, db, query in _e8_e9_shapes():
+    for label, db, query in _e8_e9_shapes(quick):
         planner = QueryPlanner(db)
         planned = _best_of(_drain_planned(query, db, planner))
         greedy = _best_of(_drain_greedy(query, db))
@@ -163,8 +170,8 @@ def test_e16_planned_no_slower_on_every_e8_e9_shape():
         )
 
 
-def test_e16_planned_results_match_greedy_on_every_shape():
-    for label, db, query in _e8_e9_shapes() + [
+def test_e16_planned_results_match_greedy_on_every_shape(quick):
+    for label, db, query in _e8_e9_shapes(quick) + [
         ("skewed", skewed_database(2000), parse_query(SKEWED_QUERY))
     ]:
         planner = QueryPlanner(db)
@@ -179,10 +186,10 @@ def test_e16_planned_results_match_greedy_on_every_shape():
         assert planned == greedy, label
 
 
-def test_e16_skewed_multijoin_speedup():
+def test_e16_skewed_multijoin_speedup(quick):
     """The headline claim: ≥1.5× over greedy join order on a multi-join
     with skewed relation sizes (in practice the gap is ~10-100×)."""
-    db = skewed_database()
+    db = skewed_database(_scaled(20000, quick, floor=4000))
     query = parse_query(SKEWED_QUERY)
     planner = QueryPlanner(db)
     planner.plan(query)  # warm the plan cache: steady-state comparison
@@ -222,10 +229,10 @@ def test_e16_selective_equality_is_pushed_into_access_path():
     assert "pushed into access paths" in plan.explain()
 
 
-def test_e16_selective_equality_pushdown_speedup(benchmark):
+def test_e16_selective_equality_pushdown_speedup(benchmark, quick):
     """The pushdown claim: ≥1.5× over scan-and-filter on a selective
     equality (in practice the gap tracks rows/matching, ~100×+)."""
-    db = selective_equality_database()
+    db = selective_equality_database(rows=_scaled(20000, quick, floor=4000))
     query = parse_query(SELECTIVE_QUERY)
     planner = QueryPlanner(db)
     planner.plan(query)  # warm the plan cache: steady-state comparison
@@ -246,15 +253,94 @@ def test_e16_selective_equality_pushdown_speedup(benchmark):
 
 
 # ---------------------------------------------------------------------------
+# Range pushdown (selective-range shape, ordered access paths)
+# ---------------------------------------------------------------------------
+
+
+#: Rows matched by the selective-range shape (the interval's width).
+RANGE_MATCHING = 20
+
+
+def selective_range_database(rows: int = 20000) -> Database:
+    """The range-pushdown shape: a selective inequality on a wide scan.
+
+    The K column is unique and uniform, so ``K < RANGE_MATCHING`` as a
+    *post-filter* scans all ``rows`` tuples while the pushed version
+    bisects the sorted index on K and touches only the matching sliver.
+    """
+    schema = Schema([RelationSchema("Wide", ["a", "b", "k"])])
+    db = Database(schema)
+    db.insert_batch({
+        "Wide": [(i, i % 100, i) for i in range(rows)],
+    })
+    return db
+
+
+SELECTIVE_RANGE_QUERY = f"Q(A, B) :- Wide(A, B, K), K < {RANGE_MATCHING}"
+
+
+def test_e16_selective_range_is_pushed_into_ordered_path():
+    """The plan shape behind the speedup: the inequality becomes an
+    ordered (sorted-index) access path, rendered separately from the
+    residual re-check in EXPLAIN."""
+    db = selective_range_database(rows=2000)
+    plan = QueryPlanner(db).plan(parse_query(SELECTIVE_RANGE_QUERY))
+    step = plan.steps[0]
+    assert step.range_position == 2
+    assert step.range_interval.hi == RANGE_MATCHING
+    assert step.range_interval.hi_open
+    assert plan.pushed_ranges
+    text = plan.explain()
+    assert "pushed into ordered access paths" in text
+    assert "ordered index on [2]" in text
+
+
+def test_e16_selective_range_pushdown_speedup(benchmark, quick):
+    """The range-pushdown claim: ≥1.5× over scan-and-filter on a
+    selective inequality (in practice the gap tracks rows/matching,
+    ~100×+: bisect + sliver vs full scan)."""
+    db = selective_range_database(rows=_scaled(20000, quick, floor=4000))
+    query = parse_query(SELECTIVE_RANGE_QUERY)
+    planner = QueryPlanner(db)
+    planner.plan(query)  # warm the plan cache: steady-state comparison
+
+    bindings = benchmark(
+        lambda: sum(1 for __ in enumerate_bindings(query, db,
+                                                   planner=planner))
+    )
+    assert bindings == RANGE_MATCHING
+
+    planned = _best_of(_drain_planned(query, db, planner))
+    greedy = _best_of(_drain_greedy(query, db))
+    speedup = greedy / planned
+    assert speedup >= 1.5, (
+        f"planned {planned:.6f}s, greedy {greedy:.6f}s, "
+        f"speedup {speedup:.2f}x"
+    )
+
+
+def test_e16_empty_interval_short_circuits_without_touching_data(quick):
+    """A contradictory range pair plans to a provably empty result: no
+    probes, no bindings, at any data size."""
+    db = selective_range_database(rows=_scaled(20000, quick, floor=4000))
+    query = parse_query("Q(A, B) :- Wide(A, B, K), K < 10, K > 90")
+    planner = QueryPlanner(db)
+    plan = planner.plan(query)
+    assert plan.empty
+    assert list(enumerate_bindings(query, db, planner=planner)) == []
+
+
+# ---------------------------------------------------------------------------
 # Parallel batch execution
 # ---------------------------------------------------------------------------
 
 
-def _cite_batch_workload():
+def _cite_batch_workload(quick=False):
     """A batch big enough that shard workers actually engage."""
     from repro.gtopdb.views import paper_registry
 
-    db = generate_database(families=600, persons=300, seed=29)
+    size = _scaled(600, quick)
+    db = generate_database(families=size, persons=size // 2, seed=29)
     registry = paper_registry(db.schema)
     queries = [
         E8_E9_QUERY,
@@ -263,7 +349,7 @@ def _cite_batch_workload():
     return db, registry, queries
 
 
-def test_e16_parallel_cite_batch_never_slower():
+def test_e16_parallel_cite_batch_never_slower(quick):
     """Sharded batch citation must not lose to serial.  On GIL
     interpreters threads cannot multiply throughput, so the claim is
     that the shard-and-merge driver's overhead is negligible (on
@@ -273,7 +359,7 @@ def test_e16_parallel_cite_batch_never_slower():
     would be worse than a looser bound."""
     from repro.citation.generator import CitationEngine
 
-    db, registry, queries = _cite_batch_workload()
+    db, registry, queries = _cite_batch_workload(quick)
 
     def once(parallelism):
         engine = CitationEngine(db, registry)
@@ -288,10 +374,10 @@ def test_e16_parallel_cite_batch_never_slower():
     )
 
 
-def test_e16_parallel_cite_batch_matches_serial():
+def test_e16_parallel_cite_batch_matches_serial(quick):
     from repro.citation.generator import CitationEngine
 
-    db, registry, queries = _cite_batch_workload()
+    db, registry, queries = _cite_batch_workload(quick)
     serial = CitationEngine(db, registry).cite_batch(queries[:3])
     parallel = CitationEngine(db, registry).cite_batch(
         queries[:3], parallelism=4

@@ -16,6 +16,13 @@ from repro.gtopdb.views import paper_registry
 
 
 @pytest.fixture(scope="session")
+def quick(request):
+    """True under ``--quick`` (registered in the repo-root conftest):
+    reduced instance sizes, every shape assertion kept."""
+    return bool(request.config.getoption("--quick", default=False))
+
+
+@pytest.fixture(scope="session")
 def db():
     return paper_database()
 

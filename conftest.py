@@ -1,0 +1,18 @@
+"""Repository-level pytest configuration.
+
+Registers the ``--quick`` flag used by the benchmark suite (it must be
+defined in a conftest that pytest loads at startup, which for runs from
+the repository root is this one): benchmarks keep every shape assertion
+— pushdown plan shapes, ≥1.5× speedup claims, parallel-never-slower —
+but run on reduced instance sizes, so CI can gate on them without paying
+full benchmark time.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="run benchmarks on reduced sizes (assertions kept)",
+    )

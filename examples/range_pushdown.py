@@ -1,0 +1,83 @@
+"""Range pushdown: EXPLAIN a selective inequality and watch it bisect.
+
+Run with::
+
+    python examples/range_pushdown.py
+
+The scenario: a measurement archive where queries slice by a numeric
+column (``Reading(Sensor, Day, Value)``).  The citation model prices
+every query by the bindings it enumerates (Def 3.2), so a selective
+``Value < bound`` must be absorbed by the access path — a bisect over a
+sorted secondary index — rather than scanning the archive and filtering
+afterwards.  This walk-through shows the plan shapes EXPLAIN renders for
+range queries: the ordered access path, the merged interval, the
+residual re-check, and the empty-interval short circuit.
+"""
+
+import time
+
+from repro.cq.evaluation import enumerate_bindings, reference_bindings
+from repro.cq.parser import parse_query
+from repro.cq.plan import QueryPlanner
+from repro.relational.database import Database
+from repro.relational.schema import RelationSchema, Schema
+
+ROWS = 50_000
+
+
+def build_database() -> Database:
+    """A measurement archive: one wide relation, a uniform Value column."""
+    schema = Schema([RelationSchema("Reading", ["Sensor", "Day", "Value"])])
+    db = Database(schema)
+    db.insert_batch({
+        "Reading": [(f"s{i % 100}", i % 365, i) for i in range(ROWS)],
+    })
+    return db
+
+
+def show_plan(planner: QueryPlanner, text: str) -> None:
+    print(f"\n$ EXPLAIN {text}")
+    print(planner.plan(parse_query(text)).explain())
+
+
+def main() -> None:
+    db = build_database()
+    planner = QueryPlanner(db)
+    print(f"archive: {ROWS} readings")
+
+    # One bound: Value < 40 becomes an ordered access path — note the
+    # `pushed into ordered access paths:` line and the `ordered index
+    # on [2]` probe, plus the residual re-check that guarantees the
+    # planned results equal the reference evaluator's exactly.
+    show_plan(planner, "Q(S, D) :- Reading(S, D, V), V < 40")
+
+    # Two bounds merge into one interval [100, 140).
+    show_plan(planner,
+              "Q(S, D) :- Reading(S, D, V), V >= 100, V < 140")
+
+    # Contradictory bounds are provably empty at plan time: no step ever
+    # touches the data.
+    show_plan(planner, "Q(S) :- Reading(S, D, V), V < 10, V > 90")
+
+    # The speedup the ordered path buys on this shape.  One warm-up run
+    # pays the plan-cache fill and the lazy sorted-index build; the
+    # timed runs below are the steady state a repository front-end sees.
+    query = parse_query("Q(S, D) :- Reading(S, D, V), V < 40")
+    sum(1 for __ in enumerate_bindings(query, db, planner=planner))
+
+    started = time.perf_counter()
+    pushed = sum(1 for __ in enumerate_bindings(query, db, planner=planner))
+    pushed_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    scanned = sum(1 for __ in reference_bindings(query, db))
+    scanned_s = time.perf_counter() - started
+
+    assert pushed == scanned == 40
+    print(f"\nordered access path: {pushed} bindings in {pushed_s:.6f}s")
+    print(f"scan-and-filter:     {scanned} bindings in {scanned_s:.6f}s")
+    print(f"speedup: {scanned_s / max(pushed_s, 1e-9):.0f}x")
+
+
+if __name__ == "__main__":
+    main()

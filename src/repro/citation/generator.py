@@ -144,6 +144,13 @@ class CitationEngine:
         executor (:mod:`repro.cq.parallel`) used by every rewriting
         evaluation; 1 runs serially.  Results are identical at any
         setting.  :meth:`cite_batch` can override both per batch.
+
+    Plans for queries with range comparisons run unchanged through this
+    engine: the shared :class:`~repro.cq.plan.QueryPlanner` pushes them
+    into ordered access paths, and the per-engine
+    :class:`~repro.cq.executor.IndexedVirtualRelations` materialization
+    caches the sorted indexes (and the content fingerprints the plan
+    cache keys on) across every rewriting of every query.
     """
 
     def __init__(

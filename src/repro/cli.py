@@ -13,6 +13,7 @@ end to end:
     python -m repro.cli cite gtopdb.json --sql "SELECT FName FROM Family" \
         --policy comprehensive --format text
     python -m repro.cli plan gtopdb.json 'Q(N) :- Family(F,N,Ty), Ty = "gpcr"'
+    python -m repro.cli plan gtopdb.json 'Q(N) :- Family(F,N,Ty), F < "F0020"'
     python -m repro.cli cite-batch gtopdb.json queries.txt --stats
     python -m repro.cli cite-batch gtopdb.json queries.txt --parallelism 4
 
@@ -186,7 +187,12 @@ def cmd_cite(args: argparse.Namespace) -> int:
 
 
 def cmd_plan(args: argparse.Namespace) -> int:
-    """Show the cost-based query plan (EXPLAIN) for a query."""
+    """Show the cost-based query plan (EXPLAIN) for a query.
+
+    The rendering separates comparisons pushed into (hash) access paths,
+    comparisons pushed into *ordered* access paths (ranges served by
+    sorted indexes), and per-step residual checks.
+    """
     from repro.cq.parser import parse_query
     from repro.cq.plan import plan_query
     from repro.cq.sql_parser import parse_sql

@@ -9,10 +9,13 @@ binding that yields an output tuple contributes one monomial.
 Since the planner refactor this module is a thin facade over the
 three-stage pipeline:
 
-- :mod:`repro.relational.statistics` — per-relation cardinality and
-  distinct counts, maintained incrementally;
+- :mod:`repro.relational.statistics` — per-relation cardinality,
+  distinct counts, and order statistics (min/max, equi-depth
+  histograms), maintained incrementally;
 - :mod:`repro.cq.plan` — cost-based join ordering and static access
-  paths (:func:`~repro.cq.plan.plan_query`), cached across α-equivalent
+  paths (:func:`~repro.cq.plan.plan_query`), with equality comparisons
+  pushed into hash-index probes and range comparisons pushed into
+  ordered (sorted-index) access paths, cached across α-equivalent
   queries by :class:`~repro.cq.plan.QueryPlanner`;
 - :mod:`repro.cq.executor` — iterator-style operators streaming the
   bindings.
@@ -66,7 +69,12 @@ def enumerate_bindings(
         The database instance to evaluate against.
     virtual:
         Extra virtual relations (materialized view instances) visible to
-        the query body.
+        the query body.  Plain mappings are re-wrapped (and re-indexed,
+        re-fingerprinted) on every call; callers replaying queries over
+        the same materialization should pass one long-lived
+        :class:`~repro.cq.executor.IndexedVirtualRelations` instead, the
+        way :class:`~repro.citation.generator.CitationEngine` does, so
+        indexes and plan-cache content hashes are computed once.
     planner:
         When given, its plan cache is consulted (and filled); otherwise
         the query is planned from scratch — still cheap, but workloads

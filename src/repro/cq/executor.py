@@ -12,7 +12,10 @@ Virtual relations (materialized view instances used while evaluating
 rewritings) are served through :class:`IndexedVirtualRelations`, which
 validates arity once and builds hash indexes per bound-position set —
 the old evaluator re-scanned the whole extension and re-checked arity on
-every probe.
+every probe.  Ordered access paths (range comparisons pushed by the
+planner's interval closure) probe sorted secondary indexes via bisect,
+on base relations and virtual relations alike, degrading to a scan plus
+residual re-checks on mixed-type columns.
 """
 
 from __future__ import annotations
@@ -22,11 +25,20 @@ from collections.abc import Iterator, Mapping, Sequence
 from typing import Any, Callable
 
 from repro.cq.atoms import ComparisonAtom
-from repro.cq.plan import JoinStep, QueryPlan
+from repro.cq.plan import JoinStep, QueryPlan, _content_token
 from repro.cq.terms import Constant, Variable
 from repro.errors import MixedTypeComparisonWarning, QueryError
-from repro.relational.database import Database
-from repro.relational.statistics import RelationStatistics, statistics_of
+from repro.relational.database import (
+    Database,
+    SortedIndex,
+    build_sorted_index,
+    sorted_index_slice,
+)
+from repro.relational.statistics import (
+    Interval,
+    RelationStatistics,
+    statistics_of,
+)
 
 #: A binding maps every body variable to a concrete value.
 Binding = dict[Variable, Any]
@@ -56,6 +68,13 @@ class IndexedVirtualRelations(Mapping):
             tuple[str, tuple[int, ...]],
             dict[tuple[Any, ...], list[tuple[Any, ...]]],
         ] = {}
+        # Sorted secondary indexes for range probes; a cached ``None``
+        # records a mixed-type (unsortable) column.
+        self._sorted: dict[tuple[str, int], SortedIndex | None] = {}
+        # Content fingerprints served to the plan cache (see
+        # QueryPlanner._virtual_fingerprint); rows are immutable for the
+        # lifetime of a wrapper, so each is computed at most once.
+        self._tokens: dict[str, tuple] = {}
 
     @classmethod
     def wrap(
@@ -126,6 +145,44 @@ class IndexedVirtualRelations(Mapping):
             return self._relations[name]
         self.ensure_index(name, positions)
         return self._indexes[name, positions].get(values, ())
+
+    def ensure_sorted_index(
+        self, name: str, position: int
+    ) -> SortedIndex | None:
+        """Build (and cache) the sorted index on one column now.
+
+        Returns the index, or ``None`` (also cached) when the column
+        mixes incomparable types; like :meth:`ensure_index`, the parallel
+        executor warms these before fanning out.
+        """
+        key = (name, position)
+        if key not in self._sorted:
+            self._sorted[key] = build_sorted_index(
+                self._relations[name], lambda row: row[position]
+            )
+        return self._sorted[key]
+
+    def range_lookup(
+        self, name: str, position: int, interval: Interval
+    ) -> Sequence[tuple[Any, ...]] | None:
+        """Rows of ``name`` with ``position`` inside ``interval``.
+
+        ``None`` means the ordered path cannot serve the probe
+        (mixed-type column or incomparable bounds); the executor then
+        falls back to a scan and lets the residual re-checks filter.
+        """
+        index = self.ensure_sorted_index(name, position)
+        if index is None:
+            return None
+        return sorted_index_slice(index, interval)
+
+    def content_token(self, name: str) -> tuple:
+        """Cached content fingerprint of one relation for the plan cache."""
+        token = self._tokens.get(name)
+        if token is None:
+            token = _content_token(self._relations[name])
+            self._tokens[name] = token
+        return token
 
 
 def _comparison_checker(
@@ -231,14 +288,43 @@ def _row_source(
     db: Database,
     virtual: IndexedVirtualRelations | None,
 ) -> Callable[[tuple[Any, ...]], Sequence[tuple[Any, ...]]]:
-    """Bind a step's access path to concrete storage."""
+    """Bind a step's access path to concrete storage.
+
+    Ordered access paths (``range_position``) bisect the sorted
+    secondary index; when the index cannot serve the probe (mixed-type
+    column or incomparable bounds) they degrade to the scan the planner
+    would otherwise have emitted — the step's residual comparisons
+    re-check every range predicate, so the fallback only costs time,
+    never correctness, and genuinely mixed comparisons surface the usual
+    :class:`MixedTypeComparisonWarning` from the residual filter.
+    """
     positions = step.lookup_positions
+    range_position = step.range_position
+    range_interval = step.range_interval
     if step.virtual:
         assert virtual is not None
         name = step.atom.relation
         virtual.validate_arity(name, step.atom.arity)
+        if range_position is not None:
+
+            def virtual_range(values: tuple[Any, ...]) -> Sequence[tuple[Any, ...]]:
+                rows = virtual.range_lookup(name, range_position, range_interval)
+                if rows is None:
+                    return virtual.lookup(name, positions, values)
+                return rows
+
+            return virtual_range
         return lambda values: virtual.lookup(name, positions, values)
     instance = db.relation(step.atom.relation)
+    if range_position is not None:
+
+        def base_range(values: tuple[Any, ...]) -> list[tuple[Any, ...]]:
+            rows = instance.range_lookup(range_position, range_interval)
+            if rows is None:
+                rows = instance.lookup(positions, values)
+            return [row.values for row in rows]
+
+        return base_range
 
     def base_rows(values: tuple[Any, ...]) -> list[tuple[Any, ...]]:
         return [row.values for row in instance.lookup(positions, values)]

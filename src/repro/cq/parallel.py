@@ -93,6 +93,16 @@ def _warm_access_paths(
     workers each building (and all but one discarding) the same index.
     """
     for step in steps:
+        if step.range_position is not None:
+            if step.virtual:
+                assert virtual is not None
+                virtual.ensure_sorted_index(
+                    step.atom.relation, step.range_position
+                )
+            else:
+                db.relation(step.atom.relation).ensure_sorted_index(
+                    step.range_position
+                )
         if not step.lookup_positions:
             continue
         if step.virtual:
@@ -225,8 +235,16 @@ def _run_process_shards(
             pool.submit(_execute_shard, (plan, db, virtual_rows, shard))
             for shard in shards
         ]
-        for future in futures:
-            yield from future.result()
+        try:
+            for future in futures:
+                yield from future.result()
+        finally:
+            # Runs on normal completion and on generator close (the
+            # consumer abandoned the stream): cancel every shard that
+            # has not started so pool shutdown only waits for the ones
+            # already running.
+            for future in futures:
+                future.cancel()
 
 
 def execute_plan_parallel(

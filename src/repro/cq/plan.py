@@ -19,6 +19,16 @@ order is fixed at plan time, every per-row decision the old interpreter
 made (which positions are bound, which comparisons are ready, where
 repeated variables force equality) is precomputed into the step.
 
+Comparison pushdown happens before ordering: pushable ``=`` atoms fold
+into an *equality closure* (:class:`_EqualityClosure`) whose constants
+become hash-index probes, and pushable range atoms
+(``<``/``<=``/``>``/``>=``) fold into an *interval closure*
+(:class:`_IntervalClosure`) whose merged ``[lo, hi]`` intervals become
+ordered access paths — bisect probes over sorted secondary indexes —
+wherever a step would otherwise scan.  Provably-empty intervals (and
+contradictory equality constants) short-circuit to an empty plan without
+touching data.
+
 Plans for α-equivalent queries are shared: :class:`QueryPlanner` caches
 the plan of the *canonical* query (see :mod:`repro.cq.canonical`) and
 rebinds it to each caller's variables, keyed by the same canonical key
@@ -38,7 +48,11 @@ from repro.cq.terms import Constant, Term, Variable
 from repro.errors import QueryError
 from repro.relational.database import Database
 from repro.relational.expressions import ComparisonOp
-from repro.relational.statistics import RelationStatistics, statistics_of
+from repro.relational.statistics import (
+    Interval,
+    RelationStatistics,
+    statistics_of,
+)
 
 #: Virtual relations: name -> rows.  Anything with a ``statistics_for``
 #: method (e.g. :class:`repro.cq.executor.IndexedVirtualRelations`) serves
@@ -155,6 +169,128 @@ class _EqualityClosure:
         )
 
 
+#: Range operators foldable into the interval closure.
+_RANGE_OPS = frozenset(
+    {ComparisonOp.LT, ComparisonOp.LE, ComparisonOp.GT, ComparisonOp.GE}
+)
+
+
+class _IntervalClosure:
+    """Merged ``[lo, hi]`` intervals per equality class, from range atoms.
+
+    Inequality comparisons between a variable and a constant (``X < 5``,
+    ``X >= 2``) — with constants shared across an equality class, so
+    ``X = Y, Y < 5`` constrains ``X`` too — are folded into one
+    :class:`~repro.relational.statistics.Interval` per class.  Interval-
+    constrained positions become *ordered access paths* (bisect over a
+    sorted secondary index) instead of scans, and a provably empty
+    interval short-circuits the whole plan.
+
+    Absorbed comparisons are **always** re-checked residually (the
+    caller keeps them in the comparison schedule): the bisect probe is a
+    pure narrowing, so planned results stay multiset-identical to the
+    reference evaluator even on columns mixing incomparable types, where
+    the ordered path degrades to a scan and the residual check emits the
+    usual :class:`~repro.errors.MixedTypeComparisonWarning`.
+
+    Bounds that cannot be compared with a class's existing bounds
+    (``X > 1, X < "a"``) are *not* absorbed — they stay residual-only —
+    which keeps every interval internally comparable and bisect-safe.
+    NaN bounds are never absorbed (every comparison with NaN is false;
+    the residual check preserves exactly that).
+    """
+
+    __slots__ = ("_closure", "_intervals", "pushed", "empty")
+
+    def __init__(self, closure: _EqualityClosure) -> None:
+        self._closure = closure
+        self._intervals: dict[Variable, Interval] = {}
+        self.pushed: list[ComparisonAtom] = []
+        self.empty = False
+
+    def absorb(self, comparison: ComparisonAtom) -> bool:
+        """Fold a range comparison into the closure; False → residual only."""
+        if comparison.op not in _RANGE_OPS or comparison.is_ground:
+            return False
+        left, op, right = comparison.left, comparison.op, comparison.right
+        if isinstance(left, Constant) and isinstance(right, Variable):
+            left, op, right = right, op.flip(), left
+        if not (isinstance(left, Variable) and isinstance(right, Constant)):
+            return False  # variable-variable ranges stay residual
+        value = right.value
+        if value is None or value != value:
+            # None cannot anchor an interval bound (it is the unbounded
+            # sentinel) and NaN satisfies no comparison; keep residual.
+            return False
+        root = self._closure.find(left)
+        current = self._intervals.get(root, Interval())
+        merged = self._merge(current, op, value)
+        if merged is None:
+            return False
+        self._intervals[root] = merged
+        if merged.is_empty() is True:
+            self.empty = True
+        self.pushed.append(comparison)
+        return True
+
+    @staticmethod
+    def _merge(interval: Interval, op: ComparisonOp, value: Any) -> Interval | None:
+        """Tighten ``interval`` with ``var op value``; None → incomparable."""
+        lo, lo_open = interval.lo, interval.lo_open
+        hi, hi_open = interval.hi, interval.hi_open
+        try:
+            if op in (ComparisonOp.GT, ComparisonOp.GE):
+                open_ = op is ComparisonOp.GT
+                if lo is None or value > lo:
+                    lo, lo_open = value, open_
+                elif value == lo:
+                    lo_open = lo_open or open_
+            else:
+                open_ = op is ComparisonOp.LT
+                if hi is None or value < hi:
+                    hi, hi_open = value, open_
+                elif value == hi:
+                    hi_open = hi_open or open_
+        except TypeError:
+            return None
+        merged = Interval(lo, lo_open, hi, hi_open)
+        if merged.is_empty() is None:
+            # The two endpoints are mutually incomparable (X > 1,
+            # X < "a"): such an interval could raise from bisect.
+            return None
+        return merged
+
+    def interval_for(self, var: Variable) -> Interval | None:
+        """The probe interval for ``var``, if its class carries one.
+
+        Classes forced to a constant by the equality closure return
+        ``None``: the constant probe is strictly stronger, and the
+        constant/interval consistency was already settled by
+        :meth:`finalize`.
+        """
+        root = self._closure.find(var)
+        interval = self._intervals.get(root)
+        if interval is None or self._closure.constant_for(var) is not None:
+            return None
+        return interval
+
+    def finalize(self) -> None:
+        """Cross-check intervals against equality-closure constants.
+
+        A class whose equality constant provably falls outside its
+        interval (``X = 3, X < 2``) makes the query unsatisfiable; an
+        incomparable constant (``X = "a", X < 5``) is left to the
+        residual check, which warns and rejects at run time exactly like
+        the reference evaluator's always-false comparison.
+        """
+        for root, interval in self._intervals.items():
+            constant = self._closure.constant_for(root)
+            if constant is None:
+                continue
+            if interval.admits(constant.value) is False:
+                self.empty = True
+
+
 @dataclass(frozen=True)
 class JoinStep:
     """One join of the plan: probe an access path, extend the binding.
@@ -181,6 +317,12 @@ class JoinStep:
     comparisons:
         Comparison atoms whose variables are all bound once this step
         fires; checked before the binding is emitted.
+    range_position / range_interval:
+        The ordered access path, when the step would otherwise scan: the
+        position probed through a sorted secondary index and the merged
+        interval to bisect.  The executor degrades to a scan when the
+        column cannot serve ordered probes (mixed types); the interval's
+        comparisons are re-checked residually either way.
     estimated_matches:
         Estimated rows per probe (from statistics, at plan time).
     estimated_bindings:
@@ -197,11 +339,19 @@ class JoinStep:
     comparisons: tuple[ComparisonAtom, ...]
     estimated_matches: float
     estimated_bindings: float
+    range_position: int | None = None
+    range_interval: Interval | None = None
 
     @property
     def access_path(self) -> str:
         """Human-readable access description for :meth:`QueryPlan.explain`."""
         kind = "virtual " if self.virtual else ""
+        if self.range_position is not None:
+            assert self.range_interval is not None
+            return (
+                f"{kind}ordered index on [{self.range_position}] in "
+                f"{self.range_interval.describe()}"
+            )
         if not self.lookup_positions:
             return f"{kind}scan"
         bound = ", ".join(
@@ -222,6 +372,10 @@ class QueryPlan:
     #: Equality comparisons folded into access paths (they do not appear
     #: in any step's residual ``comparisons``).
     pushed: tuple[ComparisonAtom, ...] = ()
+    #: Range comparisons folded into ordered access paths (unlike
+    #: ``pushed`` equalities they *also* stay residual: the bisect probe
+    #: is a narrowing, the re-check guarantees reference semantics).
+    pushed_ranges: tuple[ComparisonAtom, ...] = ()
     #: True when the result is provably empty without touching any data.
     empty: bool = False
     empty_reason: str = "false ground comparison"
@@ -239,6 +393,9 @@ class QueryPlan:
         if self.pushed:
             folded = ", ".join(repr(c) for c in self.pushed)
             lines.append(f"  pushed into access paths: {folded}")
+        if self.pushed_ranges:
+            folded = ", ".join(repr(c) for c in self.pushed_ranges)
+            lines.append(f"  pushed into ordered access paths: {folded}")
         if not self.steps:
             lines.append("  single empty binding (no relational atoms)")
         for number, step in enumerate(self.steps, start=1):
@@ -288,6 +445,9 @@ class QueryPlan:
                 ),
                 estimated_matches=step.estimated_matches,
                 estimated_bindings=step.estimated_bindings,
+                # Intervals hold constants only; rebinding is a no-op.
+                range_position=step.range_position,
+                range_interval=step.range_interval,
             )
             for step in self.steps
         )
@@ -297,6 +457,9 @@ class QueryPlan:
             estimated_cost=self.estimated_cost,
             estimated_bindings=self.estimated_bindings,
             pushed=tuple(c.substitute(inverse) for c in self.pushed),
+            pushed_ranges=tuple(
+                c.substitute(inverse) for c in self.pushed_ranges
+            ),
             empty=self.empty,
             empty_reason=self.empty_reason,
         )
@@ -332,16 +495,21 @@ def _estimate_matches(
     atom: RelationalAtom,
     stats: RelationStatistics,
     closure: _EqualityClosure,
+    intervals: _IntervalClosure,
     bound_reps: Mapping[Variable, Variable],
 ) -> float:
     """Estimated rows one probe of ``atom`` returns given bound variables.
 
     Variables forced to a constant by the equality closure count as
     constant constraints (exact frequencies); variables whose class has a
-    member bound by an earlier step count as bound join variables.
+    member bound by an earlier step count as bound join variables;
+    interval-constrained free variables count as range constraints
+    (priced by the equi-depth histogram), once per variable.
     """
     variable_positions: list[int] = []
     constant_constraints: list[tuple[int, Any]] = []
+    range_constraints: list[tuple[int, Interval]] = []
+    ranged: set[Variable] = set()
     for position, term in enumerate(atom.terms):
         if isinstance(term, Constant):
             constant_constraints.append((position, term.value))
@@ -349,18 +517,32 @@ def _estimate_matches(
         constant = closure.constant_for(term)
         if constant is not None:
             constant_constraints.append((position, constant.value))
-        elif closure.find(term) in bound_reps:
+            continue
+        root = closure.find(term)
+        if root in bound_reps:
             variable_positions.append(position)
-    return stats.estimate_matches(variable_positions, constant_constraints)
+            continue
+        interval = intervals.interval_for(term)
+        if interval is not None and root not in ranged:
+            # Dedup by equality class, not by variable: X = Y share one
+            # interval, counting it per occurrence would square the
+            # selectivity and skew the join order.
+            ranged.add(root)
+            range_constraints.append((position, interval))
+    return stats.estimate_matches(
+        variable_positions, constant_constraints, range_constraints
+    )
 
 
 def _build_step(
     atom: RelationalAtom,
     atom_index: int,
     virtual: bool,
+    stats: RelationStatistics,
     bound_vars: set[Variable],
     bound_reps: Mapping[Variable, Variable],
     closure: _EqualityClosure,
+    intervals: _IntervalClosure,
     comparisons: Sequence[ComparisonAtom],
     estimated_matches: float,
     estimated_bindings: float,
@@ -373,6 +555,11 @@ def _build_step(
     way the variable is still *introduced* from the matching row, so
     bindings keep every body variable (the citation model sums per
     binding, Def 3.2).
+
+    When no position is bound (the step would scan), an interval-
+    constrained introduced position upgrades the scan to an *ordered*
+    access path: the most selective interval (by histogram estimate) is
+    bisected over a sorted secondary index.
     """
     lookup_positions: list[int] = []
     lookup_terms: list[Term] = []
@@ -419,6 +606,18 @@ def _build_step(
         class_first_position[root] = position
         introduces.append((term, position))
         introduced.add(term)
+    range_position: int | None = None
+    range_interval: Interval | None = None
+    if not lookup_positions:
+        best_selectivity = None
+        for term, position in introduces:
+            interval = intervals.interval_for(term)
+            if interval is None:
+                continue
+            selectivity = stats.range_selectivity(position, interval)
+            if best_selectivity is None or selectivity < best_selectivity:
+                best_selectivity = selectivity
+                range_position, range_interval = position, interval
     return JoinStep(
         atom=atom,
         atom_index=atom_index,
@@ -430,6 +629,8 @@ def _build_step(
         comparisons=tuple(comparisons),
         estimated_matches=estimated_matches,
         estimated_bindings=estimated_bindings,
+        range_position=range_position,
+        range_interval=range_interval,
     )
 
 
@@ -444,8 +645,9 @@ def plan_query(
     paper's query semantics, Def 2.1): it chooses a greedy
     minimum-intermediate-cardinality join order from statistics, folds
     pushable equality comparisons into access paths through the equality
-    closure, and schedules the residual comparisons at the earliest step
-    that binds their variables.
+    closure, folds pushable range comparisons into ordered access paths
+    through the interval closure, and schedules the residual comparisons
+    at the earliest step that binds their variables.
 
     Parameters
     ----------
@@ -475,19 +677,28 @@ def plan_query(
     query.check_safety()
 
     # Ground comparisons hold for every binding or none; pushable
-    # equalities fold into the closure; everything else stays residual.
-    # Absorbed variable-variable equalities are *also* kept residual:
-    # their probes narrow, the re-check guarantees == semantics.
+    # equalities fold into the equality closure; everything else stays
+    # residual.  Absorbed variable-variable equalities are *also* kept
+    # residual: their probes narrow, the re-check guarantees ==
+    # semantics.  Range comparisons feed the interval closure in a
+    # second pass — after every `=` has been absorbed, so intervals
+    # attach to the *final* equivalence classes — and each stays
+    # residual as well (the bisect probe is a pure narrowing).
     pending: list[ComparisonAtom] = []
     closure = _EqualityClosure()
+    range_candidates: list[ComparisonAtom] = []
     for comparison in query.comparisons:
         if comparison.is_ground:
             if not comparison.evaluate_ground():
                 return QueryPlan(query, (), 0.0, 0.0, empty=True)
-        elif not closure.absorb(comparison) or closure.needs_recheck(
-            comparison
-        ):
-            pending.append(comparison)
+            continue
+        if closure.absorb(comparison):
+            if closure.needs_recheck(comparison):
+                pending.append(comparison)
+            continue
+        pending.append(comparison)
+        if comparison.op in _RANGE_OPS:
+            range_candidates.append(comparison)
     if closure.contradiction:
         return QueryPlan(
             query,
@@ -497,6 +708,21 @@ def plan_query(
             pushed=tuple(closure.pushed),
             empty=True,
             empty_reason="contradictory equality comparisons",
+        )
+    intervals = _IntervalClosure(closure)
+    for comparison in range_candidates:
+        intervals.absorb(comparison)
+    intervals.finalize()
+    if intervals.empty:
+        return QueryPlan(
+            query,
+            (),
+            0.0,
+            0.0,
+            pushed=tuple(closure.pushed),
+            pushed_ranges=tuple(intervals.pushed),
+            empty=True,
+            empty_reason="empty range interval",
         )
 
     resolved = [
@@ -517,6 +743,7 @@ def plan_query(
                 query.atoms[atom_index],
                 resolved[atom_index][0],
                 closure,
+                intervals,
                 bound_reps,
             )
             if best_estimate is None or estimate < best_estimate:
@@ -534,9 +761,11 @@ def plan_query(
                 atom,
                 best_index,
                 resolved[best_index][1],
+                resolved[best_index][0],
                 bound_vars,
                 bound_reps,
                 closure,
+                intervals,
                 ready,
                 best_estimate,
                 bindings,
@@ -549,8 +778,34 @@ def plan_query(
         # Safety check above should prevent this.
         raise QueryError("comparison variables not bound by relational atoms")
     return QueryPlan(
-        query, tuple(steps), cost, bindings, pushed=tuple(closure.pushed)
+        query,
+        tuple(steps),
+        cost,
+        bindings,
+        pushed=tuple(closure.pushed),
+        pushed_ranges=tuple(intervals.pushed),
     )
+
+
+def _content_token(rows: Sequence[tuple[Any, ...]]) -> tuple:
+    """A cheap content fingerprint for one virtual relation's rows.
+
+    Size alone is not enough: replacing a row keeps the size but changes
+    the statistics the cached plan was costed against (and a stale plan
+    built for dead statistics can pick a pathological join order).  Rows
+    are hashable throughout the codebase; if a caller smuggles in
+    unhashable values we degrade to the legacy size-only fingerprint
+    rather than fail.
+
+    Hashing is O(rows); callers who replan over the same materialization
+    should hold an :class:`~repro.cq.executor.IndexedVirtualRelations`,
+    whose ``content_token`` caches the hash for the wrapper's lifetime
+    (the same amortization its hash indexes already rely on).
+    """
+    try:
+        return (len(rows), hash(tuple(rows)))
+    except TypeError:
+        return (len(rows),)
 
 
 class QueryPlanner:
@@ -561,8 +816,12 @@ class QueryPlanner:
     as :class:`repro.citation.cache.CachedRewritingEngine`.  A cached
     entry is invalidated when the database statistics change
     (:attr:`~repro.relational.database.Database.stats_version`) or when
-    the referenced virtual relations change size, since either can change
-    the optimal join order.
+    the referenced virtual relations' *content* changes (fingerprinted by
+    a content hash — size alone would let a same-size update serve plans
+    costed against dead statistics), since either can change the optimal
+    join order.  :class:`~repro.cq.executor.IndexedVirtualRelations`
+    caches the content hash per relation, so engines holding one
+    materialization pay it once.
     """
 
     def __init__(self, db: Database) -> None:
@@ -581,8 +840,14 @@ class QueryPlanner:
     ) -> tuple:
         if virtual is None:
             return ()
+        token_of = getattr(virtual, "content_token", None)
         return tuple(
-            (name, len(virtual[name]))
+            (
+                name,
+                token_of(name)
+                if token_of is not None
+                else _content_token(virtual[name]),
+            )
             for name in query.relation_names()
             if name in virtual
         )
@@ -601,6 +866,11 @@ class QueryPlanner:
                 f"cannot evaluate parameterized query {query.name}: "
                 "instantiate its λ-parameters first"
             )
+        # Safety-check before canonicalizing so an unsafe query (e.g. a
+        # comparison over a variable no relational atom binds) is
+        # reported in the *caller's* variable names, not as the
+        # canonical `vN` that plan_query would see.
+        query.check_safety()
         version = self.db.stats_version
         fingerprint = self._virtual_fingerprint(query, virtual)
         exact = self._exact.get(query)

@@ -9,7 +9,8 @@ query evaluation near-linear on laptop-scale data.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator, Sequence
+from bisect import bisect_left, bisect_right
+from collections.abc import Callable, Iterable, Iterator, Sequence
 from typing import Any
 
 from repro.errors import (
@@ -19,9 +20,65 @@ from repro.errors import (
     UnknownRelationError,
 )
 from repro.relational.schema import RelationSchema, Schema
-from repro.relational.statistics import RelationStatistics
+from repro.relational.statistics import Interval, RelationStatistics
 from repro.relational.tuples import Row
 from repro.relational.types import check_value
+
+#: A sorted secondary index over one column: the sorted key list and the
+#: rows aligned with it (stable, so equal keys keep insertion order).
+SortedIndex = tuple[list[Any], list[Any]]
+
+
+def build_sorted_index(
+    rows: Iterable[Any], key_of: Callable[[Any], Any]
+) -> SortedIndex | None:
+    """Sort ``rows`` by ``key_of`` into a bisectable secondary index.
+
+    Returns ``None`` when the column mixes incomparable types (ordered
+    access paths then degrade to a scan plus residual re-checks — never a
+    raised ``TypeError``).  NaN-keyed rows are dropped: no range
+    predicate can match a NaN, and leaving them in would silently corrupt
+    the sort order (NaN comparisons are all false).
+    """
+    pairs = []
+    for row in rows:
+        key = key_of(row)
+        if key != key:  # NaN
+            continue
+        pairs.append((key, row))
+    try:
+        pairs.sort(key=lambda pair: pair[0])
+    except TypeError:
+        return None
+    return [key for key, __ in pairs], [row for __, row in pairs]
+
+
+def sorted_index_slice(index: SortedIndex, interval: Interval) -> list[Any] | None:
+    """Rows of a sorted index whose key falls inside ``interval``.
+
+    Bisects both endpoints; ``None`` bounds are unbounded.  Returns
+    ``None`` when the interval's bounds are incomparable with the index
+    keys (mixed-type probe) so callers can fall back to a scan instead of
+    surfacing the ``TypeError``.
+    """
+    keys, rows = index
+    start, stop = 0, len(keys)
+    try:
+        if interval.lo is not None:
+            start = (
+                bisect_right(keys, interval.lo)
+                if interval.lo_open
+                else bisect_left(keys, interval.lo)
+            )
+        if interval.hi is not None:
+            stop = (
+                bisect_left(keys, interval.hi)
+                if interval.hi_open
+                else bisect_right(keys, interval.hi)
+            )
+    except TypeError:
+        return None
+    return rows[start:stop]
 
 
 class RelationInstance:
@@ -34,6 +91,10 @@ class RelationInstance:
         self._key_index: dict[tuple[Any, ...], Row] = {}
         # Secondary hash indexes, built lazily: positions -> {values: [rows]}
         self._indexes: dict[tuple[int, ...], dict[tuple[Any, ...], list[Row]]] = {}
+        # Sorted secondary indexes for range probes, built lazily:
+        # position -> (sorted keys, aligned rows).  A cached ``None``
+        # records a mixed-type (unsortable) column.
+        self._sorted_indexes: dict[int, SortedIndex | None] = {}
 
     # -- mutation -------------------------------------------------------------
 
@@ -65,7 +126,49 @@ class RelationInstance:
             self._key_index[row.project(self.schema.key_positions())] = row
         for positions, index in self._indexes.items():
             index.setdefault(row.project(positions), []).append(row)
+        for position in list(self._sorted_indexes):
+            self._sorted_insert(position, row)
         return row
+
+    def _sorted_insert(self, position: int, row: Row) -> None:
+        """Maintain one sorted index across an insert."""
+        index = self._sorted_indexes[position]
+        if index is None:
+            return
+        key = row.values[position]
+        if key != key:  # NaN rows never enter sorted indexes
+            return
+        keys, rows = index
+        try:
+            at = bisect_right(keys, key)
+        except TypeError:
+            # The new value is incomparable with the column: the index
+            # can no longer serve ordered probes.
+            self._sorted_indexes[position] = None
+            return
+        keys.insert(at, key)
+        rows.insert(at, row)
+
+    def _sorted_remove(self, position: int, row: Row) -> None:
+        """Maintain one sorted index across a delete."""
+        index = self._sorted_indexes[position]
+        if index is None:
+            # A delete can remove the offending mixed-type value; let the
+            # next range probe retry the build.
+            del self._sorted_indexes[position]
+            return
+        key = row.values[position]
+        if key != key:
+            return
+        keys, rows = index
+        at = bisect_left(keys, key)
+        stop = bisect_right(keys, key)
+        while at < stop:
+            if rows[at] == row:
+                del keys[at]
+                del rows[at]
+                return
+            at += 1
 
     def insert_many(
         self, rows: Iterable[Sequence[Any]], enforce_key: bool = True
@@ -79,8 +182,11 @@ class RelationInstance:
         instead of one dict update per (row, index) pair.
         """
         batch = [values for values in rows]
-        if self._indexes and len(batch) > max(64, len(self._rows)):
+        if (self._indexes or self._sorted_indexes) and len(batch) > max(
+            64, len(self._rows)
+        ):
             self._indexes.clear()
+            self._sorted_indexes.clear()
         return [self.insert(values, enforce_key=enforce_key) for values in batch]
 
     def delete(self, row: Row) -> bool:
@@ -97,6 +203,8 @@ class RelationInstance:
                 bucket.remove(row)
                 if not bucket:
                     del index[row.project(positions)]
+        for position in list(self._sorted_indexes):
+            self._sorted_remove(position, row)
         return True
 
     # -- access ---------------------------------------------------------------
@@ -140,6 +248,34 @@ class RelationInstance:
             return self.rows()
         self.ensure_index(positions)
         return list(self._indexes[positions].get(values, ()))
+
+    def ensure_sorted_index(self, position: int) -> SortedIndex | None:
+        """Build (and cache) the sorted index on ``position`` now.
+
+        Returns the index, or ``None`` (also cached) when the column
+        mixes incomparable types.  :meth:`range_lookup` builds lazily;
+        the parallel executor warms indexes up front so shard workers
+        never race to build the same one.
+        """
+        if position not in self._sorted_indexes:
+            self._sorted_indexes[position] = build_sorted_index(
+                self._rows, lambda row: row.values[position]
+            )
+        return self._sorted_indexes[position]
+
+    def range_lookup(self, position: int, interval: Interval) -> list[Row] | None:
+        """Rows whose ``position`` value lies inside ``interval``.
+
+        Served from the sorted secondary index via bisect, in key order
+        (insertion order among equal keys).  Returns ``None`` when the
+        ordered path cannot serve the probe — mixed-type column, or
+        interval bounds incomparable with the keys — so the caller can
+        fall back to a scan plus residual filters.
+        """
+        index = self.ensure_sorted_index(position)
+        if index is None:
+            return None
+        return sorted_index_slice(index, interval)
 
     def __repr__(self) -> str:
         return f"RelationInstance({self.schema.name!r}, {len(self)} rows)"

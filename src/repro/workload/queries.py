@@ -36,6 +36,10 @@ class QueryGenerator:
         Maximum number of relational atoms per query.
     selection_probability:
         Chance of adding one equality selection with a sampled constant.
+    range_probability:
+        Chance of adding one range selection (``<=`` or ``>``) with a
+        sampled constant — workloads exercising the planner's ordered
+        access paths (range pushdown) set this above zero.
     """
 
     def __init__(
@@ -45,11 +49,13 @@ class QueryGenerator:
         seed: int = 7,
         max_atoms: int = 3,
         selection_probability: float = 0.7,
+        range_probability: float = 0.0,
     ) -> None:
         self.schema = schema
         self.db = db
         self.max_atoms = max_atoms
         self.selection_probability = selection_probability
+        self.range_probability = range_probability
         self._rng = random.Random(seed)
         self._joins = self._join_edges()
 
@@ -140,6 +146,22 @@ class QueryGenerator:
                         ComparisonAtom(
                             term, ComparisonOp.EQ, Constant(constant)
                         )
+                    )
+        if rng.random() < self.range_probability:
+            # Range selections feed the planner's ordered access paths;
+            # sampling the bound from stored values keeps them selective
+            # but satisfiable, like the equality selections above.
+            target_index = rng.randrange(len(atoms))
+            relation = atoms[target_index].relation
+            rel_schema = self.schema.relation(relation)
+            position = rng.randrange(rel_schema.arity)
+            constant = self._sample_constant(relation, position)
+            if constant is not None and constant == constant:
+                term = atoms[target_index].terms[position]
+                if isinstance(term, Variable):
+                    op = rng.choice((ComparisonOp.LE, ComparisonOp.GT))
+                    comparisons.append(
+                        ComparisonAtom(term, op, Constant(constant))
                     )
 
         all_variables: list[Variable] = []

@@ -49,6 +49,23 @@ class TestSymbolicPipeline:
             evaluate_query(parse_query(EX22_QUERY), db)
         )
 
+    def test_range_query_cites_like_its_unconstrained_answer(
+        self, db, comprehensive_engine
+    ):
+        """Range-pushed plans run unchanged through the citation
+        pipeline: outputs match direct evaluation and every rewriting
+        still contributes."""
+        from repro.cq.evaluation import evaluate_query
+        query = 'Q(N) :- Family(F, N, Ty), F <= "13", FamilyIntro(F, Tx)'
+        result = comprehensive_engine.cite(query)
+        assert set(result.output_tuples) == set(
+            evaluate_query(parse_query(query), db)
+        )
+        assert result.output_tuples  # the range keeps family 13
+        assert all(
+            tc.polynomial.monomials() for tc in result.tuples.values()
+        )
+
     def test_multiple_bindings_sum(self, db_with_duplicate, registry):
         """Example 3.2: duplicated family name => + over bindings."""
         engine = CitationEngine(db_with_duplicate, registry,

@@ -97,6 +97,25 @@ class TestThreadEquivalence:
         ))
         assert parallel == _serial(plan, joined_db)
 
+    @pytest.mark.parametrize("use_processes", [False, True])
+    def test_range_pushed_plans_shard_unchanged(self, joined_db,
+                                                use_processes):
+        """A plan whose first step is an ordered access path partitions
+        and merges exactly like any other (order included)."""
+        q = parse_query("Q(A, C) :- Big(A, B), Small(B, C), A >= 50, A < 60")
+        plan = plan_query(q, joined_db)
+        assert plan.steps[0].range_position is not None
+        assert plan.pushed_ranges
+        parallel = list(execute_plan_parallel(
+            plan,
+            joined_db,
+            parallelism=3,
+            use_processes=use_processes,
+            min_partition=1,
+        ))
+        assert parallel == _serial(plan, joined_db)
+        assert len(parallel) == 10
+
     def test_mixed_type_warning_propagates_from_workers(self, joined_db):
         q = parse_query('Q(A) :- Big(A, B), Small(B, C), C < "zzz"')
         plan = plan_query(q, joined_db)
@@ -173,6 +192,61 @@ class TestEarlyAbandonment:
         assert first
         stream.close()  # GeneratorExit -> cancellation flag -> join
         assert threading.active_count() == before
+
+    def test_close_mid_stream_sets_cancel_event_and_joins_threads(
+        self, joined_db, monkeypatch
+    ):
+        """Regression: abandoning the thread-pool iterator mid-stream
+        must set the cancel event (so workers stop filling the unbounded
+        merge queue) and join every worker before close() returns."""
+        import threading
+
+        events = []
+        real_event = threading.Event
+
+        def recording_event():
+            event = real_event()
+            events.append(event)
+            return event
+
+        monkeypatch.setattr(threading, "Event", recording_event)
+        plan = plan_query(parse_query(JOIN_QUERY), joined_db)
+        before = threading.active_count()
+        stream = execute_plan_parallel(
+            plan, joined_db, parallelism=4, min_partition=1
+        )
+        next(stream)
+        # The cancel event is created before the worker threads (whose
+        # construction also makes Events), so it is the first recorded.
+        assert events, "thread driver should have created a cancel event"
+        cancel = events[0]
+        assert not cancel.is_set()
+        stream.close()
+        assert cancel.is_set()
+        assert threading.active_count() == before
+
+    def test_close_mid_stream_shuts_down_process_pool(self, joined_db):
+        """Abandoning the process-pool iterator cancels pending shards
+        and shuts the pool down promptly (no orphaned child processes)."""
+        import multiprocessing
+        import time
+
+        plan = plan_query(parse_query(JOIN_QUERY), joined_db)
+        stream = execute_plan_parallel(
+            plan,
+            joined_db,
+            parallelism=2,
+            use_processes=True,
+            min_partition=1,
+        )
+        assert next(stream)
+        stream.close()
+        deadline = time.monotonic() + 10
+        while multiprocessing.active_children():
+            assert time.monotonic() < deadline, (
+                "process-pool workers still alive after close()"
+            )
+            time.sleep(0.05)
 
 
 class TestProcessPool:

@@ -227,10 +227,18 @@ class TestComparisonPushdown:
             reference_bindings(q, skewed_db)
         )
 
-    def test_order_comparisons_stay_residual(self, skewed_db):
+    def test_order_comparisons_push_to_ordered_path_and_stay_residual(
+        self, skewed_db
+    ):
         q = parse_query("Q(A) :- Big(A, B), B < 5")
         plan = plan_query(q, skewed_db)
         assert plan.pushed == ()
+        assert plan.pushed_ranges == (ComparisonAtom(
+            Variable("B"), ComparisonOp.LT, Constant(5)
+        ),)
+        # The bisect probe narrows; the residual re-check stays for
+        # exact reference semantics.
+        assert plan.steps[0].range_position == 1
         assert len(plan.steps[0].comparisons) == 1
 
     def test_self_equality_stays_residual(self, skewed_db):
@@ -250,6 +258,187 @@ class TestComparisonPushdown:
         ),)
         bindings = list(execute_plan(rebound, skewed_db))
         assert bindings and all(b[Variable("Y")] == 7 for b in bindings)
+
+
+class TestRangePushdown:
+    """The interval closure and its ordered access paths."""
+
+    def test_bounds_merge_into_one_interval(self, skewed_db):
+        q = parse_query("Q(A) :- Big(A, B), B >= 10, B < 20, B >= 5")
+        plan = plan_query(q, skewed_db)
+        step = plan.steps[0]
+        assert step.range_position == 1
+        assert step.range_interval.lo == 10
+        assert not step.range_interval.lo_open
+        assert step.range_interval.hi == 20
+        assert step.range_interval.hi_open
+        assert len(plan.pushed_ranges) == 3
+
+    def test_strict_bound_wins_over_inclusive_at_same_value(self, skewed_db):
+        q = parse_query("Q(A) :- Big(A, B), B <= 20, B < 20")
+        plan = plan_query(q, skewed_db)
+        interval = plan.steps[0].range_interval
+        assert interval.hi == 20 and interval.hi_open
+
+    def test_flipped_comparison_is_normalized(self, skewed_db):
+        # 20 > B is B < 20.
+        q = parse_query("Q(A) :- Big(A, B), 20 > B")
+        plan = plan_query(q, skewed_db)
+        interval = plan.steps[0].range_interval
+        assert interval.hi == 20 and interval.hi_open
+
+    def test_range_results_match_reference(self, skewed_db):
+        q = parse_query("Q(A, B) :- Big(A, B), B >= 10, B < 20")
+        assert _multiset(enumerate_bindings(q, skewed_db)) == _multiset(
+            reference_bindings(q, skewed_db)
+        )
+
+    def test_empty_interval_short_circuits(self, skewed_db):
+        q = parse_query("Q(A) :- Big(A, B), B < 2, B > 5")
+        plan = plan_query(q, skewed_db)
+        assert plan.empty
+        assert "empty range interval" in plan.explain()
+        assert list(enumerate_bindings(q, skewed_db)) == []
+        assert list(reference_bindings(q, skewed_db)) == []
+
+    def test_point_interval_with_open_end_is_empty(self, skewed_db):
+        q = parse_query("Q(A) :- Big(A, B), B >= 2, B < 2")
+        assert plan_query(q, skewed_db).empty
+
+    def test_equality_constant_outside_interval_is_empty(self, skewed_db):
+        q = parse_query("Q(A) :- Big(A, B), B = 30, B < 20")
+        plan = plan_query(q, skewed_db)
+        assert plan.empty
+        assert list(enumerate_bindings(q, skewed_db)) == []
+
+    def test_equality_constant_inside_interval_probes_hash_index(
+        self, skewed_db
+    ):
+        q = parse_query("Q(A) :- Big(A, B), B = 7, B < 20")
+        plan = plan_query(q, skewed_db)
+        step = plan.steps[0]
+        assert step.lookup_positions == (1,)
+        assert step.range_position is None
+        assert _multiset(enumerate_bindings(q, skewed_db)) == _multiset(
+            reference_bindings(q, skewed_db)
+        )
+
+    def test_interval_propagates_through_equality_closure(self, skewed_db):
+        # D < 2 tightens the whole {B, D} class, so the class's first
+        # step probes an ordered index even though only D is named.
+        q = parse_query("Q(A, C) :- Big(A, B), Small(D, C), B = D, D < 2")
+        plan = plan_query(q, skewed_db)
+        first = plan.steps[0]
+        assert first.atom.relation == "Small"
+        assert first.range_position == 0
+        assert first.range_interval.hi == 2
+        assert _multiset(enumerate_bindings(q, skewed_db)) == _multiset(
+            reference_bindings(q, skewed_db)
+        )
+
+    def test_class_interval_counted_once_per_atom(self):
+        # X = Y share one interval; pricing it per occurrence would
+        # square the selectivity and underestimate the step.
+        schema = Schema([RelationSchema("R", ["a", "b"])])
+        db = Database(schema)
+        db.insert_all("R", [(i, i) for i in range(100)])
+        q = parse_query("Q(X, Y) :- R(X, Y), X = Y, Y < 50")
+        plan = plan_query(q, db)
+        assert plan.steps[0].estimated_matches == pytest.approx(50.0, rel=0.1)
+
+    def test_incomparable_bounds_not_absorbed(self, skewed_db):
+        b = Variable("B")
+        q = ConjunctiveQuery(
+            "Q",
+            [Variable("A")],
+            [RelationalAtom("Big", [Variable("A"), b])],
+            [
+                ComparisonAtom(b, ComparisonOp.GT, Constant(1)),
+                ComparisonAtom(b, ComparisonOp.LT, Constant("a")),
+            ],
+        )
+        plan = plan_query(q, skewed_db)
+        # Only the comparable bound is pushed; the str bound stays
+        # residual-only so the interval never mixes types.
+        assert len(plan.pushed_ranges) == 1
+        interval = plan.steps[0].range_interval
+        assert interval.lo == 1 and interval.hi is None
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            planned = _multiset(enumerate_bindings(q, skewed_db))
+        assert planned == _multiset(reference_bindings(q, skewed_db))
+
+    def test_nan_bound_stays_residual(self, skewed_db):
+        nan = float("nan")
+        b = Variable("B")
+        q = ConjunctiveQuery(
+            "Q",
+            [Variable("A")],
+            [RelationalAtom("Big", [Variable("A"), b])],
+            [ComparisonAtom(b, ComparisonOp.LT, Constant(nan))],
+        )
+        plan = plan_query(q, skewed_db)
+        assert plan.pushed_ranges == ()
+        assert not plan.empty
+        assert list(enumerate_bindings(q, skewed_db)) == []
+        assert list(reference_bindings(q, skewed_db)) == []
+
+    def test_variable_variable_range_stays_residual(self, skewed_db):
+        q = parse_query("Q(A, B) :- Big(A, B), A < B")
+        plan = plan_query(q, skewed_db)
+        assert plan.pushed_ranges == ()
+        assert plan.steps[0].range_position is None
+
+    def test_range_on_bound_join_variable_keeps_index_probe(self, skewed_db):
+        # B is bound by Small first; Big probes the hash index on B and
+        # the range is a residual filter scheduled at Small's step.
+        q = parse_query("Q(A, C) :- Big(A, B), Small(B, C), B < 2")
+        plan = plan_query(q, skewed_db)
+        big = next(s for s in plan.steps if s.atom.relation == "Big")
+        assert big.lookup_positions == (1,)
+        assert big.range_position is None
+        assert _multiset(enumerate_bindings(q, skewed_db)) == _multiset(
+            reference_bindings(q, skewed_db)
+        )
+
+    def test_mixed_type_column_degrades_to_warning_and_recheck(self):
+        schema = Schema([RelationSchema("M", ["a", "b"])])
+        db = Database(schema)
+        db.insert_all("M", [(1, 5), (2, "x"), (3, 9)])
+        q = parse_query("Q(A) :- M(A, B), B < 8")
+        plan = plan_query(q, db)
+        assert plan.steps[0].range_position == 1  # planner still pushes
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            planned = _multiset(enumerate_bindings(q, db))
+        assert planned == _multiset(reference_bindings(q, db))
+        assert sum(planned.values()) == 1
+        assert any(
+            issubclass(w.category, MixedTypeComparisonWarning)
+            for w in caught
+        )
+
+    def test_range_pushdown_survives_plan_cache_rebinding(self, skewed_db):
+        planner = QueryPlanner(skewed_db)
+        planner.plan(parse_query("Q(A) :- Big(A, B), B < 20"))
+        rebound = planner.plan(parse_query("Q(X) :- Big(X, Y), Y < 20"))
+        assert planner.hits == 1
+        assert rebound.pushed_ranges == (ComparisonAtom(
+            Variable("Y"), ComparisonOp.LT, Constant(20)
+        ),)
+        bindings = list(execute_plan(rebound, skewed_db))
+        assert bindings and all(b[Variable("Y")] < 20 for b in bindings)
+
+    def test_string_ranges_are_pushable(self, skewed_db):
+        schema = Schema([RelationSchema("Names", ["n"])])
+        db = Database(schema)
+        db.insert_all("Names", [("alice",), ("bob",), ("carol",), ("dave",)])
+        q = parse_query('Q(N) :- Names(N), N < "c"')
+        plan = plan_query(q, db)
+        assert plan.steps[0].range_position == 0
+        assert sorted(
+            b[Variable("N")] for b in enumerate_bindings(q, db)
+        ) == ["alice", "bob"]
 
 
 class TestExplain:
@@ -285,6 +474,20 @@ class TestExplain:
         q = parse_query("Q(A, C) :- Big(A, B), Small(B, C)")
         text = plan_query(q, skewed_db).explain()
         assert "pushed into access paths" not in text
+        assert "pushed into ordered access paths" not in text
+
+    def test_explain_renders_ordered_access_path(self, skewed_db):
+        q = parse_query("Q(A) :- Big(A, B), B >= 10, B < 20, A < B")
+        text = plan_query(q, skewed_db).explain()
+        assert "pushed into ordered access paths: B >= 10, B < 20" in text
+        assert "ordered index on [1] in [10, 20)" in text
+        assert "then check residual" in text
+        # The var-var range is never pushed.
+        pushed_line = next(
+            line for line in text.splitlines()
+            if "pushed into ordered access paths" in line
+        )
+        assert "A < B" not in pushed_line
 
     def test_explain_ground_false_short_circuit_reason(self, skewed_db):
         q = parse_query("Q(A) :- Big(A, B), 1 = 2")
@@ -314,6 +517,42 @@ class TestPlanErrors:
         q = parse_query("Q(X) :- V(X, Y)")
         with pytest.raises(QueryError):
             plan_query(q, skewed_db, {"V": [(1,)]})
+
+    def test_comparison_variable_without_relational_atom_rejected(
+        self, skewed_db
+    ):
+        """A comparison over a variable no relational atom binds (e.g.
+        ``q(X) :- Big(X, B), Y < 3``) must fail loudly at plan time — not
+        be silently dropped, and not surface later as a KeyError inside
+        the executor."""
+        q = ConjunctiveQuery(
+            "Q",
+            [Variable("A")],
+            [RelationalAtom("Big", [Variable("A"), Variable("B")])],
+            [ComparisonAtom(Variable("Y"), ComparisonOp.LT, Constant(3))],
+        )
+        with pytest.raises(QueryError, match="Y"):
+            plan_query(q, skewed_db)
+        with pytest.raises(QueryError, match="Y"):
+            QueryPlanner(skewed_db).plan(q)
+        with pytest.raises(QueryError, match="Y"):
+            list(enumerate_bindings(q, skewed_db))
+        with pytest.raises(QueryError, match="Y"):
+            list(reference_bindings(q, skewed_db))
+
+    def test_unanchored_equality_variable_rejected_not_dropped(
+        self, skewed_db
+    ):
+        # Same guarantee for pushable ops: the closure must never absorb
+        # a comparison whose variable the safety check would reject.
+        q = ConjunctiveQuery(
+            "Q",
+            [Variable("A")],
+            [RelationalAtom("Big", [Variable("A"), Variable("B")])],
+            [ComparisonAtom(Variable("Y"), ComparisonOp.EQ, Constant(3))],
+        )
+        with pytest.raises(QueryError, match="Y"):
+            plan_query(q, skewed_db)
 
 
 class TestPlanner:
@@ -349,6 +588,34 @@ class TestPlanner:
         planner.plan(q, {"V": [(1,)]})
         planner.plan(q, {"V": [(1,), (2,)]})
         assert planner.misses == 2
+
+    def test_same_size_virtual_content_change_invalidates_plan(
+        self, skewed_db
+    ):
+        """Regression: fingerprints used to track virtual-relation *size*
+        only, so replacing a row (same size, new content) kept serving a
+        plan costed against dead statistics."""
+        planner = QueryPlanner(skewed_db)
+        q = parse_query("Q(X, B) :- V(X), Big(X, B)")
+        planner.plan(q, {"V": [(1,)]})
+        planner.plan(q, {"V": [(2,)]})  # same size, different row
+        assert planner.misses == 2 and planner.hits == 0
+
+    def test_identical_virtual_content_still_hits(self, skewed_db):
+        planner = QueryPlanner(skewed_db)
+        q = parse_query("Q(X, B) :- V(X), Big(X, B)")
+        planner.plan(q, {"V": [(1,)]})
+        planner.plan(q, {"V": [(1,)]})
+        assert planner.hits == 1 and planner.misses == 1
+
+    def test_indexed_wrapper_caches_content_token(self, skewed_db):
+        from repro.cq.executor import IndexedVirtualRelations
+
+        virtual = IndexedVirtualRelations({"V": [(1,), (2,)]})
+        token = virtual.content_token("V")
+        assert virtual.content_token("V") is token
+        other = IndexedVirtualRelations({"V": [(1,), (2,)]})
+        assert other.content_token("V") == token
 
     def test_clear(self, skewed_db):
         planner = QueryPlanner(skewed_db)

@@ -235,6 +235,170 @@ def test_parallel_executor_preserves_serial_order(db, virtual, query):
     assert parallel == serial
 
 
+# ---------------------------------------------------------------------------
+# Range pushdown (ordered access paths)
+# ---------------------------------------------------------------------------
+
+RANGE_OPS = [
+    ComparisonOp.LT,
+    ComparisonOp.LE,
+    ComparisonOp.GT,
+    ComparisonOp.GE,
+]
+
+#: Values that stress the ordered path: NaN (excluded from sorted
+#: indexes, never satisfies a range), strings (mixed-type columns
+#: degrade to scan + residual re-check), and a narrow integer band
+#: (so random intervals are frequently empty or selective).
+MIXED_VALUES = st.one_of(
+    st.integers(min_value=0, max_value=4),
+    st.sampled_from(["a", "b"]),
+    st.just(float("nan")),
+)
+
+
+@st.composite
+def mixed_databases(draw):
+    db = Database(make_schema())
+    for name, arity in BASE_ARITIES.items():
+        rows = draw(
+            st.lists(
+                st.tuples(*[MIXED_VALUES] * arity), min_size=0, max_size=8
+            )
+        )
+        db.insert_all(name, rows)
+    return db
+
+
+def _with_range_chain(query, data, values=VALUES):
+    """Append 1-3 random var-vs-const range comparisons to ``query``."""
+    variables = sorted(query.relational_variables())
+    comparisons = list(query.comparisons)
+    if variables:
+        for __ in range(data.draw(st.integers(1, 3))):
+            left = data.draw(st.sampled_from(variables))
+            op = data.draw(st.sampled_from(RANGE_OPS))
+            comparisons.append(
+                ComparisonAtom(left, op, Constant(data.draw(values)))
+            )
+    return ConjunctiveQuery(query.name, query.head, query.atoms, comparisons)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    db=databases(),
+    query=queries(relations=tuple(sorted(BASE_ARITIES))),
+    data=st.data(),
+)
+def test_pushdown_range_chains_preserve_multiset(db, query, data):
+    """Random `<`/`<=`/`>`/`>=` chains — merged intervals, empty
+    intervals, ranges interacting with equality chains — never change
+    the binding multiset vs the reference evaluator."""
+    chained = _with_range_chain(query, data)
+    planned = Counter(
+        binding_key(b) for b in enumerate_bindings(chained, db)
+    )
+    reference = Counter(
+        binding_key(b) for b in reference_bindings(chained, db)
+    )
+    assert planned == reference
+
+
+@settings(max_examples=100, deadline=None)
+@given(db=mixed_databases(), query=queries(relations=tuple(sorted(BASE_ARITIES))),
+       data=st.data())
+def test_range_pushdown_on_nan_and_mixed_type_data(db, query, data):
+    """Mixed-type columns and NaN values degrade to scan + residual
+    re-check (warning, never a raised TypeError from bisect), with the
+    reference multiset preserved."""
+    chained = _with_range_chain(
+        query,
+        data,
+        values=st.one_of(
+            st.integers(min_value=0, max_value=4), st.sampled_from(["a", "b"])
+        ),
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        planned = Counter(
+            binding_key(b) for b in enumerate_bindings(chained, db)
+        )
+        reference = Counter(
+            binding_key(b) for b in reference_bindings(chained, db)
+        )
+    assert planned == reference
+
+
+@settings(max_examples=60, deadline=None)
+@given(db=databases(), query=queries(relations=tuple(sorted(BASE_ARITIES))),
+       data=st.data())
+def test_empty_interval_short_circuit_matches_reference(db, query, data):
+    """Contradictory bounds (lo > hi) prove emptiness at plan time; the
+    short-circuited plan must agree with the reference evaluator."""
+    variables = sorted(query.relational_variables())
+    if not variables:
+        return
+    var = data.draw(st.sampled_from(variables))
+    bound = data.draw(VALUES)
+    comparisons = list(query.comparisons) + [
+        ComparisonAtom(var, ComparisonOp.GT, Constant(bound)),
+        ComparisonAtom(var, ComparisonOp.LT, Constant(bound)),
+    ]
+    contradictory = ConjunctiveQuery(
+        query.name, query.head, query.atoms, comparisons
+    )
+    plan = plan_query(contradictory, db)
+    assert plan.empty
+    assert list(enumerate_bindings(contradictory, db)) == []
+    assert list(reference_bindings(contradictory, db)) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    db=databases(),
+    query=queries(relations=tuple(sorted(BASE_ARITIES))),
+    parallelism=st.integers(2, 4),
+    data=st.data(),
+)
+def test_parallel_equals_serial_order_for_range_pushed_queries(
+    db, query, parallelism, data
+):
+    """Range-pushed plans shard and merge like any other: the parallel
+    binding sequence equals the serial one exactly (same order, not just
+    multiset), and matches the reference multiset."""
+    chained = _with_range_chain(query, data)
+    plan = plan_query(chained, db)
+    parallel = [
+        binding_key(b)
+        for b in execute_plan_parallel(
+            plan, db, parallelism=parallelism, min_partition=1
+        )
+    ]
+    serial = [binding_key(b) for b in execute_plan(plan, db)]
+    assert parallel == serial
+    assert Counter(parallel) == Counter(
+        binding_key(b) for b in reference_bindings(chained, db)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(db=mixed_databases(), query=queries(relations=tuple(sorted(BASE_ARITIES))),
+       data=st.data())
+def test_parallel_order_survives_mixed_type_fallback(db, query, data):
+    chained = _with_range_chain(query, data)
+    plan = plan_query(chained, db)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        parallel = [
+            binding_key(b)
+            for b in execute_plan_parallel(
+                plan, db, parallelism=3, min_partition=1
+            )
+        ]
+        serial = [binding_key(b) for b in execute_plan(plan, db)]
+    assert parallel == serial
+
+
 @settings(max_examples=60, deadline=None)
 @given(db=databases(), query=queries(relations=tuple(sorted(BASE_ARITIES))))
 def test_evaluate_query_same_tuple_set(db, query):

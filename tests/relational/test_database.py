@@ -147,6 +147,92 @@ class TestCopy:
         assert clone.total_rows() == 2
 
 
+class TestSortedIndexes:
+    """Sorted secondary indexes behind ordered access paths."""
+
+    @pytest.fixture
+    def numbers(self):
+        schema = Schema([RelationSchema("N", ["a", "b"])])
+        db = Database(schema)
+        db.insert_all("N", [(i, i % 5) for i in range(20)])
+        return db.relation("N")
+
+    def test_range_lookup_half_open(self, numbers):
+        from repro.relational.statistics import Interval
+
+        rows = numbers.range_lookup(0, Interval(lo=3, hi=7, hi_open=True))
+        assert [row[0] for row in rows] == [3, 4, 5, 6]
+
+    def test_range_lookup_open_lo_and_unbounded_hi(self, numbers):
+        from repro.relational.statistics import Interval
+
+        rows = numbers.range_lookup(0, Interval(lo=17, lo_open=True))
+        assert [row[0] for row in rows] == [18, 19]
+
+    def test_equal_keys_keep_insertion_order(self, numbers):
+        from repro.relational.statistics import Interval
+
+        rows = numbers.range_lookup(1, Interval(lo=2, hi=2))
+        assert [row[0] for row in rows] == [2, 7, 12, 17]
+
+    def test_index_maintained_across_insert_and_delete(self, numbers):
+        from repro.relational.statistics import Interval
+
+        interval = Interval(lo=100, hi=200)
+        assert numbers.range_lookup(0, interval) == []
+        numbers.insert((150, 0))
+        assert [row[0] for row in numbers.range_lookup(0, interval)] == [150]
+        numbers.delete(Row("N", (150, 0)))
+        assert numbers.range_lookup(0, interval) == []
+
+    def test_mixed_type_column_returns_none(self):
+        from repro.relational.statistics import Interval
+
+        schema = Schema([RelationSchema("M", ["a"])])
+        db = Database(schema)
+        db.insert_all("M", [(1,), ("x",)])
+        assert db.relation("M").range_lookup(0, Interval(lo=0)) is None
+
+    def test_mixed_type_insert_invalidates_existing_index(self, numbers):
+        from repro.relational.statistics import Interval
+
+        assert numbers.range_lookup(0, Interval(lo=0, hi=3)) is not None
+        numbers.insert(("zzz", 0))
+        assert numbers.range_lookup(0, Interval(lo=0, hi=3)) is None
+
+    def test_delete_after_mixed_type_allows_rebuild(self, numbers):
+        from repro.relational.statistics import Interval
+
+        numbers.insert(("zzz", 0))
+        assert numbers.range_lookup(0, Interval(lo=0, hi=3)) is None
+        numbers.delete(Row("N", ("zzz", 0)))
+        rows = numbers.range_lookup(0, Interval(lo=0, hi=3))
+        assert [row[0] for row in rows] == [0, 1, 2, 3]
+
+    def test_incomparable_probe_returns_none(self, numbers):
+        from repro.relational.statistics import Interval
+
+        assert numbers.range_lookup(0, Interval(lo="x")) is None
+
+    def test_nan_rows_never_match_ranges(self):
+        from repro.relational.statistics import Interval
+
+        nan = float("nan")
+        schema = Schema([RelationSchema("M", ["a"])])
+        db = Database(schema)
+        db.insert_all("M", [(1.0,), (nan,), (2.0,)])
+        rows = db.relation("M").range_lookup(0, Interval())
+        assert [row[0] for row in rows] == [1.0, 2.0]
+
+    def test_bulk_load_drops_and_rebuilds_sorted_index(self, numbers):
+        from repro.relational.statistics import Interval
+
+        assert numbers.range_lookup(0, Interval(lo=0, hi=1)) is not None
+        numbers.insert_many([(i, 0) for i in range(100, 300)])
+        rows = numbers.range_lookup(0, Interval(lo=100, hi=102))
+        assert [row[0] for row in rows] == [100, 101, 102]
+
+
 class TestRow:
     def test_equality_includes_relation(self):
         assert Row("R", (1, 2)) != Row("S", (1, 2))

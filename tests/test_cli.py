@@ -114,6 +114,15 @@ class TestPlan:
         ]) == 0
         assert "plan for" in capsys.readouterr().out
 
+    def test_range_query_shows_ordered_access_path(self, project, capsys):
+        assert main([
+            "plan", str(project),
+            'Q(N) :- Family(F, N, Ty), F < "F0020"',
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pushed into ordered access paths" in out
+        assert "ordered index on" in out
+
 
 class TestCiteBatch:
     @pytest.fixture
@@ -124,6 +133,8 @@ class TestCiteBatch:
             "\n"
             "# repeated shape, different variable names\n"
             'Q(M) :- Family(G, M, T2), T2 = "gpcr"\n'
+            "# range-pushed plan (ordered access path)\n"
+            'Q(N) :- Family(F, N, Ty), F < "F0020"\n'
         )
         return path
 
@@ -133,7 +144,7 @@ class TestCiteBatch:
             "--format", "text",
         ]) == 0
         out = capsys.readouterr().out
-        assert out.count("Sources:") == 2
+        assert out.count("Sources:") == 3
 
     def test_stats_flag_reports_cache_hits(self, project, query_file,
                                            capsys):

@@ -46,6 +46,29 @@ class TestQueryGenerator:
         ]
         assert joined, "expected FK-connected joins"
 
+    def test_range_selections_generated_and_evaluable(self, db):
+        from repro.cq.plan import QueryPlanner
+        from repro.relational.expressions import ComparisonOp
+
+        generator = QueryGenerator(db.schema, db, seed=11,
+                                   selection_probability=0.0,
+                                   range_probability=1.0)
+        queries = generator.generate_many(25)
+        range_ops = {ComparisonOp.LT, ComparisonOp.LE,
+                     ComparisonOp.GT, ComparisonOp.GE}
+        ranged = [
+            q for q in queries
+            if any(c.op in range_ops for c in q.comparisons)
+        ]
+        assert ranged, "expected range selections at probability 1.0"
+        planner = QueryPlanner(db)
+        pushed = 0
+        for query in ranged:
+            query.check_safety()
+            evaluate_query(query, db, planner=planner)  # must not raise
+            pushed += bool(planner.plan(query).pushed_ranges)
+        assert pushed, "expected some plans with pushed ranges"
+
     def test_selection_constants_sampled_from_db(self, db):
         generator = QueryGenerator(db.schema, db, seed=6,
                                    selection_probability=1.0)
