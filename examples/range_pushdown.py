@@ -46,9 +46,9 @@ def main() -> None:
     print(f"archive: {ROWS} readings")
 
     # One bound: Value < 40 becomes an ordered access path — note the
-    # `pushed into ordered access paths:` line and the `ordered index
-    # on [2]` probe, plus the residual re-check that guarantees the
-    # planned results equal the reference evaluator's exactly.
+    # `ordered index on [2]` probe in the pushed-predicate section,
+    # plus the residual re-check that guarantees the planned results
+    # equal the reference evaluator's exactly.
     show_plan(planner, "Q(S, D) :- Reading(S, D, V), V < 40")
 
     # Two bounds merge into one interval [100, 140).

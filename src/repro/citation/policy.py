@@ -23,7 +23,7 @@ Three policies ship with the library:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Callable
 
 from repro.citation.combiners import (
     AGG_INTERPRETATIONS,

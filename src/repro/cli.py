@@ -189,9 +189,11 @@ def cmd_cite(args: argparse.Namespace) -> int:
 def cmd_plan(args: argparse.Namespace) -> int:
     """Show the cost-based query plan (EXPLAIN) for a query.
 
-    The rendering separates comparisons pushed into (hash) access paths,
-    comparisons pushed into *ordered* access paths (ranges served by
-    sorted indexes), and per-step residual checks.
+    The rendering lists each step's single chosen access path — hash
+    index, ordered index (ranges served by sorted indexes), or
+    composite index (equality + range served by one
+    hash-lookup-plus-bisect probe) — with the comparisons it absorbs,
+    plus per-step residual checks.
     """
     from repro.cq.parser import parse_query
     from repro.cq.plan import plan_query

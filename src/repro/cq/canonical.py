@@ -13,9 +13,9 @@ variables.
 
 from __future__ import annotations
 
-from repro.cq.atoms import ComparisonAtom, RelationalAtom
+from repro.cq.atoms import RelationalAtom
 from repro.cq.query import ConjunctiveQuery
-from repro.cq.terms import Constant, Variable
+from repro.cq.terms import Variable
 
 
 def _canonical_parts(

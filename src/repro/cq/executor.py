@@ -14,8 +14,10 @@ validates arity once and builds hash indexes per bound-position set —
 the old evaluator re-scanned the whole extension and re-checked arity on
 every probe.  Ordered access paths (range comparisons pushed by the
 planner's interval closure) probe sorted secondary indexes via bisect,
-on base relations and virtual relations alike, degrading to a scan plus
-residual re-checks on mixed-type columns.
+and composite access paths (equality + range pushed onto one step)
+probe hash indexes whose buckets are kept sorted for in-bucket bisect —
+on base relations and virtual relations alike, degrading to a hash
+probe or scan plus residual re-checks on mixed-type columns/buckets.
 """
 
 from __future__ import annotations
@@ -29,9 +31,12 @@ from repro.cq.plan import JoinStep, QueryPlan, _content_token
 from repro.cq.terms import Constant, Variable
 from repro.errors import MixedTypeComparisonWarning, QueryError
 from repro.relational.database import (
+    CompositeIndex,
     Database,
     SortedIndex,
+    build_composite_index,
     build_sorted_index,
+    composite_index_slice,
     sorted_index_slice,
 )
 from repro.relational.statistics import (
@@ -71,6 +76,12 @@ class IndexedVirtualRelations(Mapping):
         # Sorted secondary indexes for range probes; a cached ``None``
         # records a mixed-type (unsortable) column.
         self._sorted: dict[tuple[str, int], SortedIndex | None] = {}
+        # Composite indexes for combined equality+range probes, keyed by
+        # (name, hash positions, ordered position); buckets degrade
+        # individually on mixed-type order keys.
+        self._composite: dict[
+            tuple[str, tuple[int, ...], int], CompositeIndex
+        ] = {}
         # Content fingerprints served to the plan cache (see
         # QueryPlanner._virtual_fingerprint); rows are immutable for the
         # lifetime of a wrapper, so each is computed at most once.
@@ -176,6 +187,43 @@ class IndexedVirtualRelations(Mapping):
             return None
         return sorted_index_slice(index, interval)
 
+    def ensure_composite_index(
+        self, name: str, positions: tuple[int, ...], order_position: int
+    ) -> CompositeIndex:
+        """Build (and cache) one composite index now.
+
+        Like :meth:`ensure_index`, the parallel executor warms these
+        before fanning out so shard workers never race to build one.
+        """
+        key = (name, positions, order_position)
+        index = self._composite.get(key)
+        if index is None:
+            index = build_composite_index(
+                self._relations[name],
+                lambda row: tuple(row[i] for i in positions),
+                lambda row: row[order_position],
+            )
+            self._composite[key] = index
+        return index
+
+    def composite_lookup(
+        self,
+        name: str,
+        positions: tuple[int, ...],
+        values: tuple[Any, ...],
+        order_position: int,
+        interval: Interval,
+    ) -> Sequence[tuple[Any, ...]] | None:
+        """Rows of ``name`` matching the hash probe with ``order_position``
+        inside ``interval`` — one hash lookup plus one bisect.
+
+        ``None`` means the composite path cannot serve the probe
+        (mixed-type bucket or incomparable bounds); the executor then
+        falls back to the plain hash index plus residual re-checks.
+        """
+        index = self.ensure_composite_index(name, positions, order_position)
+        return composite_index_slice(index, values, interval)
+
     def content_token(self, name: str) -> tuple:
         """Cached content fingerprint of one relation for the plan cache."""
         token = self._tokens.get(name)
@@ -273,6 +321,13 @@ class IndexJoinOperator:
                 term.value if isinstance(term, Constant) else binding[term]
                 for term in lookup_terms
             )
+            if any(value != value for value in probe):
+                # A NaN probe value ==-matches no row, but a hash bucket
+                # would match it by *identity* (same NaN object as key) —
+                # and a repeat of an already-bound variable has no
+                # residual re-check to reject the row.  Skip the probe:
+                # the reference evaluator's == join finds nothing here.
+                continue
             for row in rows_for(probe):
                 if any(row[i] != row[j] for i, j in equal_positions):
                     continue
@@ -291,45 +346,70 @@ def _row_source(
     """Bind a step's access path to concrete storage.
 
     Ordered access paths (``range_position``) bisect the sorted
-    secondary index; when the index cannot serve the probe (mixed-type
-    column or incomparable bounds) they degrade to the scan the planner
-    would otherwise have emitted — the step's residual comparisons
-    re-check every range predicate, so the fallback only costs time,
-    never correctness, and genuinely mixed comparisons surface the usual
-    :class:`MixedTypeComparisonWarning` from the residual filter.
+    secondary index, and composite access paths (``range_position``
+    alongside ``lookup_positions``) bisect inside the matching hash
+    bucket of a composite index; when an index cannot serve the probe
+    (mixed-type column or bucket, incomparable bounds) they degrade to
+    the hash probe or scan the planner would otherwise have emitted —
+    the step's residual comparisons re-check every range predicate, so
+    the fallback only costs time, never correctness, and genuinely mixed
+    comparisons surface the usual :class:`MixedTypeComparisonWarning`
+    from the residual filter.
     """
     positions = step.lookup_positions
     range_position = step.range_position
     range_interval = step.range_interval
+    # Two storage adapters (virtual rows are plain tuples, base rows are
+    # Row objects unwrapped to their values), one shared probe shape:
+    # ``hash_rows`` is the plain hash probe / scan, ``narrowed_rows`` is
+    # the ordered or composite narrowing returning ``None`` when the
+    # index cannot serve the probe.
     if step.virtual:
         assert virtual is not None
         name = step.atom.relation
         virtual.validate_arity(name, step.atom.arity)
-        if range_position is not None:
 
-            def virtual_range(values: tuple[Any, ...]) -> Sequence[tuple[Any, ...]]:
-                rows = virtual.range_lookup(name, range_position, range_interval)
-                if rows is None:
-                    return virtual.lookup(name, positions, values)
-                return rows
+        def hash_rows(values: tuple[Any, ...]) -> Sequence[tuple[Any, ...]]:
+            return virtual.lookup(name, positions, values)
 
-            return virtual_range
-        return lambda values: virtual.lookup(name, positions, values)
-    instance = db.relation(step.atom.relation)
-    if range_position is not None:
+        def narrowed_rows(
+            values: tuple[Any, ...]
+        ) -> Sequence[tuple[Any, ...]] | None:
+            if positions:
+                return virtual.composite_lookup(
+                    name, positions, values, range_position, range_interval
+                )
+            return virtual.range_lookup(name, range_position, range_interval)
 
-        def base_range(values: tuple[Any, ...]) -> list[tuple[Any, ...]]:
-            rows = instance.range_lookup(range_position, range_interval)
+    else:
+        instance = db.relation(step.atom.relation)
+
+        def hash_rows(values: tuple[Any, ...]) -> list[tuple[Any, ...]]:
+            return [row.values for row in instance.lookup(positions, values)]
+
+        def narrowed_rows(
+            values: tuple[Any, ...]
+        ) -> list[tuple[Any, ...]] | None:
+            if positions:
+                rows = instance.composite_lookup(
+                    positions, values, range_position, range_interval
+                )
+            else:
+                rows = instance.range_lookup(range_position, range_interval)
             if rows is None:
-                rows = instance.lookup(positions, values)
+                return None
             return [row.values for row in rows]
 
-        return base_range
+    if range_position is None:
+        return hash_rows
 
-    def base_rows(values: tuple[Any, ...]) -> list[tuple[Any, ...]]:
-        return [row.values for row in instance.lookup(positions, values)]
+    def ordered_rows(values: tuple[Any, ...]) -> Sequence[tuple[Any, ...]]:
+        rows = narrowed_rows(values)
+        if rows is None:
+            return hash_rows(values)
+        return rows
 
-    return base_rows
+    return ordered_rows
 
 
 def build_operator_chain(

@@ -93,7 +93,22 @@ def _warm_access_paths(
     workers each building (and all but one discarding) the same index.
     """
     for step in steps:
-        if step.range_position is not None:
+        if step.range_position is not None and step.lookup_positions:
+            # Composite path: hash buckets sorted on the ordered
+            # position (the plain hash index below stays warmed too —
+            # it is the fallback for degraded buckets).
+            if step.virtual:
+                assert virtual is not None
+                virtual.ensure_composite_index(
+                    step.atom.relation,
+                    step.lookup_positions,
+                    step.range_position,
+                )
+            else:
+                db.relation(step.atom.relation).ensure_composite_index(
+                    step.lookup_positions, step.range_position
+                )
+        elif step.range_position is not None:
             if step.virtual:
                 assert virtual is not None
                 virtual.ensure_sorted_index(

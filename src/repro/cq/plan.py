@@ -24,10 +24,14 @@ into an *equality closure* (:class:`_EqualityClosure`) whose constants
 become hash-index probes, and pushable range atoms
 (``<``/``<=``/``>``/``>=``) fold into an *interval closure*
 (:class:`_IntervalClosure`) whose merged ``[lo, hi]`` intervals become
-ordered access paths — bisect probes over sorted secondary indexes —
-wherever a step would otherwise scan.  Provably-empty intervals (and
-contradictory equality constants) short-circuit to an empty plan without
-touching data.
+ordered narrowings: where a step would otherwise scan they select an
+*ordered* access path (bisect over a sorted secondary index), and where
+the step already hash-probes they select a *composite* access path —
+a single probe against a hash index whose buckets are kept sorted on
+the ordered position, so ``Ty = "gpcr", N >= t`` is one
+hash-lookup-plus-bisect instead of a probe and a post-filter.
+Provably-empty intervals (and contradictory equality constants)
+short-circuit to an empty plan without touching data.
 
 Plans for α-equivalent queries are shared: :class:`QueryPlanner` caches
 the plan of the *canonical* query (see :mod:`repro.cq.canonical`) and
@@ -37,7 +41,7 @@ the rewriting cache uses.
 
 from __future__ import annotations
 
-from collections.abc import Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
 from typing import Any
 
@@ -58,6 +62,28 @@ from repro.relational.statistics import (
 #: method (e.g. :class:`repro.cq.executor.IndexedVirtualRelations`) serves
 #: cached statistics; plain mappings are profiled on the fly.
 VirtualRelations = Mapping[str, Sequence[tuple[Any, ...]]]
+
+
+def _group_pushed(
+    pushed: Sequence[ComparisonAtom],
+    find: Callable[[Variable], Variable],
+) -> dict[Variable, list[ComparisonAtom]]:
+    """Absorbed comparisons grouped by class representative.
+
+    Used to attribute each pushed comparison to the join steps whose
+    access path actually serves it (``JoinStep.pushed``), so EXPLAIN
+    renders one access path per step.  Call only after every
+    absorption: unions are finished, so roots are stable.
+    """
+    grouped: dict[Variable, list[ComparisonAtom]] = {}
+    for comparison in pushed:
+        var = (
+            comparison.left
+            if isinstance(comparison.left, Variable)
+            else comparison.right
+        )
+        grouped.setdefault(find(var), []).append(comparison)
+    return grouped
 
 
 class _EqualityClosure:
@@ -168,6 +194,10 @@ class _EqualityClosure:
             comparison.right, Variable
         )
 
+    def pushed_by_class(self) -> dict[Variable, list[ComparisonAtom]]:
+        """Absorbed comparisons by class root (see :func:`_group_pushed`)."""
+        return _group_pushed(self.pushed, self.find)
+
 
 #: Range operators foldable into the interval closure.
 _RANGE_OPS = frozenset(
@@ -274,6 +304,10 @@ class _IntervalClosure:
             return None
         return interval
 
+    def pushed_by_class(self) -> dict[Variable, list[ComparisonAtom]]:
+        """Absorbed ranges by class root (see :func:`_group_pushed`)."""
+        return _group_pushed(self.pushed, self._closure.find)
+
     def finalize(self) -> None:
         """Cross-check intervals against equality-closure constants.
 
@@ -318,11 +352,18 @@ class JoinStep:
         Comparison atoms whose variables are all bound once this step
         fires; checked before the binding is emitted.
     range_position / range_interval:
-        The ordered access path, when the step would otherwise scan: the
-        position probed through a sorted secondary index and the merged
-        interval to bisect.  The executor degrades to a scan when the
-        column cannot serve ordered probes (mixed types); the interval's
-        comparisons are re-checked residually either way.
+        The ordered narrowing of the access path: the position probed
+        through a sorted index (bisect) and the merged interval.  With
+        ``lookup_positions`` empty this is an *ordered* path replacing a
+        scan; with ``lookup_positions`` set it is a *composite* path —
+        one probe against a hash index whose buckets are kept sorted on
+        this position.  The executor degrades to the hash probe (or
+        scan) when the index cannot serve ordered probes (mixed types);
+        the interval's comparisons are re-checked residually either way.
+    pushed:
+        The pushed comparisons this step's access path absorbs (for
+        EXPLAIN attribution: each step renders its one chosen access
+        path together with everything that path serves).
     estimated_matches:
         Estimated rows per probe (from statistics, at plan time).
     estimated_bindings:
@@ -341,23 +382,34 @@ class JoinStep:
     estimated_bindings: float
     range_position: int | None = None
     range_interval: Interval | None = None
+    pushed: tuple[ComparisonAtom, ...] = ()
+
+    @property
+    def path_kind(self) -> str:
+        """One of ``scan`` / ``hash`` / ``ordered`` / ``composite``."""
+        if self.range_position is not None:
+            return "composite" if self.lookup_positions else "ordered"
+        return "hash" if self.lookup_positions else "scan"
 
     @property
     def access_path(self) -> str:
         """Human-readable access description for :meth:`QueryPlan.explain`."""
         kind = "virtual " if self.virtual else ""
-        if self.range_position is not None:
-            assert self.range_interval is not None
-            return (
-                f"{kind}ordered index on [{self.range_position}] in "
-                f"{self.range_interval.describe()}"
-            )
-        if not self.lookup_positions:
-            return f"{kind}scan"
         bound = ", ".join(
             f"[{position}]={term!r}"
             for position, term in zip(self.lookup_positions, self.lookup_terms)
         )
+        if self.range_position is not None:
+            assert self.range_interval is not None
+            ordered = (
+                f"[{self.range_position}] in "
+                f"{self.range_interval.describe()}"
+            )
+            if bound:
+                return f"{kind}composite index on {bound} + {ordered}"
+            return f"{kind}ordered index on {ordered}"
+        if not bound:
+            return f"{kind}scan"
         return f"{kind}index on {bound}"
 
 
@@ -390,12 +442,20 @@ class QueryPlan:
         if self.empty:
             lines.append(f"  empty result ({self.empty_reason})")
             return "\n".join(lines)
-        if self.pushed:
-            folded = ", ".join(repr(c) for c in self.pushed)
-            lines.append(f"  pushed into access paths: {folded}")
-        if self.pushed_ranges:
-            folded = ", ".join(repr(c) for c in self.pushed_ranges)
-            lines.append(f"  pushed into ordered access paths: {folded}")
+        # Pushed predicates are attributed to the steps whose access
+        # paths serve them, and each step lists its single chosen path —
+        # one line per probe, so an equality + range pair served by one
+        # composite probe can never read as two separate probes.
+        pushed_steps = [
+            (number, step)
+            for number, step in enumerate(self.steps, start=1)
+            if step.pushed
+        ]
+        if pushed_steps:
+            lines.append("  pushed predicates:")
+            for number, step in pushed_steps:
+                folded = ", ".join(repr(c) for c in step.pushed)
+                lines.append(f"    step {number} [{step.access_path}]: {folded}")
         if not self.steps:
             lines.append("  single empty binding (no relational atoms)")
         for number, step in enumerate(self.steps, start=1):
@@ -448,6 +508,7 @@ class QueryPlan:
                 # Intervals hold constants only; rebinding is a no-op.
                 range_position=step.range_position,
                 range_interval=step.range_interval,
+                pushed=tuple(c.substitute(inverse) for c in step.pushed),
             )
             for step in self.steps
         )
@@ -491,20 +552,25 @@ def _statistics_for_atom(
     return instance.stats, False
 
 
-def _estimate_matches(
+def _estimate_access_paths(
     atom: RelationalAtom,
     stats: RelationStatistics,
     closure: _EqualityClosure,
     intervals: _IntervalClosure,
     bound_reps: Mapping[Variable, Variable],
-) -> float:
-    """Estimated rows one probe of ``atom`` returns given bound variables.
+) -> tuple[float, float]:
+    """``(matched, probed)`` estimates for one probe of ``atom``.
 
     Variables forced to a constant by the equality closure count as
     constant constraints (exact frequencies); variables whose class has a
     member bound by an earlier step count as bound join variables;
     interval-constrained free variables count as range constraints
-    (priced by the equi-depth histogram), once per variable.
+    (priced by the equi-depth histogram), once per variable.  ``matched``
+    applies all of them (join ordering ranks atoms by it); ``probed``
+    skips the range constraints — the rows a hash-only probe touches —
+    so the cost model can price a composite probe (which narrows the
+    range inside the probe) against a single-index probe (which filters
+    the bucket residually).
     """
     variable_positions: list[int] = []
     constant_constraints: list[tuple[int, Any]] = []
@@ -529,9 +595,41 @@ def _estimate_matches(
             # selectivity and skew the join order.
             ranged.add(root)
             range_constraints.append((position, interval))
-    return stats.estimate_matches(
+    return stats.estimate_access_paths(
         variable_positions, constant_constraints, range_constraints
     )
+
+
+def _choose_ordered_position(
+    stats: RelationStatistics,
+    intervals: _IntervalClosure,
+    introduces: Sequence[tuple[Variable, int]],
+    lookup_positions: Sequence[int],
+) -> tuple[int, Interval, Variable] | None:
+    """The ordered narrowing of a step's access path, if any applies.
+
+    Among the introduced positions not already equality-bound by the
+    probe, picks the most selective interval-constrained one (by
+    histogram estimate): on a scanning step it upgrades the scan to an
+    ordered access path, on a hash-probing step it upgrades the probe to
+    a composite one.  Positions whose class carries an equality constant
+    never qualify (``interval_for`` withholds their intervals — the
+    constant probe is strictly stronger).
+    """
+    taken = frozenset(lookup_positions)
+    best = None
+    best_selectivity = None
+    for term, position in introduces:
+        if position in taken:
+            continue
+        interval = intervals.interval_for(term)
+        if interval is None:
+            continue
+        selectivity = stats.range_selectivity(position, interval)
+        if best_selectivity is None or selectivity < best_selectivity:
+            best_selectivity = selectivity
+            best = (position, interval, term)
+    return best
 
 
 def _build_step(
@@ -543,6 +641,8 @@ def _build_step(
     bound_reps: Mapping[Variable, Variable],
     closure: _EqualityClosure,
     intervals: _IntervalClosure,
+    pushed_equalities: Mapping[Variable, Sequence[ComparisonAtom]],
+    pushed_ranges: Mapping[Variable, Sequence[ComparisonAtom]],
     comparisons: Sequence[ComparisonAtom],
     estimated_matches: float,
     estimated_bindings: float,
@@ -556,10 +656,19 @@ def _build_step(
     bindings keep every body variable (the citation model sums per
     binding, Def 3.2).
 
-    When no position is bound (the step would scan), an interval-
-    constrained introduced position upgrades the scan to an *ordered*
-    access path: the most selective interval (by histogram estimate) is
-    bisected over a sorted secondary index.
+    An interval-constrained introduced position then adds an ordered
+    narrowing (:func:`_choose_ordered_position`): where the step would
+    scan it becomes an *ordered* access path (bisect over a sorted
+    secondary index); where it already hash-probes it becomes a
+    *composite* access path — one probe against a hash index whose
+    buckets are kept sorted on the ordered position, so the equality and
+    range predicates are answered by a single hash-lookup-plus-bisect.
+
+    The pushed comparisons each part of the path serves are collected
+    into ``JoinStep.pushed``: every step renders its *single* chosen
+    access path with everything it absorbs (a comparison whose class
+    feeds several steps' probes — ``R(X), S(X), X = 3`` — is listed
+    under each serving step).
     """
     lookup_positions: list[int] = []
     lookup_terms: list[Term] = []
@@ -567,6 +676,7 @@ def _build_step(
     introduced: set[Variable] = set()
     class_first_position: dict[Variable, int] = {}
     equal_positions: list[tuple[int, int]] = []
+    served: list[ComparisonAtom] = []
     for position, term in enumerate(atom.terms):
         if isinstance(term, Constant):
             lookup_positions.append(position)
@@ -576,6 +686,7 @@ def _build_step(
         if constant is not None:
             lookup_positions.append(position)
             lookup_terms.append(constant)
+            served.extend(pushed_equalities.get(closure.find(term), ()))
             if term not in bound_vars and term not in introduced:
                 introduces.append((term, position))
                 introduced.add(term)
@@ -591,6 +702,7 @@ def _build_step(
             # with X's value instead of filtering afterwards.
             lookup_positions.append(position)
             lookup_terms.append(bound_mate)
+            served.extend(pushed_equalities.get(root, ()))
             if term not in introduced:
                 introduces.append((term, position))
                 introduced.add(term)
@@ -608,16 +720,12 @@ def _build_step(
         introduced.add(term)
     range_position: int | None = None
     range_interval: Interval | None = None
-    if not lookup_positions:
-        best_selectivity = None
-        for term, position in introduces:
-            interval = intervals.interval_for(term)
-            if interval is None:
-                continue
-            selectivity = stats.range_selectivity(position, interval)
-            if best_selectivity is None or selectivity < best_selectivity:
-                best_selectivity = selectivity
-                range_position, range_interval = position, interval
+    ordered = _choose_ordered_position(
+        stats, intervals, introduces, lookup_positions
+    )
+    if ordered is not None:
+        range_position, range_interval, range_term = ordered
+        served.extend(pushed_ranges.get(closure.find(range_term), ()))
     return JoinStep(
         atom=atom,
         atom_index=atom_index,
@@ -631,6 +739,7 @@ def _build_step(
         estimated_bindings=estimated_bindings,
         range_position=range_position,
         range_interval=range_interval,
+        pushed=tuple(dict.fromkeys(served)),
     )
 
 
@@ -728,6 +837,8 @@ def plan_query(
     resolved = [
         _statistics_for_atom(atom, db, virtual) for atom in query.atoms
     ]
+    pushed_equalities = closure.pushed_by_class()
+    pushed_range_map = intervals.pushed_by_class()
     remaining = list(range(len(query.atoms)))
     bound_vars: set[Variable] = set()
     #: class representative -> first variable of the class bound so far.
@@ -738,39 +849,54 @@ def plan_query(
     while remaining:
         best_index = None
         best_estimate = None
+        best_probed = None
         for atom_index in remaining:
-            estimate = _estimate_matches(
+            matched, probed = _estimate_access_paths(
                 query.atoms[atom_index],
                 resolved[atom_index][0],
                 closure,
                 intervals,
                 bound_reps,
             )
-            if best_estimate is None or estimate < best_estimate:
-                best_index, best_estimate = atom_index, estimate
+            if best_estimate is None or matched < best_estimate:
+                best_index, best_estimate, best_probed = (
+                    atom_index, matched, probed,
+                )
         remaining.remove(best_index)
         atom = query.atoms[best_index]
-        cost += bindings * max(best_estimate, 1.0)
-        bindings *= best_estimate
+        new_bindings = bindings * best_estimate
 
         new_bound = bound_vars | set(atom.variables())
         ready = [c for c in pending if set(c.variables()) <= new_bound]
         pending = [c for c in pending if not set(c.variables()) <= new_bound]
-        steps.append(
-            _build_step(
-                atom,
-                best_index,
-                resolved[best_index][1],
-                resolved[best_index][0],
-                bound_vars,
-                bound_reps,
-                closure,
-                intervals,
-                ready,
-                best_estimate,
-                bindings,
-            )
+        step = _build_step(
+            atom,
+            best_index,
+            resolved[best_index][1],
+            resolved[best_index][0],
+            bound_vars,
+            bound_reps,
+            closure,
+            intervals,
+            pushed_equalities,
+            pushed_range_map,
+            ready,
+            best_estimate,
+            new_bindings,
         )
+        steps.append(step)
+        # Cost is rows *touched* per probe, times upstream bindings: an
+        # ordered/composite path narrows by its one served interval
+        # inside the probe, while every other constraint (residual
+        # ranges, hash-only probes, scans) filters the probed rows
+        # afterwards.
+        touched = best_probed
+        if step.range_position is not None:
+            touched *= resolved[best_index][0].range_selectivity(
+                step.range_position, step.range_interval
+            )
+        cost += bindings * max(touched, 1.0)
+        bindings = new_bindings
         bound_vars = new_bound
         for var in atom.variables():
             bound_reps.setdefault(closure.find(var), var)

@@ -15,7 +15,7 @@ by substituting constants for the parameters.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Sequence
 from typing import Any
 
 from repro.cq.atoms import ComparisonAtom, RelationalAtom, Substitution

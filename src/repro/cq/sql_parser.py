@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Any
 
 from repro.cq.atoms import ComparisonAtom, RelationalAtom
 from repro.cq.query import ConjunctiveQuery

@@ -28,6 +28,14 @@ from repro.relational.types import check_value
 #: rows aligned with it (stable, so equal keys keep insertion order).
 SortedIndex = tuple[list[Any], list[Any]]
 
+#: A composite secondary index: a hash index over the equality-bound
+#: positions whose buckets are kept sorted on one ordered position, so a
+#: single probe is a hash lookup plus a bisect range narrowing.  A
+#: ``None`` bucket records a mixed-type (unsortable) bucket — probes of
+#: that bucket fall back to the plain hash index; other buckets keep
+#: serving composite probes.
+CompositeIndex = dict[tuple[Any, ...], "SortedIndex | None"]
+
 
 def build_sorted_index(
     rows: Iterable[Any], key_of: Callable[[Any], Any]
@@ -51,6 +59,46 @@ def build_sorted_index(
     except TypeError:
         return None
     return [key for key, __ in pairs], [row for __, row in pairs]
+
+
+def build_composite_index(
+    rows: Iterable[Any],
+    hash_key_of: Callable[[Any], tuple[Any, ...]],
+    order_key_of: Callable[[Any], Any],
+) -> CompositeIndex:
+    """Group ``rows`` by ``hash_key_of``, sorting each bucket on ``order_key_of``.
+
+    Buckets degrade *individually*: a bucket mixing incomparable order
+    keys is stored as ``None`` (probes of it fall back to the hash
+    index) while the other buckets keep serving composite probes.
+    NaN-keyed rows are dropped from buckets exactly like in
+    :func:`build_sorted_index` — no range predicate matches NaN, and the
+    residual re-check rejects such rows either way.
+    """
+    groups: dict[tuple[Any, ...], list[Any]] = {}
+    for row in rows:
+        groups.setdefault(hash_key_of(row), []).append(row)
+    return {
+        bucket_key: build_sorted_index(bucket_rows, order_key_of)
+        for bucket_key, bucket_rows in groups.items()
+    }
+
+
+def composite_index_slice(
+    index: CompositeIndex, values: tuple[Any, ...], interval: Interval
+) -> list[Any] | None:
+    """Rows of one composite bucket whose order key lies inside ``interval``.
+
+    An absent bucket means no row matches the hash probe (``[]``);
+    ``None`` means the composite path cannot serve this probe — the
+    bucket is mixed-type, or the interval's bounds are incomparable with
+    the bucket's keys — and the caller should fall back to the plain
+    hash index plus residual re-checks.
+    """
+    bucket = index.get(values)
+    if bucket is None:
+        return [] if values not in index else None
+    return sorted_index_slice(bucket, interval)
 
 
 def sorted_index_slice(index: SortedIndex, interval: Interval) -> list[Any] | None:
@@ -95,6 +143,11 @@ class RelationInstance:
         # position -> (sorted keys, aligned rows).  A cached ``None``
         # records a mixed-type (unsortable) column.
         self._sorted_indexes: dict[int, SortedIndex | None] = {}
+        # Composite secondary indexes for combined equality+range probes,
+        # built lazily: (hash positions, ordered position) -> buckets.
+        self._composite_indexes: dict[
+            tuple[tuple[int, ...], int], CompositeIndex
+        ] = {}
 
     # -- mutation -------------------------------------------------------------
 
@@ -128,6 +181,8 @@ class RelationInstance:
             index.setdefault(row.project(positions), []).append(row)
         for position in list(self._sorted_indexes):
             self._sorted_insert(position, row)
+        for key in self._composite_indexes:
+            self._composite_insert(key, row)
         return row
 
     def _sorted_insert(self, position: int, row: Row) -> None:
@@ -170,6 +225,62 @@ class RelationInstance:
                 return
             at += 1
 
+    def _composite_insert(self, key: tuple[tuple[int, ...], int], row: Row) -> None:
+        """Maintain one composite index across an insert."""
+        positions, order_position = key
+        index = self._composite_indexes[key]
+        order_key = row.values[order_position]
+        if order_key != order_key:  # NaN rows never enter composite buckets
+            return
+        bucket_key = row.project(positions)
+        bucket = index.get(bucket_key)
+        if bucket is None:
+            if bucket_key in index:
+                return  # bucket already degraded to the hash fallback
+            index[bucket_key] = ([order_key], [row])
+            return
+        keys, rows = bucket
+        try:
+            at = bisect_right(keys, order_key)
+        except TypeError:
+            # The new value is incomparable within its bucket: that
+            # bucket can no longer serve composite probes.
+            index[bucket_key] = None
+            return
+        keys.insert(at, order_key)
+        rows.insert(at, row)
+
+    def _composite_remove(self, key: tuple[tuple[int, ...], int], row: Row) -> None:
+        """Maintain one composite index across a delete."""
+        positions, order_position = key
+        index = self._composite_indexes[key]
+        bucket_key = row.project(positions)
+        bucket = index.get(bucket_key)
+        if bucket is None:
+            if bucket_key in index:
+                # A delete can remove the offending mixed-type value;
+                # drop the index and let the next probe retry the build.
+                del self._composite_indexes[key]
+            return
+        order_key = row.values[order_position]
+        if order_key != order_key:
+            return
+        keys, rows = bucket
+        try:
+            at = bisect_left(keys, order_key)
+            stop = bisect_right(keys, order_key)
+        except TypeError:  # defensive: sorted buckets are comparable
+            del self._composite_indexes[key]
+            return
+        while at < stop:
+            if rows[at] == row:
+                del keys[at]
+                del rows[at]
+                break
+            at += 1
+        if not keys:
+            del index[bucket_key]
+
     def insert_many(
         self, rows: Iterable[Sequence[Any]], enforce_key: bool = True
     ) -> list[Row]:
@@ -182,11 +293,12 @@ class RelationInstance:
         instead of one dict update per (row, index) pair.
         """
         batch = [values for values in rows]
-        if (self._indexes or self._sorted_indexes) and len(batch) > max(
-            64, len(self._rows)
-        ):
+        if (
+            self._indexes or self._sorted_indexes or self._composite_indexes
+        ) and len(batch) > max(64, len(self._rows)):
             self._indexes.clear()
             self._sorted_indexes.clear()
+            self._composite_indexes.clear()
         return [self.insert(values, enforce_key=enforce_key) for values in batch]
 
     def delete(self, row: Row) -> bool:
@@ -205,6 +317,8 @@ class RelationInstance:
                     del index[row.project(positions)]
         for position in list(self._sorted_indexes):
             self._sorted_remove(position, row)
+        for key in list(self._composite_indexes):
+            self._composite_remove(key, row)
         return True
 
     # -- access ---------------------------------------------------------------
@@ -276,6 +390,45 @@ class RelationInstance:
         if index is None:
             return None
         return sorted_index_slice(index, interval)
+
+    def ensure_composite_index(
+        self, positions: tuple[int, ...], order_position: int
+    ) -> CompositeIndex:
+        """Build (and cache) the composite index ``positions`` × ``order_position``.
+
+        :meth:`composite_lookup` builds lazily; the parallel executor
+        warms composite indexes up front so shard workers never race to
+        build the same one.
+        """
+        key = (positions, order_position)
+        index = self._composite_indexes.get(key)
+        if index is None:
+            index = build_composite_index(
+                self._rows,
+                lambda row: row.project(positions),
+                lambda row: row.values[order_position],
+            )
+            self._composite_indexes[key] = index
+        return index
+
+    def composite_lookup(
+        self,
+        positions: tuple[int, ...],
+        values: tuple[Any, ...],
+        order_position: int,
+        interval: Interval,
+    ) -> list[Row] | None:
+        """Rows matching ``positions = values`` with ``order_position``
+        inside ``interval`` — one hash probe plus one bisect.
+
+        Served in order-key order (insertion order among equal keys).
+        Returns ``None`` when the composite path cannot serve the probe
+        (mixed-type bucket, or interval bounds incomparable with the
+        bucket's keys) so the caller can fall back to the plain hash
+        index plus residual re-checks.
+        """
+        index = self.ensure_composite_index(positions, order_position)
+        return composite_index_slice(index, values, interval)
 
     def __repr__(self) -> str:
         return f"RelationInstance({self.schema.name!r}, {len(self)} rows)"

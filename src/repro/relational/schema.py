@@ -9,7 +9,7 @@ paper (Example 2.1) is expressed in these terms in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections.abc import Iterable, Iterator, Sequence
 
 from repro.errors import SchemaError, UnknownRelationError

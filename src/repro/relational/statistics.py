@@ -375,14 +375,38 @@ class RelationStatistics:
         pushed range comparisons, priced with the equi-depth histogram.
         Selectivities multiply under the usual independence assumption.
         """
-        estimate = float(self.cardinality)
+        return self.estimate_access_paths(
+            equality_positions, constant_constraints, range_constraints
+        )[0]
+
+    def estimate_access_paths(
+        self,
+        equality_positions: Sequence[int] = (),
+        constant_constraints: Sequence[tuple[int, Any]] = (),
+        range_constraints: Sequence[tuple[int, Interval]] = (),
+    ) -> tuple[float, float]:
+        """``(matched, probed)`` row estimates for one probe.
+
+        ``matched`` applies every constraint — it is what
+        :meth:`estimate_matches` returns and what a *composite* access
+        path (hash probe + in-bucket bisect) touches, since the range
+        narrowing happens inside the probe.  ``probed`` applies only the
+        equality constraints: the rows a single-index hash probe hands
+        to residual filtering.  The ``probed - matched`` gap is exactly
+        the per-probe work a composite index saves, which is how the
+        planner prices a composite probe against single-index probes and
+        scans.  Selectivities multiply under the usual independence
+        assumption.
+        """
+        probed = float(self.cardinality)
         for position in equality_positions:
-            estimate *= self.equality_selectivity(position)
+            probed *= self.equality_selectivity(position)
         for position, value in constant_constraints:
-            estimate *= self.value_selectivity(position, value)
+            probed *= self.value_selectivity(position, value)
+        matched = probed
         for position, interval in range_constraints:
-            estimate *= self.range_selectivity(position, interval)
-        return estimate
+            matched *= self.range_selectivity(position, interval)
+        return matched, probed
 
     def __repr__(self) -> str:
         distinct = ", ".join(

@@ -18,7 +18,6 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from typing import Any
 
-from repro.cq.atoms import RelationalAtom
 from repro.cq.evaluation import enumerate_bindings, head_tuple
 from repro.cq.query import ConjunctiveQuery
 from repro.cq.terms import Constant

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any
 
 from repro.cq.query import ConjunctiveQuery
 from repro.cq.terms import Constant, Variable

@@ -10,7 +10,6 @@ satisfiable).  Everything is deterministic under a seed.
 from __future__ import annotations
 
 import random
-from collections.abc import Sequence
 
 from repro.cq.atoms import ComparisonAtom, RelationalAtom
 from repro.cq.query import ConjunctiveQuery

@@ -54,7 +54,6 @@ def _is_connected(
     if len(indices) == 1:
         return True
     remaining = set(indices[1:])
-    frontier = {indices[0]}
     reached_vars = set(atoms[indices[0]].variables())
     while remaining:
         expanded = {
@@ -66,7 +65,6 @@ def _is_connected(
         for index in expanded:
             reached_vars.update(atoms[index].variables())
         remaining -= expanded
-        frontier = expanded
     return True
 
 

@@ -1,6 +1,5 @@
 """Tests for the rewriting cache (Section 4: caching)."""
 
-import pytest
 
 from repro.citation.cache import (
     CachedRewritingEngine,

@@ -1,6 +1,5 @@
 """Tests for citation explanations."""
 
-import pytest
 
 from repro.citation.explain import explain
 

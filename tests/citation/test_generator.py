@@ -1,6 +1,5 @@
 """Tests for the end-to-end citation engine (Defs 3.1-3.4)."""
 
-import pytest
 
 from repro.citation.generator import CitationEngine
 from repro.citation.policy import CitationPolicy, comprehensive_policy

@@ -160,7 +160,6 @@ class TestPolynomialOrder:
         assert kept == [poly(M2)]
 
     def test_best_polynomials_keeps_incomparable(self):
-        order = ViewInclusionOrder.__new__(ViewInclusionOrder)  # not used
         kept = best_polynomials([poly(M2), poly(M4)], self.order)
         assert len(kept) == 2
 

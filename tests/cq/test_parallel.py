@@ -11,7 +11,6 @@ from repro.cq.executor import execute_plan
 from repro.cq.parallel import execute_plan_parallel, partition_bindings
 from repro.cq.parser import parse_query
 from repro.cq.plan import plan_query
-from repro.cq.terms import Variable
 from repro.errors import MixedTypeComparisonWarning, QueryError
 from repro.gtopdb.sample import paper_database
 from repro.gtopdb.views import paper_views

@@ -184,6 +184,24 @@ class TestComparisonPushdown:
         assert list(enumerate_bindings(q, skewed_db)) == []
         assert list(reference_bindings(q, skewed_db)) == []
 
+    def test_nan_bound_probe_value_matches_nothing(self):
+        """Regression: a duplicated atom re-probes the hash index with an
+        already-bound NaN value, which a dict bucket matches by object
+        identity — and repeats of bound variables carry no residual
+        re-check.  The executor must skip NaN probes entirely, like the
+        reference evaluator's == join."""
+        nan = float("nan")
+        schema = Schema([
+            RelationSchema("R", ["a", "b"]),
+            RelationSchema("S", ["a", "c"]),
+        ])
+        db = Database(schema)
+        db.insert_all("R", [(1, nan)])
+        db.insert_all("S", [(1, "a")])
+        q = parse_query('Q(C) :- R(X, Y), S(X, C), R(X, Y), C < "b"')
+        assert list(reference_bindings(q, db)) == []
+        assert list(enumerate_bindings(q, db)) == []
+
     def test_nan_values_rejected_by_variable_equality(self):
         # The var-var probe may hit the NaN row via object identity; the
         # residual re-check must reject it, matching the reference.
@@ -441,6 +459,196 @@ class TestRangePushdown:
         ) == ["alice", "bob"]
 
 
+class TestCompositePushdown:
+    """Equality + range on one step become a single composite probe."""
+
+    @pytest.fixture
+    def wide_db(self):
+        """Wide(a, ty, k): ty splits rows in half, k is unique."""
+        schema = Schema([RelationSchema("Wide", ["a", "ty", "k"])])
+        db = Database(schema)
+        db.insert_all(
+            "Wide",
+            [(i, "hot" if i % 2 == 0 else "cold", i) for i in range(100)],
+        )
+        return db
+
+    def test_equality_and_range_share_one_probe(self, wide_db):
+        q = parse_query('Q(A) :- Wide(A, Ty, K), Ty = "hot", K < 10')
+        plan = plan_query(q, wide_db)
+        step = plan.steps[0]
+        assert step.lookup_positions == (1,)
+        assert step.lookup_terms == (Constant("hot"),)
+        assert step.range_position == 2
+        assert step.range_interval.hi == 10 and step.range_interval.hi_open
+        assert step.path_kind == "composite"
+        assert 'composite index on [1]="hot" + [2] in' in step.access_path
+
+    def test_composite_results_match_reference(self, wide_db):
+        q = parse_query('Q(A, K) :- Wide(A, Ty, K), Ty = "hot", K < 10')
+        planned = _multiset(enumerate_bindings(q, wide_db))
+        assert planned == _multiset(reference_bindings(q, wide_db))
+        assert sum(planned.values()) == 5  # even i < 10
+
+    def test_path_kind_covers_all_four_shapes(self, wide_db):
+        shapes = {
+            "Q(A) :- Wide(A, Ty, K)": "scan",
+            'Q(A) :- Wide(A, Ty, K), Ty = "hot"': "hash",
+            "Q(A) :- Wide(A, Ty, K), K < 10": "ordered",
+            'Q(A) :- Wide(A, Ty, K), Ty = "hot", K < 10': "composite",
+        }
+        for text, kind in shapes.items():
+            plan = plan_query(parse_query(text), wide_db)
+            assert plan.steps[0].path_kind == kind, text
+
+    def test_bound_join_variable_gets_composite_probe(self, skewed_db):
+        # Small (2 rows) binds B first; Big's step hash-probes [1]=B and
+        # the A < 5 interval upgrades it to a composite probe.
+        q = parse_query("Q(A, C) :- Big(A, B), Small(B, C), A < 5")
+        plan = plan_query(q, skewed_db)
+        big = next(s for s in plan.steps if s.atom.relation == "Big")
+        assert big.lookup_positions == (1,)
+        assert big.range_position == 0
+        assert big.path_kind == "composite"
+        assert _multiset(enumerate_bindings(q, skewed_db)) == _multiset(
+            reference_bindings(q, skewed_db)
+        )
+
+    def test_most_selective_interval_position_chosen(self):
+        schema = Schema([RelationSchema("R", ["ty", "x", "y"])])
+        db = Database(schema)
+        db.insert_all(
+            "R", [("t", i, i % 10) for i in range(100)]
+        )
+        # x < 5 keeps ~5 rows, y < 8 keeps ~80: x wins the bisect slot.
+        q = parse_query('Q(X, Y) :- R(Ty, X, Y), Ty = "t", X < 5, Y < 8')
+        plan = plan_query(q, db)
+        step = plan.steps[0]
+        assert step.range_position == 1
+        assert _multiset(enumerate_bindings(q, db)) == _multiset(
+            reference_bindings(q, db)
+        )
+
+    def test_equality_constant_position_never_hosts_the_bisect(self, wide_db):
+        # K's class carries a constant: the hash probe on K is strictly
+        # stronger than any interval, so no composite path appears.
+        q = parse_query('Q(A) :- Wide(A, Ty, K), K = 4, K < 10')
+        plan = plan_query(q, wide_db)
+        step = plan.steps[0]
+        assert step.lookup_positions == (2,)
+        assert step.range_position is None
+        assert step.path_kind == "hash"
+
+    def test_interval_propagates_through_equality_closure(self):
+        # J = K, K < 10: K's interval tightens the whole {J, K} class,
+        # so Wide's step hosts the bisect on J's position even though
+        # only K is range-constrained by name.
+        schema = Schema([
+            RelationSchema("Wide", ["a", "ty", "j"]),
+            RelationSchema("Keys", ["k"]),
+        ])
+        db = Database(schema)
+        db.insert_all(
+            "Wide",
+            [(i, "hot" if i % 2 == 0 else "cold", i) for i in range(100)],
+        )
+        db.insert_all("Keys", [(i,) for i in range(100)])
+        q = parse_query(
+            'Q(A) :- Wide(A, Ty, J), Keys(K), Ty = "hot", J = K, K < 10'
+        )
+        plan = plan_query(q, db)
+        wide = next(s for s in plan.steps if s.atom.relation == "Wide")
+        assert wide.path_kind == "composite"
+        assert wide.lookup_positions == (1,)
+        assert wide.range_position == 2
+        assert wide.range_interval.hi == 10 and wide.range_interval.hi_open
+        assert _multiset(enumerate_bindings(q, db)) == _multiset(
+            reference_bindings(q, db)
+        )
+
+    def test_mixed_type_bucket_degrades_to_hash_and_recheck(self):
+        schema = Schema([RelationSchema("M", ["ty", "k"])])
+        db = Database(schema)
+        db.insert_all(
+            "M", [("hot", 5), ("hot", "x"), ("hot", 9), ("cold", 1)]
+        )
+        q = parse_query('Q(K) :- M(Ty, K), Ty = "hot", K < 8')
+        plan = plan_query(q, db)
+        assert plan.steps[0].path_kind == "composite"  # planner still pushes
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            planned = _multiset(enumerate_bindings(q, db))
+        assert planned == _multiset(reference_bindings(q, db))
+        assert sum(planned.values()) == 1
+        assert any(
+            issubclass(w.category, MixedTypeComparisonWarning)
+            for w in caught
+        )
+
+    def test_nan_rows_excluded_from_composite_buckets(self):
+        nan = float("nan")
+        schema = Schema([RelationSchema("M", ["ty", "k"])])
+        db = Database(schema)
+        db.insert_all(
+            "M", [("hot", 1.0), ("hot", nan), ("hot", 3.0), ("cold", 2.0)]
+        )
+        q = parse_query('Q(K) :- M(Ty, K), Ty = "hot", K < 5')
+        planned = _multiset(enumerate_bindings(q, db))
+        assert planned == _multiset(reference_bindings(q, db))
+        assert sum(planned.values()) == 2  # NaN row rejected both ways
+
+    def test_incremental_maintenance_across_executions(self, wide_db):
+        q = parse_query('Q(A) :- Wide(A, Ty, K), Ty = "hot", K >= 200')
+        planner = QueryPlanner(wide_db)
+        assert list(enumerate_bindings(q, wide_db, planner=planner)) == []
+        wide_db.insert("Wide", 200, "hot", 200)  # maintained incrementally
+        bindings = list(enumerate_bindings(q, wide_db, planner=planner))
+        assert [b[Variable("A")] for b in bindings] == [200]
+        wide_db.delete("Wide", 200, "hot", 200)
+        assert list(enumerate_bindings(q, wide_db, planner=planner)) == []
+
+    def test_composite_survives_plan_cache_rebinding(self, wide_db):
+        planner = QueryPlanner(wide_db)
+        planner.plan(parse_query('Q(A) :- Wide(A, Ty, K), Ty = "hot", K < 10'))
+        rebound = planner.plan(
+            parse_query('Q(X) :- Wide(X, T, J), T = "hot", J < 10')
+        )
+        assert planner.hits == 1
+        step = rebound.steps[0]
+        assert step.path_kind == "composite"
+        assert step.lookup_terms == (Constant("hot"),)
+        assert set(step.pushed) == {
+            ComparisonAtom(Variable("T"), ComparisonOp.EQ, Constant("hot")),
+            ComparisonAtom(Variable("J"), ComparisonOp.LT, Constant(10)),
+        }
+        bindings = list(execute_plan(rebound, wide_db))
+        assert sorted(b[Variable("X")] for b in bindings) == [0, 2, 4, 6, 8]
+
+    def test_composite_on_virtual_relation(self, skewed_db):
+        rows = [(i, "hot" if i % 2 == 0 else "cold", i) for i in range(50)]
+        virtual = IndexedVirtualRelations({"V": rows})
+        q = parse_query('Q(A) :- V(A, Ty, K), Ty = "hot", K < 10')
+        plan = plan_query(q, skewed_db, virtual)
+        step = plan.steps[0]
+        assert step.virtual and step.path_kind == "composite"
+        bindings = list(execute_plan(plan, skewed_db, virtual))
+        assert sorted(b[Variable("A")] for b in bindings) == [0, 2, 4, 6, 8]
+
+    def test_step_pushed_attribution(self, wide_db):
+        q = parse_query('Q(A) :- Wide(A, Ty, K), Ty = "hot", K < 10, A < K')
+        plan = plan_query(q, wide_db)
+        step = plan.steps[0]
+        # The access path serves the equality and the range; the var-var
+        # comparison stays residual only.
+        assert set(step.pushed) == {
+            ComparisonAtom(Variable("Ty"), ComparisonOp.EQ, Constant("hot")),
+            ComparisonAtom(Variable("K"), ComparisonOp.LT, Constant(10)),
+        }
+        assert ComparisonAtom(
+            Variable("A"), ComparisonOp.LT, Variable("K")
+        ) in step.comparisons
+
+
 class TestExplain:
     def test_explain_mentions_every_atom(self, skewed_db):
         q = parse_query("Q(A, C) :- Big(A, B), Small(B, C)")
@@ -464,7 +672,8 @@ class TestExplain:
     def test_explain_renders_pushed_vs_residual(self, skewed_db):
         q = parse_query("Q(A, C) :- Big(A, B), Small(B, C), B = 1, A < C")
         text = plan_query(q, skewed_db).explain()
-        assert "pushed into access paths: B = 1" in text
+        assert "pushed predicates:" in text
+        assert "]: B = 1" in text
         assert "then check residual A < C" in text
         assert "B = 1" not in text.split("then check residual", 1)[1]
 
@@ -473,21 +682,38 @@ class TestExplain:
     ):
         q = parse_query("Q(A, C) :- Big(A, B), Small(B, C)")
         text = plan_query(q, skewed_db).explain()
-        assert "pushed into access paths" not in text
-        assert "pushed into ordered access paths" not in text
+        assert "pushed predicates" not in text
 
     def test_explain_renders_ordered_access_path(self, skewed_db):
         q = parse_query("Q(A) :- Big(A, B), B >= 10, B < 20, A < B")
         text = plan_query(q, skewed_db).explain()
-        assert "pushed into ordered access paths: B >= 10, B < 20" in text
         assert "ordered index on [1] in [10, 20)" in text
         assert "then check residual" in text
-        # The var-var range is never pushed.
         pushed_line = next(
             line for line in text.splitlines()
-            if "pushed into ordered access paths" in line
+            if line.strip().startswith("step 1")
         )
+        assert "B >= 10, B < 20" in pushed_line
+        # The var-var range is never pushed.
         assert "A < B" not in pushed_line
+
+    def test_explain_lists_one_access_path_per_step(self, skewed_db):
+        """The satellite fix: an equality and a range served by one
+        composite probe render as ONE access path, never as two separate
+        pushed lines implying two probes."""
+        q = parse_query("Q(A) :- Big(A, B), A = 7, B >= 10, B < 20")
+        text = plan_query(q, skewed_db).explain()
+        pushed_lines = [
+            line for line in text.splitlines()
+            if line.strip().startswith("step ")
+        ]
+        assert len(pushed_lines) == 1
+        line = pushed_lines[0]
+        assert "composite index on [0]=7 + [1] in [10, 20)" in line
+        assert "A = 7" in line and "B >= 10" in line and "B < 20" in line
+        # The legacy two-section rendering is gone.
+        assert "pushed into access paths" not in text
+        assert "pushed into ordered access paths" not in text
 
     def test_explain_ground_false_short_circuit_reason(self, skewed_db):
         q = parse_query("Q(A) :- Big(A, B), 1 = 2")

@@ -1,6 +1,5 @@
 """Tests for terms and atoms."""
 
-import pytest
 
 from repro.cq.atoms import ComparisonAtom, RelationalAtom
 from repro.cq.terms import Constant, Variable, as_term

@@ -1,10 +1,7 @@
 """Tests for the GtoPdb substrate: schema, sample, views, generator."""
 
-import pytest
 
-from repro.errors import ForeignKeyViolationError, KeyViolationError
 from repro.gtopdb.generator import GtopdbGenerator, generate_database
-from repro.gtopdb.sample import paper_database
 from repro.gtopdb.schema import gtopdb_schema
 from repro.gtopdb.views import paper_registry, paper_views
 

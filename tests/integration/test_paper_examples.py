@@ -4,7 +4,6 @@ Each test class corresponds to one experiment id in EXPERIMENTS.md
 (E1–E7); assertions encode the paper's claims verbatim.
 """
 
-import pytest
 
 from repro.citation.generator import CitationEngine
 from repro.citation.order import (
@@ -212,7 +211,6 @@ class TestE5_Example34_Idempotence:
 
 class TestE6_Example35_Interpretations:
     def test_dot_union_and_merge(self, db, registry):
-        from repro.citation.policy import CitationPolicy
         fv1 = registry.get("V1").citation_for(db, ("11",))
         fv2 = registry.get("V2").citation_for(db, ("11",))
         from repro.citation.combiners import dot_merge, dot_union

@@ -6,7 +6,6 @@ rendering — the paths exercised when the owner's views do not cover the
 whole schema (the realistic situation).
 """
 
-import pytest
 
 from repro.citation.generator import CitationEngine
 from repro.citation.policy import (

@@ -1,6 +1,5 @@
 """Property-based tests for the end-to-end citation pipeline."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

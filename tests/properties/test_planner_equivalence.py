@@ -329,6 +329,110 @@ def test_range_pushdown_on_nan_and_mixed_type_data(db, query, data):
     assert planned == reference
 
 
+# ---------------------------------------------------------------------------
+# Composite pushdown (hash probe + in-bucket bisect)
+# ---------------------------------------------------------------------------
+
+
+def _with_equality_and_range_chain(query, data, values=VALUES):
+    """Append var=const equalities *and* range comparisons, the mix that
+    drives steps onto composite access paths."""
+    variables = sorted(query.relational_variables())
+    comparisons = list(query.comparisons)
+    if variables:
+        for __ in range(data.draw(st.integers(1, 2))):
+            comparisons.append(
+                ComparisonAtom(
+                    data.draw(st.sampled_from(variables)),
+                    ComparisonOp.EQ,
+                    Constant(data.draw(values)),
+                )
+            )
+        for __ in range(data.draw(st.integers(1, 2))):
+            comparisons.append(
+                ComparisonAtom(
+                    data.draw(st.sampled_from(variables)),
+                    data.draw(st.sampled_from(RANGE_OPS)),
+                    Constant(data.draw(values)),
+                )
+            )
+    return ConjunctiveQuery(query.name, query.head, query.atoms, comparisons)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    db=databases(),
+    query=queries(relations=tuple(sorted(BASE_ARITIES))),
+    data=st.data(),
+)
+def test_pushdown_composite_chains_preserve_multiset(db, query, data):
+    """Random equality + range mixes — the shapes that plan to composite
+    access paths (hash probe + in-bucket bisect), plus every degenerate
+    combination around them — never change the binding multiset vs the
+    reference evaluator."""
+    chained = _with_equality_and_range_chain(query, data)
+    planned = Counter(
+        binding_key(b) for b in enumerate_bindings(chained, db)
+    )
+    reference = Counter(
+        binding_key(b) for b in reference_bindings(chained, db)
+    )
+    assert planned == reference
+
+
+@settings(max_examples=80, deadline=None)
+@given(db=mixed_databases(), query=queries(relations=tuple(sorted(BASE_ARITIES))),
+       data=st.data())
+def test_composite_pushdown_on_nan_and_mixed_type_data(db, query, data):
+    """Mixed-type buckets degrade to hash probe + residual re-check and
+    NaN rows are excluded from composite buckets (the residual filter
+    rejects them either way); the reference multiset is preserved."""
+    chained = _with_equality_and_range_chain(
+        query,
+        data,
+        values=st.one_of(
+            st.integers(min_value=0, max_value=4), st.sampled_from(["a", "b"])
+        ),
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        planned = Counter(
+            binding_key(b) for b in enumerate_bindings(chained, db)
+        )
+        reference = Counter(
+            binding_key(b) for b in reference_bindings(chained, db)
+        )
+    assert planned == reference
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    db=databases(),
+    query=queries(relations=tuple(sorted(BASE_ARITIES))),
+    parallelism=st.integers(2, 4),
+    data=st.data(),
+)
+def test_parallel_equals_serial_order_for_composite_pushed_queries(
+    db, query, parallelism, data
+):
+    """Composite-pushed plans shard and merge like any other: the
+    parallel binding sequence equals the serial one exactly, and matches
+    the reference multiset."""
+    chained = _with_equality_and_range_chain(query, data)
+    plan = plan_query(chained, db)
+    parallel = [
+        binding_key(b)
+        for b in execute_plan_parallel(
+            plan, db, parallelism=parallelism, min_partition=1
+        )
+    ]
+    serial = [binding_key(b) for b in execute_plan(plan, db)]
+    assert parallel == serial
+    assert Counter(parallel) == Counter(
+        binding_key(b) for b in reference_bindings(chained, db)
+    )
+
+
 @settings(max_examples=60, deadline=None)
 @given(db=databases(), query=queries(relations=tuple(sorted(BASE_ARITIES))),
        data=st.data())

@@ -5,7 +5,6 @@ to the input query — checked semantically by evaluating both against
 random databases with the views materialized.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.semiring import BOOLEAN, COUNTING, POLYNOMIAL, TROPICAL, WHY
+from repro.semiring import BOOLEAN, COUNTING, TROPICAL, WHY
 from repro.semiring.polynomial import ProvenanceMonomial, ProvenancePolynomial
 
 tokens = st.sampled_from(["x", "y", "z", "w"])

@@ -17,7 +17,7 @@ from repro.relational.schema import (
     Schema,
 )
 from repro.relational.tuples import Row
-from repro.relational.types import INT, STRING
+from repro.relational.types import STRING
 
 
 @pytest.fixture
@@ -231,6 +231,165 @@ class TestSortedIndexes:
         numbers.insert_many([(i, 0) for i in range(100, 300)])
         rows = numbers.range_lookup(0, Interval(lo=100, hi=102))
         assert [row[0] for row in rows] == [100, 101, 102]
+
+
+class TestCompositeIndexes:
+    """Composite secondary indexes: hash buckets kept sorted for bisect."""
+
+    @pytest.fixture
+    def wide(self):
+        schema = Schema([RelationSchema("W", ["ty", "k"])])
+        db = Database(schema)
+        db.insert_all(
+            "W", [("hot" if i % 2 == 0 else "cold", i) for i in range(20)]
+        )
+        return db.relation("W")
+
+    def test_composite_lookup_bisects_inside_bucket(self, wide):
+        from repro.relational.statistics import Interval
+
+        rows = wide.composite_lookup(
+            (0,), ("hot",), 1, Interval(lo=4, hi=10, hi_open=True)
+        )
+        assert [row[1] for row in rows] == [4, 6, 8]
+
+    def test_missing_bucket_is_empty_not_fallback(self, wide):
+        from repro.relational.statistics import Interval
+
+        assert wide.composite_lookup((0,), ("warm",), 1, Interval(lo=0)) == []
+
+    def test_maintained_across_insert_and_delete(self, wide):
+        from repro.relational.statistics import Interval
+
+        interval = Interval(lo=100, hi=200)
+        assert wide.composite_lookup((0,), ("hot",), 1, interval) == []
+        wide.insert(("hot", 150))
+        assert [
+            row[1]
+            for row in wide.composite_lookup((0,), ("hot",), 1, interval)
+        ] == [150]
+        wide.delete(Row("W", ("hot", 150)))
+        assert wide.composite_lookup((0,), ("hot",), 1, interval) == []
+
+    def test_insert_creates_new_bucket(self, wide):
+        from repro.relational.statistics import Interval
+
+        wide.ensure_composite_index((0,), 1)
+        wide.insert(("warm", 7))
+        rows = wide.composite_lookup((0,), ("warm",), 1, Interval(lo=0))
+        assert [row[1] for row in rows] == [7]
+
+    def test_delete_empties_bucket_to_missing(self, wide):
+        from repro.relational.statistics import Interval
+
+        wide.ensure_composite_index((0,), 1)
+        wide.insert(("warm", 7))
+        wide.delete(Row("W", ("warm", 7)))
+        assert wide.composite_lookup((0,), ("warm",), 1, Interval(lo=0)) == []
+
+    def test_nan_rows_never_enter_buckets(self):
+        from repro.relational.statistics import Interval
+
+        nan = float("nan")
+        schema = Schema([RelationSchema("W", ["ty", "k"])])
+        db = Database(schema)
+        db.insert_all("W", [("hot", 1.0), ("hot", nan), ("hot", 2.0)])
+        instance = db.relation("W")
+        rows = instance.composite_lookup((0,), ("hot",), 1, Interval())
+        assert [row[1] for row in rows] == [1.0, 2.0]
+        # Incremental inserts skip NaN too.
+        instance.insert(("hot", nan))
+        rows = instance.composite_lookup((0,), ("hot",), 1, Interval())
+        assert [row[1] for row in rows] == [1.0, 2.0]
+
+    def test_mixed_type_bucket_degrades_alone(self):
+        from repro.relational.statistics import Interval
+
+        schema = Schema([RelationSchema("W", ["ty", "k"])])
+        db = Database(schema)
+        db.insert_all(
+            "W", [("hot", 1), ("hot", "x"), ("cold", 2), ("cold", 3)]
+        )
+        instance = db.relation("W")
+        # The mixed bucket reports unusable (caller falls back to hash)...
+        assert (
+            instance.composite_lookup((0,), ("hot",), 1, Interval(lo=0))
+            is None
+        )
+        # ...while the clean bucket keeps serving composite probes.
+        rows = instance.composite_lookup((0,), ("cold",), 1, Interval(lo=3))
+        assert [row[1] for row in rows] == [3]
+
+    def test_mixed_type_insert_degrades_bucket(self, wide):
+        from repro.relational.statistics import Interval
+
+        assert (
+            wide.composite_lookup((0,), ("hot",), 1, Interval(lo=0))
+            is not None
+        )
+        wide.insert(("hot", "zzz"))
+        assert wide.composite_lookup((0,), ("hot",), 1, Interval(lo=0)) is None
+        # Other buckets are unaffected.
+        assert (
+            wide.composite_lookup((0,), ("cold",), 1, Interval(lo=0))
+            is not None
+        )
+
+    def test_delete_after_mixed_type_allows_rebuild(self, wide):
+        from repro.relational.statistics import Interval
+
+        wide.insert(("hot", "zzz"))
+        assert wide.composite_lookup((0,), ("hot",), 1, Interval(lo=0)) is None
+        wide.delete(Row("W", ("hot", "zzz")))
+        rows = wide.composite_lookup(
+            (0,), ("hot",), 1, Interval(lo=0, hi=4, hi_open=True)
+        )
+        assert [row[1] for row in rows] == [0, 2]
+
+    def test_incomparable_probe_returns_none(self, wide):
+        from repro.relational.statistics import Interval
+
+        assert (
+            wide.composite_lookup((0,), ("hot",), 1, Interval(lo="x")) is None
+        )
+
+    def test_bulk_load_drops_and_rebuilds_composite_index(self, wide):
+        from repro.relational.statistics import Interval
+
+        assert (
+            wide.composite_lookup((0,), ("hot",), 1, Interval(lo=0))
+            is not None
+        )
+        wide.insert_many([("hot", i) for i in range(100, 300)])
+        rows = wide.composite_lookup((0,), ("hot",), 1, Interval(lo=100, hi=104))
+        assert [row[1] for row in rows] == [100, 101, 102, 103, 104]
+
+    def test_equal_order_keys_keep_insertion_order(self):
+        from repro.relational.statistics import Interval
+
+        schema = Schema([RelationSchema("W", ["ty", "k", "i"])])
+        db = Database(schema)
+        db.insert_all(
+            "W",
+            [("hot", 5, 0), ("hot", 5, 1), ("cold", 5, 2), ("hot", 5, 3)],
+        )
+        rows = db.relation("W").composite_lookup(
+            (0,), ("hot",), 1, Interval(lo=5, hi=5)
+        )
+        assert [row[2] for row in rows] == [0, 1, 3]
+
+    def test_multi_position_hash_component(self):
+        from repro.relational.statistics import Interval
+
+        schema = Schema([RelationSchema("W", ["a", "b", "k"])])
+        db = Database(schema)
+        db.insert_all(
+            "W", [(i % 2, i % 3, i) for i in range(30)]
+        )
+        rows = db.relation("W").composite_lookup(
+            (0, 1), (1, 2), 2, Interval(lo=0, hi=12, hi_open=True)
+        )
+        assert [row[2] for row in rows] == [5, 11]
 
 
 class TestRow:

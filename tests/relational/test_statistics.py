@@ -113,6 +113,34 @@ class TestEstimators:
         assert stats.equality_selectivity(0) == 0.0
         assert stats.estimate_matches([0]) == 0.0
 
+    def test_estimate_access_paths_prices_composite_vs_single_index(self):
+        rows = [(i, "hot" if i % 2 == 0 else "cold", i) for i in range(100)]
+        stats = statistics_of(rows, 3)
+        matched, probed = stats.estimate_access_paths(
+            constant_constraints=[(1, "hot")],
+            range_constraints=[(2, Interval(lo=0, hi=9))],
+        )
+        # The hash probe alone touches the whole "hot" bucket; the
+        # composite probe narrows to the interval inside the bucket.
+        assert probed == pytest.approx(50.0)
+        assert matched == pytest.approx(5.0, rel=0.25)
+        assert matched <= probed
+
+    def test_estimate_access_paths_agrees_with_estimate_matches(self):
+        stats = statistics_of([(i, i % 2) for i in range(100)], 2)
+        constraints = dict(
+            equality_positions=[1],
+            range_constraints=[(0, Interval(lo=0, hi=9))],
+        )
+        matched, probed = stats.estimate_access_paths(**constraints)
+        assert matched == pytest.approx(stats.estimate_matches(**constraints))
+        assert probed == pytest.approx(stats.estimate_matches([1]))
+
+    def test_estimate_access_paths_without_ranges_touches_equal(self):
+        stats = statistics_of([(i, i % 2) for i in range(10)], 2)
+        matched, probed = stats.estimate_access_paths([0])
+        assert matched == probed == pytest.approx(1.0)
+
 
 class TestOrderStatistics:
     def test_min_max(self):

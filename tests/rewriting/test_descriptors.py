@@ -1,6 +1,5 @@
 """Tests for coverage descriptors."""
 
-import pytest
 
 from repro.cq.containment import normalize_query
 from repro.cq.parser import parse_query

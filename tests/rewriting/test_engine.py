@@ -7,7 +7,6 @@ from repro.cq.evaluation import evaluate_query
 from repro.cq.parser import parse_query
 from repro.errors import RewritingError
 from repro.rewriting.engine import RewritingEngine, enumerate_rewritings
-from repro.views.citation_view import CitationView
 from repro.views.registry import ViewRegistry
 
 

@@ -1,6 +1,5 @@
 """Direct tests for the Definition 2.2 validity checks."""
 
-import pytest
 
 from repro.cq.parser import parse_query
 from repro.rewriting.validity import (

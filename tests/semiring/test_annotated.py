@@ -41,7 +41,7 @@ class TestPolynomialEvaluation:
         adb = AnnotatedDatabase(db, POLYNOMIAL)
         adb.annotate_all(lambda r: POLYNOMIAL.token(row_token_factory(r)))
         q = parse_query("Q(C) :- R(A, B), S(B, C)")
-        annotation = result = evaluate_annotated(q, adb)[("x",)]
+        annotation = evaluate_annotated(q, adb)[("x",)]
         # Two derivations: via R(1,10) and R(2,10).
         assert len(annotation.monomials()) == 2
 

@@ -120,7 +120,7 @@ class TestPlan:
             'Q(N) :- Family(F, N, Ty), F < "F0020"',
         ]) == 0
         out = capsys.readouterr().out
-        assert "pushed into ordered access paths" in out
+        assert "pushed predicates" in out
         assert "ordered index on" in out
 
 

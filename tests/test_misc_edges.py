@@ -1,6 +1,5 @@
 """Remaining edge cases across modules."""
 
-import pytest
 
 from repro.citation.generator import CitationEngine
 from repro.gtopdb.sample import paper_database

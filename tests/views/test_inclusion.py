@@ -1,9 +1,7 @@
 """Tests for view inclusion (Example 3.8's 'best fit' order)."""
 
-from repro.gtopdb.schema import gtopdb_schema
 from repro.views.citation_view import CitationView
 from repro.views.inclusion import view_included_in, view_strictly_finer
-from repro.views.registry import ViewRegistry
 
 
 def make(view, cq=None, name=None):
