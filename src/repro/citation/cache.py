@@ -17,8 +17,11 @@ we keep the sound per-structure cache.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.cq.canonical import canonical_key
 from repro.cq.query import ConjunctiveQuery
+from repro.util.lru import check_max_entries, evict_lru
 from repro.rewriting.engine import RewritingEngine
 from repro.rewriting.rewriting import Rewriting
 from repro.views.registry import ViewRegistry
@@ -30,6 +33,10 @@ __all__ = ["CachedRewritingEngine", "cached_engine", "canonical_key"]
 # importing upward into the citation layer; it is re-exported here for
 # backward compatibility.
 
+#: Default rewriting-cache bound: generous for template-shaped traffic,
+#: finite under millions-of-distinct-queries traffic.
+DEFAULT_MAX_ENTRIES = 4096
+
 
 class CachedRewritingEngine:
     """A memoizing wrapper around :class:`RewritingEngine`.
@@ -40,29 +47,41 @@ class CachedRewritingEngine:
     variables), so α-equivalent reuse is sound as long as callers use
     the rewriting's query rather than the original's variable names,
     which :class:`~repro.citation.generator.CitationEngine` does.
+
+    The cache is LRU-bounded by ``max_entries``: under traffic with
+    millions of distinct query structures the least recently used
+    entries are evicted (counted in :attr:`evictions`) instead of the
+    cache growing without bound.
     """
 
-    def __init__(self, engine: RewritingEngine) -> None:
+    def __init__(
+        self, engine: RewritingEngine, max_entries: int = DEFAULT_MAX_ENTRIES
+    ) -> None:
         self.engine = engine
-        self._cache: dict[str, list[Rewriting]] = {}
+        self.max_entries = check_max_entries(max_entries)
+        self._cache: OrderedDict[str, list[Rewriting]] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def rewrite(self, query: ConjunctiveQuery) -> list[Rewriting]:
         key = canonical_key(query)
         cached = self._cache.get(key)
         if cached is not None:
             self.hits += 1
+            self._cache.move_to_end(key)
             return cached
         self.misses += 1
         rewritings = self.engine.rewrite(query)
         self._cache[key] = rewritings
+        self.evictions += evict_lru(self._cache, self.max_entries)
         return rewritings
 
     def clear(self) -> None:
         self._cache.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @property
     def size(self) -> int:

@@ -38,8 +38,9 @@ from repro.citation.tokens import (
 from repro.cq.evaluation import evaluate_with_bindings
 from repro.cq.executor import IndexedVirtualRelations
 from repro.cq.parser import parse_query
-from repro.cq.plan import QueryPlanner
+from repro.cq.plan import PrefixKey, QueryPlan, QueryPlanner, prefix_keys
 from repro.cq.query import ConjunctiveQuery
+from repro.cq.subplan import SubplanMemo
 from repro.cq.sql_parser import parse_sql
 from repro.cq.terms import Constant, Variable
 from repro.relational.database import Database
@@ -144,6 +145,13 @@ class CitationEngine:
         executor (:mod:`repro.cq.parallel`) used by every rewriting
         evaluation; 1 runs serially.  Results are identical at any
         setting.  :meth:`cite_batch` can override both per batch.
+    share_subplans:
+        When True (the default), :meth:`cite_batch` groups each batch by
+        shared plan prefixes and evaluates every shared join prefix
+        *once* through the :attr:`subplan_memo`
+        (:mod:`repro.cq.subplan`); False keeps per-query evaluation (the
+        unshared baseline the batch-overlap benchmark compares against).
+        Results are identical either way.
 
     Plans for queries with range comparisons run unchanged through this
     engine: the shared :class:`~repro.cq.plan.QueryPlanner` pushes them
@@ -165,6 +173,7 @@ class CitationEngine:
         cache_rewritings: bool = False,
         parallelism: int = 1,
         use_processes: bool = False,
+        share_subplans: bool = True,
     ) -> None:
         self.db = db
         self.registry = registry
@@ -186,6 +195,10 @@ class CitationEngine:
         #: Shared plan cache: every rewriting of every query evaluated by
         #: this engine reuses plans across α-equivalent structures.
         self.planner = QueryPlanner(db)
+        #: Cross-query sub-plan memo: batches evaluate each shared join
+        #: prefix once (:mod:`repro.cq.subplan`).
+        self.subplan_memo = SubplanMemo()
+        self.share_subplans = share_subplans
         self.parallelism = parallelism
         self.use_processes = use_processes
         self._virtual: IndexedVirtualRelations | None = None
@@ -198,6 +211,25 @@ class CitationEngine:
         self._virtual = None
         self._record_cache.clear()
         self.planner.clear()
+        self.subplan_memo.clear()
+
+    def ensure_rewriting_cache(self) -> Any:
+        """Upgrade to a memoizing rewriting engine (idempotent).
+
+        :meth:`cite_batch` performs this upgrade transparently; callers
+        that account for cache effectiveness
+        (:func:`repro.workload.runner.run_workload`) invoke it *before*
+        snapshotting counters, so before/after always read from the
+        engine actually used.  Returns the (possibly pre-existing)
+        :class:`~repro.citation.cache.CachedRewritingEngine`.
+        """
+        from repro.citation.cache import CachedRewritingEngine
+
+        if not isinstance(self.rewriting_engine, CachedRewritingEngine):
+            self.rewriting_engine = CachedRewritingEngine(
+                self.rewriting_engine
+            )
+        return self.rewriting_engine
 
     def _materialized(self) -> IndexedVirtualRelations:
         if self._virtual is None:
@@ -231,8 +263,19 @@ class CitationEngine:
             tokens.append(BaseRelationToken(atom.relation))
         return ProvenanceMonomial(tokens)
 
+    def _active_memo(self) -> SubplanMemo | None:
+        """The sub-plan memo, when consulting it can pay off.
+
+        ``None`` while sharing is disabled or the memo neither holds nor
+        wants anything — the executor then skips prefix-key computation
+        entirely, so engines that never batch pay zero overhead.
+        """
+        if self.share_subplans and self.subplan_memo.worth_checking:
+            return self.subplan_memo
+        return None
+
     def _rewriting_polynomials(
-        self, rewriting: Rewriting
+        self, rewriting: Rewriting, plan: QueryPlan | None = None
     ) -> dict[tuple[Any, ...], CitationPolynomial]:
         """Def 3.2: per-tuple polynomials for one rewriting."""
         grouped = evaluate_with_bindings(
@@ -242,6 +285,8 @@ class CitationEngine:
             planner=self.planner,
             parallelism=self.parallelism,
             use_processes=self.use_processes,
+            plan=plan,
+            memo=self._active_memo(),
         )
         result: dict[tuple[Any, ...], CitationPolynomial] = {}
         for output, bindings in grouped.items():
@@ -338,9 +383,25 @@ class CitationEngine:
         if isinstance(query, str):
             query = parse_query(query)
         rewritings = tuple(self.rewriting_engine.rewrite(query))
+        return self._cite_with_rewritings(query, rewritings)
 
+    def _cite_with_rewritings(
+        self,
+        query: ConjunctiveQuery,
+        rewritings: tuple[Rewriting, ...],
+        plans: Sequence[QueryPlan] | None = None,
+    ) -> CitationResult:
+        """The Def 3.1–3.4 pipeline over pre-enumerated rewritings.
+
+        ``plans``, when given, is aligned with ``rewritings`` — the
+        batch path plans while grouping shared prefixes and passes the
+        plans through so nothing is planned (or counted) twice.
+        """
         per_rewriting = [
-            self._rewriting_polynomials(rewriting) for rewriting in rewritings
+            self._rewriting_polynomials(
+                rewriting, plans[index] if plans is not None else None
+            )
+            for index, rewriting in enumerate(rewritings)
         ]
         outputs: dict[tuple[Any, ...], None] = {}
         for polynomials in per_rewriting:
@@ -421,20 +482,74 @@ class CitationEngine:
         Returns
         -------
         One :class:`CitationResult` per query, in order.  Results are
-        identical at any parallelism (bindings merge in serial order).
+        identical at any parallelism (bindings merge in serial order),
+        and identical with sub-plan sharing on or off.
         """
-        from repro.citation.cache import CachedRewritingEngine
-
         if parallelism is not None:
             self.parallelism = parallelism
         if use_processes is not None:
             self.use_processes = use_processes
-        if not isinstance(self.rewriting_engine, CachedRewritingEngine):
-            self.rewriting_engine = CachedRewritingEngine(
-                self.rewriting_engine
-            )
+        self.ensure_rewriting_cache()
         self._materialized()
-        return [self.cite(query) for query in queries]
+        batch = self._group_batch(queries)
+        return [
+            self._cite_with_rewritings(query, rewritings, plans)
+            for query, rewritings, plans in batch
+        ]
+
+    def _group_batch(
+        self, queries: "Sequence[ConjunctiveQuery | str]"
+    ) -> list[
+        tuple[ConjunctiveQuery, tuple[Rewriting, ...], tuple[QueryPlan, ...]]
+    ]:
+        """Rewrite and plan the batch, reserving shared plan prefixes.
+
+        Every rewriting of every query is enumerated (through the
+        rewriting cache) and planned (through the plan cache) exactly
+        once here; the prefix keys of all the plans are counted, and
+        each plan's *longest* prefix key carried by two or more plans is
+        reserved in the :attr:`subplan_memo` — the first execution of a
+        reserved prefix materializes its bindings, every later plan in
+        the batch (and in follow-up traffic) seeds from them.  Prefixes
+        unique to one plan are never reserved, so unshared queries skip
+        materialization entirely; and reserving only maximal shared
+        prefixes keeps intermediate levels nobody would seed from out of
+        the memo (a plan that shares a *shorter* prefix with the group
+        reserves that shorter key itself).
+        """
+        virtual = self._materialized()
+        batch: list[
+            tuple[
+                ConjunctiveQuery,
+                tuple[Rewriting, ...],
+                tuple[QueryPlan, ...],
+            ]
+        ] = []
+        batch_keys: list[list[PrefixKey]] = []
+        counts: dict[PrefixKey, int] = {}
+        for query in queries:
+            if isinstance(query, str):
+                query = parse_query(query)
+            rewritings = tuple(self.rewriting_engine.rewrite(query))
+            plans = tuple(
+                self.planner.plan(rewriting.query, virtual)
+                for rewriting in rewritings
+            )
+            if self.share_subplans:
+                for plan in plans:
+                    if plan.empty:
+                        continue
+                    keys, __ = prefix_keys(plan)
+                    batch_keys.append(keys)
+                    for key in keys:
+                        counts[key] = counts.get(key, 0) + 1
+            batch.append((query, rewritings, plans))
+        for keys in batch_keys:
+            for key in reversed(keys):
+                if counts[key] >= 2:
+                    self.subplan_memo.reserve(key)
+                    break
+        return batch
 
     def cite_sql(self, sql: str) -> CitationResult:
         """Compute the citation for a SQL SELECT statement."""

@@ -23,8 +23,19 @@ from repro.cq.query import ConjunctiveQuery
 from repro.cq.parser import parse_query, parse_atom
 from repro.cq.sql_parser import parse_sql
 from repro.cq.canonical import canonical_key, canonicalize
-from repro.cq.plan import JoinStep, QueryPlan, QueryPlanner, plan_query
+from repro.cq.plan import (
+    JoinStep,
+    QueryPlan,
+    QueryPlanner,
+    plan_query,
+    prefix_keys,
+)
 from repro.cq.executor import IndexedVirtualRelations, execute_plan
+from repro.cq.subplan import (
+    SubplanMemo,
+    execute_plan_shared,
+    explain_with_memo,
+)
 from repro.cq.evaluation import (
     evaluate_query,
     enumerate_bindings,
@@ -60,6 +71,10 @@ __all__ = [
     "QueryPlan",
     "QueryPlanner",
     "plan_query",
+    "prefix_keys",
+    "SubplanMemo",
+    "execute_plan_shared",
+    "explain_with_memo",
     "IndexedVirtualRelations",
     "execute_plan",
     "evaluate_query",

@@ -34,7 +34,8 @@ from typing import Any
 from repro.cq.atoms import ComparisonAtom, RelationalAtom
 from repro.cq.executor import Binding, IndexedVirtualRelations, execute_plan
 from repro.cq.parallel import execute_plan_parallel
-from repro.cq.plan import QueryPlanner, plan_query
+from repro.cq.plan import QueryPlan, QueryPlanner, plan_query
+from repro.cq.subplan import SubplanMemo, execute_plan_shared
 from repro.cq.query import ConjunctiveQuery
 from repro.cq.terms import Constant, Variable
 from repro.errors import QueryError
@@ -52,6 +53,9 @@ def enumerate_bindings(
     planner: QueryPlanner | None = None,
     parallelism: int = 1,
     use_processes: bool = False,
+    *,
+    plan: QueryPlan | None = None,
+    memo: "SubplanMemo | None" = None,
 ) -> Iterator[Binding]:
     """Yield every satisfying binding of the query's body variables.
 
@@ -86,17 +90,34 @@ def enumerate_bindings(
         same order (shards are contiguous and merged in shard order).
     use_processes:
         With ``parallelism > 1``, use a process pool instead of threads.
+    plan:
+        A plan already built for exactly this ``query`` / ``virtual``
+        pair (the batch layer pre-plans while grouping shared prefixes);
+        skips the planner call — and its hit/miss accounting — entirely.
+    memo:
+        A :class:`~repro.cq.subplan.SubplanMemo` for cross-query shared
+        sub-plan execution; ``None`` runs the plan standalone.
 
     Yields
     ------
     dict mapping every body :class:`~repro.cq.terms.Variable` to a value.
     """
     indexed = IndexedVirtualRelations.wrap(virtual)
-    if planner is not None:
-        plan = planner.plan(query, indexed)
-    else:
-        plan = plan_query(query, db, indexed)
-    if parallelism > 1:
+    if plan is None:
+        if planner is not None:
+            plan = planner.plan(query, indexed)
+        else:
+            plan = plan_query(query, db, indexed)
+    if memo is not None:
+        yield from execute_plan_shared(
+            plan,
+            db,
+            indexed,
+            memo,
+            parallelism=parallelism,
+            use_processes=use_processes,
+        )
+    elif parallelism > 1:
         yield from execute_plan_parallel(
             plan,
             db,
@@ -175,6 +196,9 @@ def evaluate_with_bindings(
     planner: QueryPlanner | None = None,
     parallelism: int = 1,
     use_processes: bool = False,
+    *,
+    plan: QueryPlan | None = None,
+    memo: SubplanMemo | None = None,
 ) -> dict[tuple[Any, ...], list[Binding]]:
     """Evaluate and group all satisfying bindings by output tuple.
 
@@ -184,7 +208,9 @@ def evaluate_with_bindings(
     first derivation of each tuple, which is deterministic and identical
     at any ``parallelism`` (the parallel merge preserves serial order).
 
-    Parameters are exactly those of :func:`evaluate_query`.
+    Parameters are exactly those of :func:`evaluate_query`, plus the
+    ``plan``/``memo`` pass-throughs of :func:`enumerate_bindings` (the
+    citation batch layer pre-plans and shares sub-plans).
 
     Returns
     -------
@@ -192,9 +218,11 @@ def evaluate_with_bindings(
     """
     if params is not None:
         query = query.instantiate(params)
+        plan = None  # a caller-supplied plan cannot cover the instantiation
     grouped: dict[tuple[Any, ...], list[Binding]] = {}
     for binding in enumerate_bindings(
-        query, db, virtual, planner, parallelism, use_processes
+        query, db, virtual, planner, parallelism, use_processes,
+        plan=plan, memo=memo,
     ):
         grouped.setdefault(head_tuple(query, binding), []).append(binding)
     return grouped

@@ -451,3 +451,29 @@ def execute_plan(
     yield from build_operator_chain(
         SingletonBindingOperator(), plan.steps, db, indexed, check
     )
+
+
+def execute_plan_seeded(
+    plan: QueryPlan,
+    db: Database,
+    virtual: VirtualRelations | None,
+    seeds: Sequence[Binding],
+    from_step: int,
+) -> Iterator[Binding]:
+    """Prefix-seeded execution: run only ``plan.steps[from_step:]``.
+
+    ``seeds`` must be the binding sequence the first ``from_step`` steps
+    would produce — the cross-query sub-plan memo
+    (:mod:`repro.cq.subplan`) supplies memoized prefix bindings here, so
+    only the suffix steps (with their residual checks) run.  Because the
+    seeds are exact materializations, the output is the plain
+    :func:`execute_plan` sequence — same multiset, same order.
+    """
+    if plan.empty:
+        return
+    indexed = IndexedVirtualRelations.wrap(virtual)
+    check = _comparison_checker(plan.query.name, set())
+    yield from build_operator_chain(
+        SequenceSourceOperator(seeds), plan.steps[from_step:], db, indexed,
+        check
+    )

@@ -51,6 +51,7 @@ from repro.cq.executor import (
     _comparison_checker,
     build_operator_chain,
     execute_plan,
+    execute_plan_seeded,
 )
 from repro.cq.plan import JoinStep, QueryPlan
 from repro.relational.database import Database
@@ -212,13 +213,14 @@ def _run_thread_shards(
 def _execute_shard(
     payload: tuple[
         QueryPlan,
+        int,
         Database,
         dict[str, list[tuple[Any, ...]]] | None,
         Sequence[Binding],
     ],
 ) -> list[Binding]:
     """Process-pool worker: run the plan suffix over one pickled shard."""
-    plan, db, virtual_rows, shard = payload
+    plan, from_step, db, virtual_rows, shard = payload
     virtual = (
         IndexedVirtualRelations(virtual_rows)
         if virtual_rows is not None
@@ -226,13 +228,15 @@ def _execute_shard(
     )
     check = _comparison_checker(plan.query.name, set())
     operator = build_operator_chain(
-        SequenceSourceOperator(shard), plan.steps[1:], db, virtual, check
+        SequenceSourceOperator(shard), plan.steps[from_step:], db, virtual,
+        check
     )
     return list(operator)
 
 
 def _run_process_shards(
     plan: QueryPlan,
+    from_step: int,
     db: Database,
     virtual: IndexedVirtualRelations | None,
     shards: list[Sequence[Binding]],
@@ -247,7 +251,9 @@ def _run_process_shards(
     )
     with ProcessPoolExecutor(max_workers=len(shards)) as pool:
         futures = [
-            pool.submit(_execute_shard, (plan, db, virtual_rows, shard))
+            pool.submit(
+                _execute_shard, (plan, from_step, db, virtual_rows, shard)
+            )
             for shard in shards
         ]
         try:
@@ -291,15 +297,49 @@ def execute_plan_parallel(
         SingletonBindingOperator(), plan.steps[:1], db, indexed, check
     )
     seeds = list(first)
-    rest = plan.steps[1:]
-    if len(seeds) < max(2, min_partition):
-        yield from build_operator_chain(
-            SequenceSourceOperator(seeds), rest, db, indexed, check
-        )
+    yield from execute_seeded_parallel(
+        plan,
+        1,
+        seeds,
+        db,
+        indexed,
+        parallelism=parallelism,
+        use_processes=use_processes,
+        min_partition=min_partition,
+    )
+
+
+def execute_seeded_parallel(
+    plan: QueryPlan,
+    from_step: int,
+    seeds: Sequence[Binding],
+    db: Database,
+    virtual: VirtualRelations | None = None,
+    parallelism: int = 1,
+    use_processes: bool = False,
+    min_partition: int = DEFAULT_MIN_PARTITION,
+) -> Iterator[Binding]:
+    """Stream ``plan.steps[from_step:]`` over the given seed bindings.
+
+    This is the shard-and-merge driver with the seed materialization
+    factored out: :func:`execute_plan_parallel` materializes the first
+    step itself, while the sub-plan memo (:mod:`repro.cq.subplan`)
+    materializes a shared prefix *once* and fans the suffix of each
+    consumer out from here.  Output order is the serial executor's
+    exactly — seeds are taken in order, shards are contiguous runs, and
+    the merge releases them in shard order — and the serial fallback
+    (``parallelism <= 1``, no suffix steps, or fewer seeds than
+    ``min_partition``) iterates the same chain inline.
+    """
+    indexed = IndexedVirtualRelations.wrap(virtual)
+    rest = plan.steps[from_step:]
+    if parallelism <= 1 or not rest or len(seeds) < max(2, min_partition):
+        yield from execute_plan_seeded(plan, db, indexed, seeds, from_step)
         return
+    check = _comparison_checker(plan.query.name, set())
     shards = partition_bindings(seeds, parallelism)
     if use_processes:
-        yield from _run_process_shards(plan, db, indexed, shards)
+        yield from _run_process_shards(plan, from_step, db, indexed, shards)
         return
     _warm_access_paths(rest, db, indexed)
     yield from _run_thread_shards(shards, rest, db, indexed, check)

@@ -41,6 +41,7 @@ the rewriting cache uses.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
 from typing import Any
@@ -57,6 +58,7 @@ from repro.relational.statistics import (
     RelationStatistics,
     statistics_of,
 )
+from repro.util.lru import check_max_entries, evict_lru
 
 #: Virtual relations: name -> rows.  Anything with a ``statistics_for``
 #: method (e.g. :class:`repro.cq.executor.IndexedVirtualRelations`) serves
@@ -526,6 +528,101 @@ class QueryPlan:
         )
 
 
+#: A prefix key: one structured, hashable tuple per step prefix (see
+#: :func:`prefix_keys`).
+PrefixKey = tuple
+
+
+def prefix_keys(
+    plan: QueryPlan,
+) -> tuple[list[PrefixKey], dict[Variable, Variable]]:
+    """Canonical keys for every step *prefix* of ``plan``.
+
+    ``keys[k - 1]`` identifies the computation of ``plan.steps[:k]`` up
+    to variable renaming: two plans with equal keys bind, probe, and
+    filter identically over the same relations, so the binding sequence
+    of one prefix can seed the other (the cross-query sub-plan memo,
+    :mod:`repro.cq.subplan`).  The key covers everything the executor
+    reads from a step — relation (and whether it is virtual), access
+    path (lookup positions and terms, with constants by value), the
+    introduced variables, same-row equality checks, residual comparisons
+    (normalized and order-insensitive: filters commute), and the ordered
+    narrowing — and deliberately omits the cost estimates, which are
+    derived from the same statistics the memo versions against anyway.
+
+    Keys are nested tuples, not strings: constants carry their *values*
+    (tagged apart from variables), so no string constant — however full
+    of delimiters or quotes — can forge a collision between different
+    structures, and two keys are equal exactly when their computations
+    are.  (Values that compare equal across types, ``1``/``1.0``, do
+    share a key; probes and comparisons cannot distinguish them either.)
+
+    Variables are renamed ``p0, p1, ...`` in order of first occurrence
+    across the steps, so the numbering of a prefix never depends on the
+    suffix; the returned renaming (``original -> canonical``, covering
+    the whole plan) remaps materialized bindings into canonical space
+    and back.  Unlike :func:`~repro.cq.canonical.canonical_key` this is
+    keyed on the *plan*, after join ordering and pushdown: queries that
+    are not α-equivalent as a whole still share every prefix their plans
+    have in common.
+    """
+    renaming: dict[Variable, Variable] = {}
+
+    def canon(term: Term) -> tuple:
+        if isinstance(term, Variable):
+            if term not in renaming:
+                renaming[term] = Variable(f"p{len(renaming)}")
+            return ("v", int(renaming[term].name[1:]))
+        assert isinstance(term, Constant)
+        return ("c", term.value)
+
+    keys: list[PrefixKey] = []
+    parts: list[tuple] = []
+    for step in plan.steps:
+        # Residual filters commute (every one must pass, and filtering
+        # never reorders bindings), so comparisons are keyed as a sorted
+        # multiset — sorted by repr, which is only an ordering device
+        # (key *equality* compares the tuples themselves); their
+        # variables are always named by this point, each introduced by
+        # this or an earlier step.
+        lookup = tuple(
+            (position, canon(term))
+            for position, term in zip(step.lookup_positions, step.lookup_terms)
+        )
+        introduces = tuple(
+            (canon(var), position) for var, position in step.introduces
+        )
+        comparisons = tuple(sorted(
+            (
+                (c.op.value, canon(c.left), canon(c.right))
+                for c in (c.normalized() for c in step.comparisons)
+            ),
+            key=repr,
+        ))
+        interval = step.range_interval
+        narrowing = (
+            None
+            if step.range_position is None
+            else (
+                step.range_position,
+                interval.lo, interval.lo_open,
+                interval.hi, interval.hi_open,
+            )
+        )
+        parts.append((
+            step.atom.relation,
+            step.virtual,
+            step.atom.arity,
+            lookup,
+            introduces,
+            step.equal_positions,
+            comparisons,
+            narrowing,
+        ))
+        keys.append(tuple(parts))
+    return keys, renaming
+
+
 def _statistics_for_atom(
     atom: RelationalAtom,
     db: Database,
@@ -934,6 +1031,12 @@ def _content_token(rows: Sequence[tuple[Any, ...]]) -> tuple:
         return (len(rows),)
 
 
+#: Default plan-cache bound: generous for template-shaped traffic (a few
+#: thousand distinct structures), finite under millions-of-distinct-query
+#: traffic where an unbounded cache would grow without limit.
+DEFAULT_PLAN_CACHE_ENTRIES = 4096
+
+
 class QueryPlanner:
     """A plan cache keyed by the α-equivalence canonical key.
 
@@ -948,18 +1051,35 @@ class QueryPlanner:
     join order.  :class:`~repro.cq.executor.IndexedVirtualRelations`
     caches the content hash per relation, so engines holding one
     materialization pay it once.
+
+    Both stores (the canonical cache and the exact-match fast path) are
+    LRU-bounded by ``max_entries``: under millions-of-distinct-queries
+    traffic the least recently used structures are evicted (counted in
+    :attr:`evictions`) instead of growing without bound.
     """
 
-    def __init__(self, db: Database) -> None:
+    def __init__(
+        self, db: Database, max_entries: int = DEFAULT_PLAN_CACHE_ENTRIES
+    ) -> None:
         self.db = db
-        self._cache: dict[str, tuple[QueryPlan, int, tuple]] = {}
+        self.max_entries = check_max_entries(max_entries)
+        self._cache: OrderedDict[str, tuple[QueryPlan, int, tuple]] = (
+            OrderedDict()
+        )
         # Exact-match fast path: repeated evaluation of the *same* query
         # (the common front-end case) skips canonicalization and rebinding
         # entirely.  Queries hash by structure, so equal query objects
         # share the entry.
-        self._exact: dict[ConjunctiveQuery, tuple[QueryPlan, int, tuple]] = {}
+        self._exact: OrderedDict[
+            ConjunctiveQuery, tuple[QueryPlan, int, tuple]
+        ] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    def _bound(self, store: OrderedDict) -> None:
+        """Evict least-recently-used entries beyond ``max_entries``."""
+        self.evictions += evict_lru(store, self.max_entries)
 
     def _virtual_fingerprint(
         self, query: ConjunctiveQuery, virtual: VirtualRelations | None
@@ -1004,6 +1124,7 @@ class QueryPlanner:
             plan, cached_version, cached_fingerprint = exact
             if cached_version == version and cached_fingerprint == fingerprint:
                 self.hits += 1
+                self._exact.move_to_end(query)
                 return plan
         key, renaming = canonical_key_and_renaming(query)
         entry = self._cache.get(key)
@@ -1011,15 +1132,22 @@ class QueryPlanner:
             plan, cached_version, cached_fingerprint = entry
             if cached_version == version and cached_fingerprint == fingerprint:
                 self.hits += 1
+                self._cache.move_to_end(key)
                 rebound = plan.rebind(query, renaming)
                 self._exact[query] = (rebound, cached_version,
                                       cached_fingerprint)
+                self._exact.move_to_end(query)
+                self._bound(self._exact)
                 return rebound
         self.misses += 1
         plan = plan_query(canonical_query(query, renaming), self.db, virtual)
         self._cache[key] = (plan, version, fingerprint)
+        self._cache.move_to_end(key)
+        self._bound(self._cache)
         rebound = plan.rebind(query, renaming)
         self._exact[query] = (rebound, version, fingerprint)
+        self._exact.move_to_end(query)
+        self._bound(self._exact)
         return rebound
 
     def clear(self) -> None:
@@ -1027,6 +1155,7 @@ class QueryPlanner:
         self._exact.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @property
     def size(self) -> int:

@@ -1,0 +1,31 @@
+"""Shared LRU-bounding arithmetic for the caches.
+
+The rewriting cache, the plan cache, and the sub-plan memo all bound
+their ``OrderedDict`` stores the same way: newest at the end, evict from
+the front beyond ``max_entries``, count evictions.  These helpers keep
+that policy in one place.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+def check_max_entries(max_entries: int) -> int:
+    """Validate a cache bound (every bounded store requires >= 1)."""
+    if max_entries < 1:
+        raise ValueError("max_entries must be at least 1")
+    return max_entries
+
+
+def evict_lru(store: OrderedDict, max_entries: int) -> int:
+    """Pop least-recently-used entries beyond ``max_entries``.
+
+    Returns the number of evictions so callers can maintain their
+    ``evictions`` counters (or ignore it, as the reservation set does).
+    """
+    evicted = 0
+    while len(store) > max_entries:
+        store.popitem(last=False)
+        evicted += 1
+    return evicted

@@ -31,6 +31,8 @@ class WorkloadReport:
     rewriting_misses: int = 0
     plan_hits: int = 0
     plan_misses: int = 0
+    subplan_hits: int = 0
+    subplan_misses: int = 0
     parallelism: int = 1
 
     @property
@@ -43,20 +45,35 @@ class WorkloadReport:
         total = self.plan_hits + self.plan_misses
         return self.plan_hits / total if total else 0.0
 
+    @property
+    def subplan_hit_rate(self) -> float:
+        total = self.subplan_hits + self.subplan_misses
+        return self.subplan_hits / total if total else 0.0
+
     def describe(self) -> str:
-        if self.elapsed_seconds <= 0:
-            return f"{self.queries_run} queries"
         suffix = ""
         if self.parallelism > 1:
             suffix = f", parallelism={self.parallelism}"
-        return (
-            f"{self.queries_run} queries in {self.elapsed_seconds:.3f}s "
-            f"({self.queries_run / self.elapsed_seconds:.1f} q/s); "
+        caches = (
             f"rewriting cache {self.rewriting_hits}/"
             f"{self.rewriting_hits + self.rewriting_misses} hits, "
             f"plan cache {self.plan_hits}/"
             f"{self.plan_hits + self.plan_misses} hits"
-            f"{suffix}"
+        )
+        if self.subplan_hits or self.subplan_misses:
+            caches += (
+                f", subplan memo {self.subplan_hits}/"
+                f"{self.subplan_hits + self.subplan_misses} hits"
+            )
+        if self.elapsed_seconds <= 0:
+            # Coarse clocks can measure a successful run as zero elapsed
+            # time; keep the counts and cache effectiveness, drop only
+            # the unreportable q/s figure.
+            return f"{self.queries_run} queries; {caches}{suffix}"
+        return (
+            f"{self.queries_run} queries in {self.elapsed_seconds:.3f}s "
+            f"({self.queries_run / self.elapsed_seconds:.1f} q/s); "
+            f"{caches}{suffix}"
         )
 
 
@@ -107,11 +124,19 @@ def run_workload(
         queries = list(workload)
 
     planner = engine.planner
-    rewriter = engine.rewriting_engine
-    hits_before = getattr(rewriter, "hits", 0)
-    misses_before = getattr(rewriter, "misses", 0)
+    # Force the cite_batch rewriting-cache upgrade *before* snapshotting,
+    # so the before/after counters always come from the engine object the
+    # batch actually uses.  (Snapshotting first and re-reading after the
+    # run compares counters across two different objects whenever the
+    # upgrade swaps the engine mid-run, skewing hits/misses.)
+    rewriter = engine.ensure_rewriting_cache()
+    memo = engine.subplan_memo
+    hits_before = rewriter.hits
+    misses_before = rewriter.misses
     plan_hits_before = planner.hits
     plan_misses_before = planner.misses
+    subplan_hits_before = memo.hits
+    subplan_misses_before = memo.misses
 
     started = time.perf_counter()
     results = engine.cite_batch(
@@ -119,15 +144,15 @@ def run_workload(
     )
     elapsed = time.perf_counter() - started
 
-    # cite_batch may have upgraded the engine to a caching one mid-run.
-    rewriter = engine.rewriting_engine
     return WorkloadReport(
         results=results,
         queries_run=len(queries),
         elapsed_seconds=elapsed,
-        rewriting_hits=getattr(rewriter, "hits", 0) - hits_before,
-        rewriting_misses=getattr(rewriter, "misses", 0) - misses_before,
+        rewriting_hits=rewriter.hits - hits_before,
+        rewriting_misses=rewriter.misses - misses_before,
         plan_hits=planner.hits - plan_hits_before,
         plan_misses=planner.misses - plan_misses_before,
+        subplan_hits=memo.hits - subplan_hits_before,
+        subplan_misses=memo.misses - subplan_misses_before,
         parallelism=engine.parallelism,
     )

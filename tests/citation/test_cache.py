@@ -1,6 +1,8 @@
 """Tests for the rewriting cache (Section 4: caching)."""
 
 
+import pytest
+
 from repro.citation.cache import (
     CachedRewritingEngine,
     cached_engine,
@@ -72,6 +74,54 @@ class TestCachedEngine:
         query = parse_query('Q(N) :- Family(F, N, Ty), Ty = "gpcr"')
         assert [repr(r.query) for r in plain.rewrite(query)] == \
             [repr(r.query) for r in cached.rewrite(query)]
+
+
+class TestCacheBound:
+    """The LRU bound: millions of distinct structures must not grow the
+    cache without limit."""
+
+    QUERIES = [
+        "Q(N) :- Family(F, N, Ty)",
+        "Q(Tx) :- FamilyIntro(F, Tx)",
+        "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)",
+    ]
+
+    def test_least_recently_used_structure_evicted(self, registry):
+        engine = CachedRewritingEngine(RewritingEngine(registry),
+                                       max_entries=2)
+        for text in self.QUERIES:
+            engine.rewrite(parse_query(text))
+        assert engine.size == 2
+        assert engine.evictions == 1
+        # The oldest structure was evicted: re-rewriting misses again.
+        misses = engine.misses
+        engine.rewrite(parse_query(self.QUERIES[0]))
+        assert engine.misses == misses + 1
+
+    def test_hit_refreshes_lru_order(self, registry):
+        engine = CachedRewritingEngine(RewritingEngine(registry),
+                                       max_entries=2)
+        engine.rewrite(parse_query(self.QUERIES[0]))
+        engine.rewrite(parse_query(self.QUERIES[1]))
+        engine.rewrite(parse_query(self.QUERIES[0]))  # refresh entry 0
+        engine.rewrite(parse_query(self.QUERIES[2]))  # evicts entry 1
+        hits = engine.hits
+        engine.rewrite(parse_query(self.QUERIES[0]))
+        assert engine.hits == hits + 1
+
+    def test_clear_resets_counters_coherently(self, registry):
+        engine = CachedRewritingEngine(RewritingEngine(registry),
+                                       max_entries=1)
+        for text in self.QUERIES:
+            engine.rewrite(parse_query(text))
+        assert engine.evictions == 2
+        engine.clear()
+        assert engine.size == 0
+        assert (engine.hits, engine.misses, engine.evictions) == (0, 0, 0)
+
+    def test_rejects_nonpositive_bound(self, registry):
+        with pytest.raises(ValueError):
+            CachedRewritingEngine(RewritingEngine(registry), max_entries=0)
 
 
 class TestCitationEngineIntegration:

@@ -859,6 +859,60 @@ class TestPlanner:
             planner.plan(parse_query("lambda B. Q(A) :- Big(A, B)"))
 
 
+class TestPlannerBound:
+    """The LRU bound on the plan cache: distinct-structure floods evict
+    the least recently used plans instead of growing without limit."""
+
+    STRUCTURES = [
+        "Q(A) :- Big(A, B)",
+        "Q(C) :- Small(B, C)",
+        "Q(A, C) :- Big(A, B), Small(B, C)",
+    ]
+
+    def test_eviction_beyond_max_entries(self, skewed_db):
+        planner = QueryPlanner(skewed_db, max_entries=2)
+        for text in self.STRUCTURES:
+            planner.plan(parse_query(text))
+        assert planner.size == 2
+        assert planner.evictions >= 1
+        # The oldest structure was evicted: replanning misses again.
+        misses = planner.misses
+        planner.plan(parse_query(self.STRUCTURES[0]))
+        assert planner.misses == misses + 1
+
+    def test_hit_refreshes_lru_order(self, skewed_db):
+        planner = QueryPlanner(skewed_db, max_entries=2)
+        planner.plan(parse_query(self.STRUCTURES[0]))
+        planner.plan(parse_query(self.STRUCTURES[1]))
+        planner.plan(parse_query(self.STRUCTURES[0]))  # refresh entry 0
+        planner.plan(parse_query(self.STRUCTURES[2]))  # evicts entry 1
+        misses = planner.misses
+        planner.plan(parse_query(self.STRUCTURES[0]))
+        assert planner.misses == misses
+
+    def test_bounded_planner_results_unchanged(self, skewed_db):
+        bounded = QueryPlanner(skewed_db, max_entries=1)
+        unbounded = QueryPlanner(skewed_db)
+        for text in self.STRUCTURES * 2:
+            query = parse_query(text)
+            left = list(execute_plan(bounded.plan(query), skewed_db))
+            right = list(execute_plan(unbounded.plan(query), skewed_db))
+            assert left == right
+
+    def test_clear_resets_counters_coherently(self, skewed_db):
+        planner = QueryPlanner(skewed_db, max_entries=1)
+        for text in self.STRUCTURES:
+            planner.plan(parse_query(text))
+        assert planner.evictions >= 2
+        planner.clear()
+        assert planner.size == 0
+        assert (planner.hits, planner.misses, planner.evictions) == (0, 0, 0)
+
+    def test_rejects_nonpositive_bound(self, skewed_db):
+        with pytest.raises(ValueError):
+            QueryPlanner(skewed_db, max_entries=0)
+
+
 class TestCanonicalize:
     def test_canonical_queries_equal_for_alpha_variants(self):
         q1 = parse_query('Q(N) :- Family(F, N, Ty), Ty = "gpcr"')

@@ -4,8 +4,9 @@ import pytest
 
 from repro.citation.cache import CachedRewritingEngine
 from repro.citation.generator import CitationEngine
+from repro.views.registry import ViewRegistry
 from repro.workload.logs import QueryLog
-from repro.workload.runner import run_workload
+from repro.workload.runner import WorkloadReport, run_workload
 
 QUERIES = [
     'Q(N) :- Family(F, N, Ty), Ty = "gpcr"',
@@ -63,3 +64,91 @@ class TestRunWorkload:
         report = run_workload(engine, QUERIES)
         text = report.describe()
         assert "rewriting cache" in text and "plan cache" in text
+
+
+class TestCounterAccounting:
+    """Regression tests for the cache-accounting sweep: counters must be
+    snapshotted from the engine the batch actually uses, and frequency-k
+    traffic must show exactly k-1 hits per log entry."""
+
+    def test_repeat_frequency_k_shows_k_minus_one_hits(self, db):
+        # An empty registry gives exactly one (identity) rewriting per
+        # query, so the per-entry arithmetic is exact: one miss on the
+        # first occurrence, k-1 hits on the repeats — for the rewriting
+        # cache and the plan cache alike.
+        engine = CitationEngine(db, ViewRegistry(db.schema))
+        log = QueryLog()
+        log.record(QUERIES[0], frequency=5)
+        report = run_workload(engine, log, repeat_frequencies=True)
+        assert report.queries_run == 5
+        assert report.rewriting_misses == 1
+        assert report.rewriting_hits == 4
+        assert report.plan_misses == 1
+        assert report.plan_hits == 4
+
+    def test_repeat_frequencies_with_views_show_k_minus_one_per_structure(
+        self, db, registry
+    ):
+        engine = CitationEngine(db, registry)
+        log = QueryLog()
+        log.record(QUERIES[0], frequency=5)
+        report = run_workload(engine, log, repeat_frequencies=True)
+        assert report.rewriting_misses == 1
+        assert report.rewriting_hits == 4
+        # Every distinct rewriting structure misses once and hits on the
+        # four repeats.
+        assert report.plan_misses > 0
+        assert report.plan_hits == 4 * report.plan_misses
+
+    def test_snapshot_from_pre_upgraded_engine(self, db, registry):
+        # Counters accumulated *outside* the workload must not leak into
+        # the report.
+        engine = CitationEngine(db, registry, cache_rewritings=True)
+        engine.cite(QUERIES[0])
+        engine.cite(QUERIES[0])
+        assert engine.rewriting_engine.hits >= 1
+        report = run_workload(engine, [QUERIES[0]])
+        assert report.rewriting_hits == 1
+        assert report.rewriting_misses == 0
+
+    def test_snapshot_when_upgrade_happens_in_run(self, db, registry):
+        # The upgrade to a CachedRewritingEngine now happens before the
+        # counters are snapshotted, so before/after always read from the
+        # same object.
+        engine = CitationEngine(db, registry)
+        assert not isinstance(engine.rewriting_engine, CachedRewritingEngine)
+        report = run_workload(engine, QUERIES)
+        assert isinstance(engine.rewriting_engine, CachedRewritingEngine)
+        assert report.rewriting_misses == 2  # two distinct structures
+        assert report.rewriting_hits == 1  # one α-equivalent repeat
+
+
+class TestDescribeOnCoarseClocks:
+    def test_zero_elapsed_keeps_counts_and_cache_rates(self):
+        report = WorkloadReport(
+            queries_run=5,
+            elapsed_seconds=0.0,
+            rewriting_hits=3,
+            rewriting_misses=2,
+            plan_hits=6,
+            plan_misses=4,
+        )
+        text = report.describe()
+        assert "5 queries" in text
+        assert "rewriting cache 3/5 hits" in text
+        assert "plan cache 6/10 hits" in text
+        assert "q/s" not in text
+
+    def test_zero_elapsed_renders_subplan_counters_when_present(self):
+        report = WorkloadReport(
+            queries_run=2,
+            elapsed_seconds=0.0,
+            subplan_hits=1,
+            subplan_misses=1,
+        )
+        assert "subplan memo 1/2 hits" in report.describe()
+
+    def test_positive_elapsed_keeps_rate_figure(self):
+        report = WorkloadReport(queries_run=4, elapsed_seconds=2.0)
+        text = report.describe()
+        assert "2.0 q/s" in text
