@@ -1,0 +1,129 @@
+"""Hash-partitioned relation storage: shard-parallel scans & probes.
+
+Run with::
+
+    python -m examples.sharded_storage
+
+The paper's deployment is a repository front-end over a large evolving
+database (Section 4, "scalability").  ``Database(schema, shards=N)``
+partitions every relation's extension into N shards — each with its own
+rows, lazily-built hash indexes, and incremental statistics — while the
+aggregate statistics the planner reads stay exactly what an unsharded
+instance would maintain, so plans and estimates never move.
+
+Sharding pays twice.  First-step scans and constant probes *fan out*
+across shards (thread workers seed every shard concurrently and the
+driver merges on global insertion ordinals, so output order is exactly
+the serial executor's).  And process workers stop receiving a pickle of
+the whole database: the driver ships the plan suffix plus only the
+relations it touches once, and each worker gets just its shard's seed
+slice — the ``SHIPPING`` counter below shows the pickled-byte gap
+against whole-database shipping.
+
+This walk-through builds a sharded instance, shows the partitioning and
+the merged statistics, runs the same query serially / sharded-threaded /
+sharded-process and checks the results are identical, and measures the
+bytes shipped under projected vs whole-database payloads.
+"""
+
+import time
+
+from repro.cq.executor import execute_plan
+from repro.cq.parallel import SHIPPING, execute_plan_parallel
+from repro.cq.parser import parse_query
+from repro.cq.plan import plan_query
+from repro.relational.database import Database
+from repro.relational.schema import RelationSchema, Schema
+from repro.relational.statistics import RelationStatistics
+
+QUERY = "Q(A, T) :- Base(A, B, K), Dim(B, C), Sel(C, T)"
+
+
+def build_database(rows: int = 8000, shards: int = 4) -> Database:
+    """A large base relation under a selective multi-join, plus a fat
+    relation the query never references (whole-database pickling ships
+    it anyway; the plan-driven projection does not)."""
+    schema = Schema([
+        RelationSchema("Base", ["a", "b", "k"]),
+        RelationSchema("Dim", ["b", "c"]),
+        RelationSchema("Sel", ["c", "t"]),
+        RelationSchema("Junk", ["x", "y", "z"]),
+    ])
+    db = Database(schema, shards=shards)
+    hot = rows // 200
+    spread = rows // 20
+    tail = rows
+    db.insert_batch({
+        "Base": [(i, i % spread, i * 7) for i in range(rows)],
+        "Dim": [(b, b) for b in range(hot)]
+        + [(10 * spread + j, 10 * spread + j) for j in range(tail)],
+        "Sel": [(c, c + 1) for c in range(hot)]
+        + [(20 * spread + j, j) for j in range(tail)],
+        "Junk": [(i, i * 3, f"junk-{i}") for i in range(rows * 2)],
+    })
+    return db
+
+
+def main() -> None:
+    db = build_database()
+    base = db.relation("Base")
+
+    print("== The partitioning")
+    print(f"  shards: {db.shards}")
+    for shard in range(base.shard_count):
+        print(f"  Base shard {shard}: "
+              f"{len(base.shard_ordinal_pairs(shard))} rows")
+
+    print("\n== Merged shard statistics equal the aggregate")
+    merged = RelationStatistics.merged(
+        base.shard_statistics(), base.schema.arity
+    )
+    print(f"  aggregate: cardinality={base.stats.cardinality}, "
+          f"distinct(b)={base.stats.distinct(1)}")
+    print(f"  merged:    cardinality={merged.cardinality}, "
+          f"distinct(b)={merged.distinct(1)}")
+
+    plan = plan_query(parse_query(QUERY), db)
+    print("\n== The plan (first step scans the large sharded Base)")
+    print(plan.explain())
+
+    print("\n== Identical results: serial vs sharded threads/processes")
+    serial = list(execute_plan(plan, db))
+    threaded = list(execute_plan_parallel(
+        plan, db, parallelism=4, min_partition=1
+    ))
+    processed = list(execute_plan_parallel(
+        plan, db, parallelism=4, use_processes=True, min_partition=1
+    ))
+    assert threaded == serial and processed == serial
+    print(f"  {len(serial)} bindings, multiset AND order identical")
+
+    print("\n== Shipped bytes: projected shard payloads vs whole database")
+
+    def measure(shipping: str) -> tuple[int, float]:
+        SHIPPING.reset()
+        best = None
+        for __ in range(3):
+            started = time.perf_counter()
+            result = list(execute_plan_parallel(
+                plan, db, parallelism=4, use_processes=True,
+                min_partition=1, shipping=shipping,
+            ))
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+            assert result == serial
+        bytes_per_run = SHIPPING.shipped_bytes // 3
+        return bytes_per_run, best
+
+    projected_bytes, projected_time = measure("plan")
+    world_bytes, world_time = measure("world")
+    print(f"  projected: {projected_bytes:>12,} B/run  "
+          f"best {projected_time:.3f}s")
+    print(f"  world:     {world_bytes:>12,} B/run  "
+          f"best {world_time:.3f}s")
+    print(f"  ratio:     {world_bytes / projected_bytes:.1f}x fewer bytes, "
+          f"{world_time / projected_time:.1f}x faster")
+
+
+if __name__ == "__main__":
+    main()

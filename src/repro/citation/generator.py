@@ -145,6 +145,12 @@ class CitationEngine:
         executor (:mod:`repro.cq.parallel`) used by every rewriting
         evaluation; 1 runs serially.  Results are identical at any
         setting.  :meth:`cite_batch` can override both per batch.
+    shards:
+        When given, repartitions the database's relation storage into
+        that many shards (:meth:`~repro.relational.database.Database
+        .reshard`), enabling shard-parallel first-step scans and probes
+        and shard-sliced process-pool payloads.  Like ``parallelism``,
+        results are identical at any shard count.
     share_subplans:
         When True (the default), :meth:`cite_batch` groups each batch by
         shared plan prefixes and evaluates every shared join prefix
@@ -173,9 +179,12 @@ class CitationEngine:
         cache_rewritings: bool = False,
         parallelism: int = 1,
         use_processes: bool = False,
+        shards: int | None = None,
         share_subplans: bool = True,
     ) -> None:
         self.db = db
+        if shards is not None:
+            db.reshard(shards)
         self.registry = registry
         self.policy = policy or focused_policy(registry)
         engine = RewritingEngine(
@@ -203,6 +212,11 @@ class CitationEngine:
         self.use_processes = use_processes
         self._virtual: IndexedVirtualRelations | None = None
         self._record_cache: dict[CitationToken, Record] = {}
+
+    @property
+    def shards(self) -> int:
+        """The database's current storage shard count."""
+        return self.db.shards
 
     # ------------------------------------------------------------------
 
@@ -450,6 +464,7 @@ class CitationEngine:
         queries: "Sequence[ConjunctiveQuery | str]",
         parallelism: int | None = None,
         use_processes: bool | None = None,
+        shards: int | None = None,
     ) -> list[CitationResult]:
         """Cite a whole workload, sharing work across the queries.
 
@@ -478,17 +493,25 @@ class CitationEngine:
         use_processes:
             When given, switches the workers between threads (False,
             default) and a process pool (True).
+        shards:
+            When given, repartitions the database's relation storage
+            into that many shards before the batch
+            (:meth:`~repro.relational.database.Database.reshard`); the
+            repartitioning persists on the database like the other
+            knobs persist on the engine.
 
         Returns
         -------
         One :class:`CitationResult` per query, in order.  Results are
-        identical at any parallelism (bindings merge in serial order),
-        and identical with sub-plan sharing on or off.
+        identical at any parallelism and shard count (bindings merge in
+        serial order), and identical with sub-plan sharing on or off.
         """
         if parallelism is not None:
             self.parallelism = parallelism
         if use_processes is not None:
             self.use_processes = use_processes
+        if shards is not None:
+            self.db.reshard(shards)
         self.ensure_rewriting_cache()
         self._materialized()
         batch = self._group_batch(queries)

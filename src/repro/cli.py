@@ -214,8 +214,11 @@ def cmd_cite_batch(args: argparse.Namespace) -> int:
     Blank lines and ``#`` comments are skipped.  Plans, rewritings, and
     materialized-view indexes are shared across the whole batch;
     --parallelism N evaluates each query's join pipeline on N workers
-    (--processes switches them from threads to a process pool); --stats
-    prints the cache-effectiveness report afterwards.
+    (--processes switches them from threads to a process pool);
+    --shards N partitions relation storage into N shards so first-step
+    scans/probes fan out per shard and process workers receive only
+    their shard's slice; --stats prints the cache-effectiveness report
+    afterwards.
     """
     from repro.workload.runner import run_workload
 
@@ -232,6 +235,7 @@ def cmd_cite_batch(args: argparse.Namespace) -> int:
         queries,
         parallelism=args.parallelism,
         use_processes=args.processes,
+        shards=args.shards,
     )
     renderer = _FORMATS[args.format]
     for result in report.results:
@@ -304,6 +308,11 @@ def build_parser() -> argparse.ArgumentParser:
     cite_batch.add_argument("--processes", action="store_true",
                             help="with --parallelism, use a process pool "
                                  "instead of threads")
+    cite_batch.add_argument("--shards", type=int, default=None,
+                            metavar="N",
+                            help="partition relation storage into N shards "
+                                 "(shard-parallel scans/probes; process "
+                                 "workers receive only their shard's slice)")
     cite_batch.add_argument("--stats", action="store_true",
                             help="print cache-effectiveness statistics")
     cite_batch.set_defaults(func=cmd_cite_batch)

@@ -287,6 +287,58 @@ class SequenceSourceOperator:
         return iter(self.bindings)
 
 
+class OrdinalSourceOperator:
+    """A source replaying ``(ordinal, binding)`` pairs, tracking the
+    ordinal of the most recently emitted seed.
+
+    The operator chain is pipelined depth-first: everything an
+    :class:`IndexJoinOperator` stack yields between two pulls from its
+    source derives from the last pulled seed.  The shard-parallel
+    executor therefore reads :attr:`current` after each downstream
+    binding to tag it with its seed's global insertion ordinal, which is
+    what lets per-shard result streams merge back into the exact serial
+    order.
+    """
+
+    def __init__(self, pairs: Sequence[tuple[int, Binding]]) -> None:
+        self.pairs = pairs
+        self.current: int | None = None
+
+    def __iter__(self) -> Iterator[Binding]:
+        for ordinal, binding in self.pairs:
+            self.current = ordinal
+            yield binding
+
+
+def seed_bindings_from_pairs(
+    step: JoinStep,
+    pairs: Sequence[tuple[int, tuple[Any, ...]]],
+    check: Callable[[ComparisonAtom, Binding], bool],
+) -> list[tuple[int, Binding]]:
+    """First-step bindings from ``(ordinal, values)`` rows of the step's
+    relation, keeping each binding's source ordinal.
+
+    Mirrors :class:`IndexJoinOperator` for the plan's first step (whose
+    upstream is the single empty binding): the rows must already match
+    the step's probe — shard scans and shard index probes guarantee that
+    — so only the residual repeated-variable checks and the comparisons
+    scheduled at the step remain.  The NaN-probe guard is the caller's
+    job (a first-step probe is all constants, so it is decided once, not
+    per row).
+    """
+    introduces = step.introduces
+    equal_positions = step.equal_positions
+    comparisons = step.comparisons
+    seeds: list[tuple[int, Binding]] = []
+    for ordinal, values in pairs:
+        if any(values[i] != values[j] for i, j in equal_positions):
+            continue
+        binding = {var: values[position] for var, position in introduces}
+        if all(check(c, binding) for c in comparisons):
+            seeds.append((ordinal, binding))
+    return seeds
+
+
 class IndexJoinOperator:
     """One join step as a pulling iterator.
 

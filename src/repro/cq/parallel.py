@@ -2,49 +2,70 @@
 
 The iterator operators of :mod:`repro.cq.executor` are pull-based and
 stateless, so a plan's step pipeline can run over any partition of its
-input bindings.  This module exploits that: it materializes the *first*
-join step's bindings, partitions them into balanced contiguous shards
-(:func:`repro.relational.statistics.shard_cardinalities` supplies the
-split arithmetic), runs the remaining steps of each shard on a worker,
-and streams the merged bindings back to the caller.
+input bindings.  This module exploits that in two ways:
 
-Partitioning the first step — rather than the queries of a batch — keeps
-the sharding inside a single plan execution, so every layer above
+* **Binding sharding** — materialize the *first* join step's bindings,
+  partition them into balanced contiguous shards
+  (:func:`repro.relational.statistics.shard_cardinalities` supplies the
+  split arithmetic), run the remaining steps of each shard on a worker,
+  and stream the merged bindings back in shard order.
+* **Storage sharding** — when the first step is a scan or hash probe of
+  a base relation whose storage is partitioned
+  (``Database(schema, shards=N)``), the *seeding itself* fans out:
+  each worker scans or probes one :class:`~repro.relational.database
+  .RelationShard`, and the per-shard streams merge by the rows' global
+  insertion ordinals, reconstructing the serial seed order exactly.
+
+Partitioning inside a single plan execution keeps every layer above
 (:func:`repro.cq.evaluation.enumerate_bindings`,
 :meth:`repro.citation.generator.CitationEngine.cite_batch`,
-:func:`repro.workload.runner.run_workload`, the ``cite-batch`` CLI) gets
-a ``parallelism`` knob for free.
+:func:`repro.workload.runner.run_workload`, the ``cite-batch`` CLI)
+supplied with ``parallelism`` and ``shards`` knobs for free.
 
 Workers are **threads** by default: they share the database's and the
-materialization's hash indexes (warmed up front so workers never race to
-build the same index), and the driver falls back to serial execution
-whenever sharding cannot pay for itself (``parallelism <= 1``,
-single-step plans, or fewer first-step bindings than ``min_partition``).
-A **process pool** is available behind ``use_processes=True`` for
-CPU-bound plans on interpreters where threads contend for the GIL; it
-pickles the plan, database, and shard to each worker, so it only pays
-off when the surviving work dwarfs the copy.  Mixed-type comparison
-warnings raised inside process workers are emitted in the child and not
-re-raised in the parent; thread workers warn normally.
+materialization's indexes (aggregate indexes are warmed up front, and
+per-shard indexes are shard-local, so workers never race to build the
+same one), and the driver falls back to serial execution whenever
+sharding cannot pay for itself (``parallelism <= 1``, single-step
+plans, or fewer first-step bindings than ``min_partition``).  A
+**process pool** is available behind ``use_processes=True`` for
+CPU-bound plans on interpreters where threads contend for the GIL.
+Process workers receive only a *plan-driven projection* of the database
+(:meth:`~repro.relational.database.Database.project_for_plan`): the
+extensions of just the relations the plan suffix touches, plus — under
+storage sharding — only their own shard's slice of the first step's
+relation, instead of a pickled copy of the whole database.  Payloads
+are pickled in the parent, so :data:`SHIPPING` records the exact
+serialized byte volume (the E16 benchmark asserts the projection ships
+an order of magnitude less than whole-database pickling); the legacy
+whole-database behavior remains available via ``shipping="world"`` as a
+benchmark baseline.  Mixed-type comparison warnings raised inside
+process workers are emitted in the child and not re-raised in the
+parent; thread workers warn normally.
 
 Bindings are streamed in chunks as workers produce them, and the merge
-releases chunks in shard order: since shards are contiguous runs of the
-first step's bindings, the merged stream is the serial executor's
-binding sequence exactly — same multiset (the property suite asserts
-this) *and* same order, so upper layers behave identically at any
-``parallelism``.
+releases chunks in shard order (binding shards are contiguous runs;
+storage shards merge on insertion ordinals): the merged stream is the
+serial executor's binding sequence exactly — same multiset (the
+property suite asserts this) *and* same order, so upper layers behave
+identically at any ``parallelism`` and any shard count.
 """
 
 from __future__ import annotations
 
+import heapq
+import pickle
 import queue
 import threading
 from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+from operator import itemgetter
 from typing import Any
 
 from repro.cq.executor import (
     Binding,
     IndexedVirtualRelations,
+    OrdinalSourceOperator,
     SequenceSourceOperator,
     SingletonBindingOperator,
     VirtualRelations,
@@ -52,9 +73,11 @@ from repro.cq.executor import (
     build_operator_chain,
     execute_plan,
     execute_plan_seeded,
+    seed_bindings_from_pairs,
 )
 from repro.cq.plan import JoinStep, QueryPlan
-from repro.relational.database import Database
+from repro.cq.terms import Constant
+from repro.relational.database import Database, RelationInstance
 from repro.relational.statistics import shard_cardinalities
 
 #: Below this many first-step bindings, sharding overhead (threads,
@@ -64,6 +87,32 @@ DEFAULT_MIN_PARTITION = 64
 #: Bindings per queue message: workers batch results so the merge queue
 #: costs one put/get per chunk, not per binding.
 _CHUNK_BINDINGS = 256
+
+
+@dataclass
+class ShippingStats:
+    """Parent-side accounting of process-pool serialization volume.
+
+    Worker payloads are pickled *in the parent* and shipped as opaque
+    bytes, so :attr:`shipped_bytes` is the exact serialized volume sent
+    to the pool — not an estimate.  Benchmarks (and curious callers)
+    read :data:`SHIPPING` and :meth:`reset` it between runs.
+    """
+
+    shipped_bytes: int = 0
+    payloads: int = 0
+
+    def note(self, nbytes: int, payloads: int) -> None:
+        self.shipped_bytes += nbytes
+        self.payloads += payloads
+
+    def reset(self) -> None:
+        self.shipped_bytes = 0
+        self.payloads = 0
+
+
+#: Module-level instrumentation for process-pool shipping volume.
+SHIPPING = ShippingStats()
 
 
 def partition_bindings(
@@ -210,17 +259,107 @@ def _run_thread_shards(
         raise failure
 
 
-def _execute_shard(
-    payload: tuple[
-        QueryPlan,
-        int,
-        Database,
-        dict[str, list[tuple[Any, ...]]] | None,
-        Sequence[Binding],
-    ],
-) -> list[Binding]:
-    """Process-pool worker: run the plan suffix over one pickled shard."""
-    plan, from_step, db, virtual_rows, shard = payload
+# -- storage-shard seeding ----------------------------------------------------
+
+
+def _storage_seed_step(
+    plan: QueryPlan, db: Database, min_partition: int
+) -> JoinStep | None:
+    """The first step, when storage-shard fan-out can serve its seeding.
+
+    Eligible first steps are scans and hash probes (``range_position``
+    is ``None``) of a base relation whose storage is partitioned and
+    large enough to pay for fanning out; everything else (virtual
+    relations, ordered/composite access paths, unsharded or tiny
+    relations) keeps the serial seeding path.
+    """
+    if len(plan.steps) < 2:
+        return None
+    step = plan.steps[0]
+    if step.virtual or step.range_position is not None:
+        return None
+    if not all(isinstance(term, Constant) for term in step.lookup_terms):
+        return None  # defensive: a first step can only probe constants
+    instance = db.relation(step.atom.relation)
+    if instance.shard_count <= 1:
+        return None
+    if len(instance) < max(2, min_partition):
+        return None
+    return step
+
+
+def _constant_probe(step: JoinStep) -> tuple[Any, ...] | None:
+    """The step's probe values, or ``None`` for a NaN probe.
+
+    A first-step probe is all constants, so the NaN guard (a NaN probe
+    ``==``-matches no row; see :class:`~repro.cq.executor
+    .IndexJoinOperator`) is decided once here instead of per row.
+    """
+    probe = tuple(term.value for term in step.lookup_terms)
+    if any(value != value for value in probe):
+        return None
+    return probe
+
+
+def _seed_across_shards(
+    step: JoinStep,
+    instance: RelationInstance,
+    check: Any,
+    parallelism: int,
+) -> list[tuple[int, Binding]]:
+    """Materialize first-step seeds by probing every storage shard
+    concurrently, merged back into exact serial order.
+
+    Each thread scans or hash-probes one shard (shard indexes are
+    shard-local, so there is no construction race) and keeps each
+    surviving binding's global insertion ordinal; merging the per-shard
+    streams by ordinal reproduces the aggregate probe's insertion order
+    — the serial executor's seed order — exactly.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    probe = _constant_probe(step)
+    if probe is None:
+        return []
+    positions = step.lookup_positions
+
+    def seed_shard(shard: int) -> list[tuple[int, Binding]]:
+        pairs = instance.shard_lookup_pairs(shard, positions, probe)
+        return seed_bindings_from_pairs(step, pairs, check)
+
+    workers = min(parallelism, instance.shard_count)
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        per_shard = list(pool.map(seed_shard, range(instance.shard_count)))
+    return list(heapq.merge(*per_shard, key=itemgetter(0)))
+
+
+# -- process-pool workers -----------------------------------------------------
+
+
+def _suffix_virtual_rows(
+    plan: QueryPlan,
+    from_step: int,
+    virtual: IndexedVirtualRelations | None,
+) -> dict[str, list[tuple[Any, ...]]] | None:
+    """Rows of only the virtual relations the plan suffix references."""
+    names = {
+        step.atom.relation
+        for step in plan.steps[from_step:]
+        if step.virtual
+    }
+    if not names:
+        return None
+    assert virtual is not None
+    return {name: list(virtual[name]) for name in names}
+
+
+def _execute_shard(payload: bytes) -> list[Binding]:
+    """Process-pool worker: plan suffix over one whole-database payload.
+
+    The ``shipping="world"`` baseline — the parent pickled the entire
+    database for this worker regardless of what the suffix touches.
+    """
+    plan, from_step, db, virtual_rows, shard = pickle.loads(payload)
     virtual = (
         IndexedVirtualRelations(virtual_rows)
         if virtual_rows is not None
@@ -234,28 +373,100 @@ def _execute_shard(
     return list(operator)
 
 
+def _execute_projected_shard(
+    common: bytes, shard_payload: bytes
+) -> list[Binding]:
+    """Process-pool worker: plan suffix over one binding shard, against a
+    database rebuilt from only the suffix-referenced extensions."""
+    plan, from_step, schema, relations, virtual_rows = pickle.loads(common)
+    shard = pickle.loads(shard_payload)
+    db = Database.from_projection(schema, relations)
+    virtual = (
+        IndexedVirtualRelations(virtual_rows)
+        if virtual_rows is not None
+        else None
+    )
+    check = _comparison_checker(plan.query.name, set())
+    operator = build_operator_chain(
+        SequenceSourceOperator(shard), plan.steps[from_step:], db, virtual,
+        check
+    )
+    return list(operator)
+
+
+def _execute_storage_shard(
+    common: bytes, pairs_payload: bytes
+) -> list[tuple[int, Binding]]:
+    """Process-pool worker: seed from one storage shard's ``(ordinal,
+    values)`` slice, run the suffix, and tag every output binding with
+    its seed's ordinal for the parent's order-exact merge."""
+    plan, schema, relations, virtual_rows = pickle.loads(common)
+    pairs = pickle.loads(pairs_payload)
+    db = Database.from_projection(schema, relations)
+    virtual = (
+        IndexedVirtualRelations(virtual_rows)
+        if virtual_rows is not None
+        else None
+    )
+    check = _comparison_checker(plan.query.name, set())
+    seeds = seed_bindings_from_pairs(plan.steps[0], pairs, check)
+    source = OrdinalSourceOperator(seeds)
+    chain = build_operator_chain(source, plan.steps[1:], db, virtual, check)
+    # Depth-first pipelining: every binding the chain yields derives
+    # from the seed the source pulled last, so ``source.current`` read
+    # after each yield is that binding's seed ordinal.
+    return [(source.current, binding) for binding in chain]
+
+
 def _run_process_shards(
     plan: QueryPlan,
     from_step: int,
     db: Database,
     virtual: IndexedVirtualRelations | None,
     shards: list[Sequence[Binding]],
+    shipping: str = "plan",
 ) -> Iterator[Binding]:
-    """One process per shard; each receives a pickled copy of the world."""
+    """One process per binding shard.
+
+    With ``shipping="plan"`` (the default) each worker receives the
+    plan, its shard of seed bindings, and a projection of only the
+    relations the plan suffix touches; ``shipping="world"`` is the
+    legacy baseline that pickles the whole database to every worker.
+    Payloads are pickled here in the parent so :data:`SHIPPING` records
+    the exact shipped byte volume.
+    """
     from concurrent.futures import ProcessPoolExecutor
 
-    virtual_rows = (
-        {name: list(virtual[name]) for name in virtual}
-        if virtual is not None
-        else None
-    )
-    with ProcessPoolExecutor(max_workers=len(shards)) as pool:
-        futures = [
-            pool.submit(
-                _execute_shard, (plan, from_step, db, virtual_rows, shard)
-            )
+    if shipping == "world":
+        virtual_rows = (
+            {name: list(virtual[name]) for name in virtual}
+            if virtual is not None
+            else None
+        )
+        payloads = [
+            pickle.dumps((plan, from_step, db, virtual_rows, shard))
             for shard in shards
         ]
+        SHIPPING.note(sum(len(p) for p in payloads), len(payloads))
+        submit = lambda pool, payload: pool.submit(_execute_shard, payload)  # noqa: E731
+    else:
+        common = pickle.dumps((
+            plan,
+            from_step,
+            db.schema,
+            db.project_for_plan(plan, from_step),
+            _suffix_virtual_rows(plan, from_step, virtual),
+        ))
+        payloads = [pickle.dumps(list(shard)) for shard in shards]
+        SHIPPING.note(
+            len(common) * len(payloads) + sum(len(p) for p in payloads),
+            len(payloads),
+        )
+        submit = lambda pool, payload: pool.submit(  # noqa: E731
+            _execute_projected_shard, common, payload
+        )
+    with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+        futures = [submit(pool, payload) for payload in payloads]
         try:
             for future in futures:
                 yield from future.result()
@@ -268,6 +479,63 @@ def _run_process_shards(
                 future.cancel()
 
 
+def _run_storage_process_shards(
+    plan: QueryPlan,
+    db: Database,
+    virtual: IndexedVirtualRelations | None,
+    parallelism: int,
+) -> Iterator[Binding]:
+    """One process per storage shard of the first step's relation.
+
+    Each worker receives the plan, its shard's ``(ordinal, values)``
+    slice (already narrowed to the probe's matches when the first step
+    is a hash probe), and a projection of only the relations the plan
+    *suffix* touches — never the whole database.  Workers return
+    ordinal-tagged bindings; merging by ordinal reconstructs the serial
+    executor's output order exactly, because the seed ordinals are
+    globally unique and each belongs to exactly one shard.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    step = plan.steps[0]
+    instance = db.relation(step.atom.relation)
+    probe = _constant_probe(step)
+    if probe is None:
+        return
+    common = pickle.dumps((
+        plan,
+        db.schema,
+        db.project_for_plan(plan, 1),
+        _suffix_virtual_rows(plan, 1, virtual),
+    ))
+    payloads = []
+    for shard in range(instance.shard_count):
+        pairs = instance.shard_lookup_pairs(
+            shard, step.lookup_positions, probe
+        )
+        if pairs:
+            payloads.append(pickle.dumps(pairs))
+    if not payloads:
+        return
+    SHIPPING.note(
+        len(common) * len(payloads) + sum(len(p) for p in payloads),
+        len(payloads),
+    )
+    workers = min(parallelism, len(payloads))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(_execute_storage_shard, common, payload)
+            for payload in payloads
+        ]
+        try:
+            results = [future.result() for future in futures]
+        finally:
+            for future in futures:
+                future.cancel()
+        for __, binding in heapq.merge(*results, key=itemgetter(0)):
+            yield binding
+
+
 def execute_plan_parallel(
     plan: QueryPlan,
     db: Database,
@@ -275,16 +543,23 @@ def execute_plan_parallel(
     parallelism: int = 2,
     use_processes: bool = False,
     min_partition: int = DEFAULT_MIN_PARTITION,
+    shipping: str = "plan",
 ) -> Iterator[Binding]:
     """Stream a plan's bindings using up to ``parallelism`` workers.
 
     Produces exactly the binding sequence of
     :func:`~repro.cq.executor.execute_plan` — same multiset, same order
-    (shards are contiguous and merged in shard order).  Falls back to
+    (binding shards are contiguous and merged in shard order; storage
+    shards merge on insertion ordinals).  When the first step is a scan
+    or hash probe of a storage-sharded base relation, seeding fans out
+    across the relation's shards (threads probe shards concurrently;
+    process workers receive only their shard's slice).  Falls back to
     serial execution whenever sharding cannot pay for itself;
     ``min_partition`` is the first-step binding count below which that
     fallback triggers (tests lower it to force the parallel path on
-    small data).
+    small data).  ``shipping`` selects the process-pool payload shape
+    (``"plan"``: suffix-projected relations; ``"world"``: the legacy
+    whole-database pickle, kept as a benchmark baseline).
     """
     if plan.empty:
         return
@@ -292,11 +567,30 @@ def execute_plan_parallel(
         yield from execute_plan(plan, db, virtual)
         return
     indexed = IndexedVirtualRelations.wrap(virtual)
-    check = _comparison_checker(plan.query.name, set())
-    first = build_operator_chain(
-        SingletonBindingOperator(), plan.steps[:1], db, indexed, check
+    step0 = (
+        _storage_seed_step(plan, db, min_partition)
+        if shipping != "world"
+        else None
     )
-    seeds = list(first)
+    if step0 is not None:
+        if use_processes:
+            yield from _run_storage_process_shards(
+                plan, db, indexed, parallelism
+            )
+            return
+        check = _comparison_checker(plan.query.name, set())
+        seeds = [
+            binding
+            for __, binding in _seed_across_shards(
+                step0, db.relation(step0.atom.relation), check, parallelism
+            )
+        ]
+    else:
+        check = _comparison_checker(plan.query.name, set())
+        first = build_operator_chain(
+            SingletonBindingOperator(), plan.steps[:1], db, indexed, check
+        )
+        seeds = list(first)
     yield from execute_seeded_parallel(
         plan,
         1,
@@ -306,6 +600,7 @@ def execute_plan_parallel(
         parallelism=parallelism,
         use_processes=use_processes,
         min_partition=min_partition,
+        shipping=shipping,
     )
 
 
@@ -318,6 +613,7 @@ def execute_seeded_parallel(
     parallelism: int = 1,
     use_processes: bool = False,
     min_partition: int = DEFAULT_MIN_PARTITION,
+    shipping: str = "plan",
 ) -> Iterator[Binding]:
     """Stream ``plan.steps[from_step:]`` over the given seed bindings.
 
@@ -339,7 +635,9 @@ def execute_seeded_parallel(
     check = _comparison_checker(plan.query.name, set())
     shards = partition_bindings(seeds, parallelism)
     if use_processes:
-        yield from _run_process_shards(plan, from_step, db, indexed, shards)
+        yield from _run_process_shards(
+            plan, from_step, db, indexed, shards, shipping
+        )
         return
     _warm_access_paths(rest, db, indexed)
     yield from _run_thread_shards(shards, rest, db, indexed, check)

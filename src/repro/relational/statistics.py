@@ -227,6 +227,51 @@ class RelationStatistics:
         for counter, value in zip(self._column_counts, values):
             counter[value] += 1
 
+    def add_rows(self, rows: Sequence[Sequence[Any]]) -> None:
+        """Absorb a batch of rows in one pass per column.
+
+        Semantically ``for values in rows: add_row(values)`` — the
+        version advances by ``len(rows)`` so caches built between the
+        equivalent single-row calls stay distinguishable — but each
+        column counter is updated once with the whole column instead of
+        once per row, which is what makes bulk loads (``insert_many``,
+        ``Database.copy``) cheap.
+        """
+        batch = [tuple(values) for values in rows]
+        if not batch:
+            return
+        self.cardinality += len(batch)
+        self.version += len(batch)
+        for counter, column in zip(self._column_counts, zip(*batch)):
+            counter.update(column)
+
+    @classmethod
+    def merged(
+        cls, parts: Sequence["RelationStatistics"], arity: int
+    ) -> "RelationStatistics":
+        """Combine per-shard statistics into whole-relation statistics.
+
+        Shards partition the rows, so cardinalities and per-value
+        frequencies simply add; the merge therefore equals the
+        statistics an unsharded instance would have accumulated (the
+        property suite asserts this), which is why sharding never
+        changes the planner's estimates.
+        """
+        merged = cls(arity)
+        for part in parts:
+            if part.arity != arity:
+                raise ValueError(
+                    f"cannot merge statistics of arity {part.arity} "
+                    f"into arity {arity}"
+                )
+            merged.cardinality += part.cardinality
+            merged.version += part.version
+            for counter, other in zip(
+                merged._column_counts, part._column_counts
+            ):
+                counter.update(other)
+        return merged
+
     def remove_row(self, values: Sequence[Any]) -> None:
         """Retract one row's contribution.
 

@@ -34,6 +34,7 @@ class WorkloadReport:
     subplan_hits: int = 0
     subplan_misses: int = 0
     parallelism: int = 1
+    shards: int = 1
 
     @property
     def rewriting_hit_rate(self) -> float:
@@ -54,6 +55,8 @@ class WorkloadReport:
         suffix = ""
         if self.parallelism > 1:
             suffix = f", parallelism={self.parallelism}"
+        if self.shards > 1:
+            suffix += f", shards={self.shards}"
         caches = (
             f"rewriting cache {self.rewriting_hits}/"
             f"{self.rewriting_hits + self.rewriting_misses} hits, "
@@ -83,6 +86,7 @@ def run_workload(
     repeat_frequencies: bool = False,
     parallelism: int | None = None,
     use_processes: bool | None = None,
+    shards: int | None = None,
 ) -> WorkloadReport:
     """Cite every query of a workload through the batch pipeline.
 
@@ -107,6 +111,11 @@ def run_workload(
         ``cite_batch`` and persisted on the engine.
     use_processes:
         When given, use a process pool instead of threads.
+    shards:
+        When given, repartitions the engine database's relation storage
+        into that many shards before the batch (shard-parallel scans
+        and probes, shard-sliced process payloads); forwarded to
+        ``cite_batch`` and persisted on the database.
 
     Returns
     -------
@@ -140,7 +149,10 @@ def run_workload(
 
     started = time.perf_counter()
     results = engine.cite_batch(
-        queries, parallelism=parallelism, use_processes=use_processes
+        queries,
+        parallelism=parallelism,
+        use_processes=use_processes,
+        shards=shards,
     )
     elapsed = time.perf_counter() - started
 
@@ -155,4 +167,5 @@ def run_workload(
         subplan_hits=memo.hits - subplan_hits_before,
         subplan_misses=memo.misses - subplan_misses_before,
         parallelism=engine.parallelism,
+        shards=engine.db.shards,
     )

@@ -1,0 +1,227 @@
+"""Tests for hash-partitioned relation storage (shards, ordinals, bulk
+loads, the maintained stats version, and plan-driven projection)."""
+
+import pytest
+
+from repro.errors import KeyViolationError
+from repro.relational.database import Database
+from repro.relational.schema import RelationSchema, Schema
+from repro.relational.statistics import RelationStatistics
+from repro.relational.tuples import Row
+
+
+@pytest.fixture
+def schema():
+    return Schema([
+        RelationSchema("Keyed", ["k", "v"], key=["k"]),
+        RelationSchema("Plain", ["a", "b"]),
+    ])
+
+
+class TestShardPartitioning:
+    def test_shards_partition_the_rows(self, schema):
+        db = Database(schema, shards=4)
+        db.insert_all("Plain", [(i, i % 5) for i in range(100)])
+        instance = db.relation("Plain")
+        assert instance.shard_count == 4
+        pairs = sorted(
+            pair
+            for shard in range(4)
+            for pair in instance.shard_ordinal_pairs(shard)
+        )
+        assert pairs == [(i, (i, i % 5)) for i in range(100)]
+
+    def test_keyed_relations_hash_on_the_key(self, schema):
+        db = Database(schema, shards=3)
+        db.insert_all("Keyed", [(str(i), i) for i in range(60)])
+        instance = db.relation("Keyed")
+        # Every row of a shard must hash back to that shard.
+        for shard in range(3):
+            for __, values in instance.shard_ordinal_pairs(shard):
+                assert hash((values[0],)) % 3 == shard
+
+    def test_shard_pairs_are_ordinal_ascending(self, schema):
+        db = Database(schema, shards=3)
+        db.insert_all("Plain", [(i, 0) for i in range(30)])
+        db.relation("Plain").delete(Row("Plain", (7, 0)))
+        db.insert("Plain", 7, 0)  # re-insert: fresh, larger ordinal
+        instance = db.relation("Plain")
+        for shard in range(3):
+            ordinals = [o for o, __ in instance.shard_ordinal_pairs(shard)]
+            assert ordinals == sorted(ordinals)
+        all_pairs = [
+            pair
+            for shard in range(3)
+            for pair in instance.shard_ordinal_pairs(shard)
+        ]
+        assert len(all_pairs) == 30
+        assert max(o for o, __ in all_pairs) == 30  # fresh ordinal issued
+
+    def test_shard_lookup_pairs_match_aggregate_probe(self, schema):
+        for shards in (1, 4):
+            db = Database(schema, shards=shards)
+            db.insert_all("Plain", [(i, i % 3) for i in range(40)])
+            instance = db.relation("Plain")
+            merged = sorted(
+                pair
+                for shard in range(instance.shard_count)
+                for pair in instance.shard_lookup_pairs(shard, (1,), (2,))
+            )
+            expected = [
+                (instance._rows[row], row.values)
+                for row in instance.lookup((1,), (2,))
+            ]
+            assert merged == sorted(expected)
+
+    def test_reshard_back_to_one(self, schema):
+        db = Database(schema, shards=5)
+        db.insert_all("Plain", [(i, 0) for i in range(20)])
+        db.reshard(1)
+        assert db.shards == 1
+        assert db.relation("Plain").shard_count == 1
+        assert len(db.relation("Plain")) == 20
+        # Single-shard accessors serve from the aggregate structures.
+        assert db.relation("Plain").shard_ordinal_pairs(0) == [
+            (i, (i, 0)) for i in range(20)
+        ]
+
+    def test_shard_statistics_merge_to_aggregate(self, schema):
+        db = Database(schema, shards=4)
+        db.insert_all("Plain", [(i % 7, i % 3) for i in range(50)])
+        instance = db.relation("Plain")
+        merged = RelationStatistics.merged(instance.shard_statistics(), 2)
+        assert merged.cardinality == instance.stats.cardinality
+        for position in (0, 1):
+            assert (
+                merged._column_counts[position]
+                == instance.stats._column_counts[position]
+            )
+
+
+class TestBulkInsertMany:
+    def test_bulk_path_equals_per_row_semantics(self, schema):
+        bulk = Database(schema)
+        slow = Database(schema)
+        rows = [(i, i % 4) for i in range(200)] + [(0, 0)]  # duplicate
+        returned = bulk.relation("Plain").insert_many(rows)
+        for values in rows:
+            slow.relation("Plain").insert(values)
+        assert len(returned) == len(rows)
+        assert bulk.relation("Plain").rows() == slow.relation("Plain").rows()
+        assert (
+            bulk.relation("Plain").stats._column_counts
+            == slow.relation("Plain").stats._column_counts
+        )
+        assert bulk.stats_version == slow.stats_version
+
+    def test_bulk_key_violation_keeps_prior_rows(self, schema):
+        db = Database(schema)
+        rows = [(str(i), i) for i in range(100)] + [("5", 999)]
+        with pytest.raises(KeyViolationError):
+            db.relation("Keyed").insert_many(rows)
+        # Everything before the offending row stayed applied, exactly
+        # like the per-row loop, and its statistics landed.
+        assert len(db.relation("Keyed")) == 100
+        assert db.relation("Keyed").stats.cardinality == 100
+        assert db.stats_version == 100
+
+    def test_bulk_load_into_shards(self, schema):
+        db = Database(schema, shards=3)
+        db.relation("Plain").insert_many([(i, 0) for i in range(150)])
+        instance = db.relation("Plain")
+        total = sum(
+            len(instance.shard_ordinal_pairs(s)) for s in range(3)
+        )
+        assert total == 150
+        merged = RelationStatistics.merged(instance.shard_statistics(), 2)
+        assert merged.cardinality == 150
+
+
+class TestStatsVersion:
+    def test_counter_tracks_effective_mutations(self, schema):
+        db = Database(schema)
+        assert db.stats_version == 0
+        db.insert("Plain", 1, 2)
+        db.insert("Plain", 1, 2)  # set-semantics no-op
+        assert db.stats_version == 1
+        db.insert_all("Plain", [(i, 0) for i in range(100)])
+        assert db.stats_version == 101
+        db.relation("Plain").delete(Row("Plain", (1, 2)))
+        db.relation("Plain").delete(Row("Plain", (1, 2)))  # absent no-op
+        assert db.stats_version == 102
+
+    def test_counter_matches_summed_instance_versions(self, schema):
+        db = Database(schema, shards=2)
+        db.insert_all("Plain", [(i, 0) for i in range(80)])
+        db.insert("Keyed", "x", 1)
+        db.relation("Plain").delete(Row("Plain", (3, 0)))
+        assert db.stats_version == sum(
+            inst.stats.version for inst in db.relations()
+        )
+
+    def test_direct_instance_mutations_are_counted(self, schema):
+        db = Database(schema)
+        db.relation("Plain").insert((1, 1))
+        assert db.stats_version == 1
+
+
+class TestCopyBulk:
+    def test_copy_preserves_rows_order_and_shards(self, schema):
+        db = Database(schema, shards=3)
+        db.insert_all("Plain", [(i, i % 4) for i in range(120)])
+        db.insert_all("Keyed", [(str(i), i) for i in range(90)])
+        clone = db.copy()
+        assert clone.shards == 3
+        for name in ("Plain", "Keyed"):
+            assert clone.relation(name).rows() == db.relation(name).rows()
+            assert (
+                clone.relation(name).stats._column_counts
+                == db.relation(name).stats._column_counts
+            )
+        clone.insert("Plain", 999, 0)
+        assert len(db.relation("Plain")) == 120
+
+    def test_copy_tolerates_keyless_duplicate_free_load(self, schema):
+        db = Database(schema)
+        db.insert_all("Keyed", [(str(i), i) for i in range(70)])
+        clone = db.copy()
+        assert clone.relation("Keyed").lookup_key(("5",)) is not None
+
+
+class TestProjection:
+    def _plan(self, db, text):
+        from repro.cq.parser import parse_query
+        from repro.cq.plan import plan_query
+
+        return plan_query(parse_query(text), db)
+
+    def test_projection_excludes_unreferenced_relations(self, schema):
+        db = Database(schema)
+        db.insert_all("Plain", [(i, i % 3) for i in range(10)])
+        db.insert_all("Keyed", [(str(i), i) for i in range(10)])
+        plan = self._plan(db, "Q(A, B) :- Plain(A, B), Plain(B, X)")
+        projected = db.project_for_plan(plan)
+        assert set(projected) == {"Plain"}
+        assert projected["Plain"] == [row.values for row in
+                                      db.relation("Plain")]
+
+    def test_suffix_projection_keeps_self_join_relation(self, schema):
+        db = Database(schema)
+        db.insert_all("Plain", [(i, i % 3) for i in range(10)])
+        plan = self._plan(db, "Q(A, X) :- Plain(A, B), Plain(B, X)")
+        # The suffix re-probes the first step's relation, so it must
+        # still ship even when the seeds come from the same relation.
+        assert set(db.project_for_plan(plan, 1)) == {"Plain"}
+
+    def test_from_projection_round_trips_for_execution(self, schema):
+        from repro.cq.executor import execute_plan
+
+        db = Database(schema)
+        db.insert_all("Plain", [(i, i % 3) for i in range(30)])
+        plan = self._plan(db, "Q(A, X) :- Plain(A, B), Plain(B, X)")
+        rebuilt = Database.from_projection(
+            db.schema, db.project_for_plan(plan)
+        )
+        assert list(execute_plan(plan, rebuilt)) == list(
+            execute_plan(plan, db)
+        )
