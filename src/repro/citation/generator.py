@@ -38,9 +38,9 @@ from repro.citation.tokens import (
 from repro.cq.evaluation import evaluate_with_bindings
 from repro.cq.executor import IndexedVirtualRelations
 from repro.cq.parser import parse_query
-from repro.cq.plan import PrefixKey, QueryPlan, QueryPlanner, prefix_keys
+from repro.cq.plan import QueryPlan, QueryPlanner
 from repro.cq.query import ConjunctiveQuery
-from repro.cq.subplan import SubplanMemo
+from repro.cq.subplan import SubplanMemo, reserve_shared_prefixes
 from repro.cq.sql_parser import parse_sql
 from repro.cq.terms import Constant, Variable
 from repro.relational.database import Database
@@ -248,7 +248,7 @@ class CitationEngine:
     def _materialized(self) -> IndexedVirtualRelations:
         if self._virtual is None:
             self._virtual = IndexedVirtualRelations(
-                self.registry.materialize(self.db)
+                self.registry.materialize(self.db, planner=self.planner)
             )
         return self._virtual
 
@@ -341,7 +341,9 @@ class CitationEngine:
             return cached
         if isinstance(token, ViewCitationToken):
             view = self.registry.get(token.view_name)
-            record = view.citation_for(self.db, token.parameters)
+            record = view.citation_for(
+                self.db, token.parameters, planner=self.planner
+            )
         elif isinstance(token, BaseRelationToken):
             record = {"Relation": token.relation}
         else:  # pragma: no cover - no other token kinds exist
@@ -548,8 +550,6 @@ class CitationEngine:
                 tuple[QueryPlan, ...],
             ]
         ] = []
-        batch_keys: list[list[PrefixKey]] = []
-        counts: dict[PrefixKey, int] = {}
         for query in queries:
             if isinstance(query, str):
                 query = parse_query(query)
@@ -558,20 +558,12 @@ class CitationEngine:
                 self.planner.plan(rewriting.query, virtual)
                 for rewriting in rewritings
             )
-            if self.share_subplans:
-                for plan in plans:
-                    if plan.empty:
-                        continue
-                    keys, __ = prefix_keys(plan)
-                    batch_keys.append(keys)
-                    for key in keys:
-                        counts[key] = counts.get(key, 0) + 1
             batch.append((query, rewritings, plans))
-        for keys in batch_keys:
-            for key in reversed(keys):
-                if counts[key] >= 2:
-                    self.subplan_memo.reserve(key)
-                    break
+        if self.share_subplans:
+            reserve_shared_prefixes(
+                [plan for __, __, plans in batch for plan in plans],
+                self.subplan_memo,
+            )
         return batch
 
     def cite_sql(self, sql: str) -> CitationResult:
@@ -585,13 +577,24 @@ class CitationEngine:
         so per-tuple citations combine with ``+`` across disjuncts —
         exactly the alternative-use semantics of Section 3.1 — and the
         aggregate then proceeds as usual.
+
+        Disjuncts ride the batch pipeline: every rewriting of every
+        disjunct is planned through the shared plan cache, and the
+        disjuncts' common join prefixes — unions overlap heavily by
+        construction — are reserved in the sub-plan memo so each shared
+        prefix is materialized once per union rather than once per
+        disjunct (``share_subplans=False`` restores per-disjunct
+        evaluation; results are identical either way).
         """
         from repro.cq.ucq import UnionQuery, parse_union_query
 
         if isinstance(union, str):
             union = parse_union_query(union)
         union = union.minimized()
-        partial_results = [self.cite(disjunct) for disjunct in union]
+        partial_results = [
+            self._cite_with_rewritings(query, rewritings, plans)
+            for query, rewritings, plans in self._group_batch(union.disjuncts)
+        ]
 
         outputs: dict[tuple[Any, ...], None] = {}
         for result in partial_results:
@@ -666,4 +669,6 @@ class CitationEngine:
         self, view_name: str, params: tuple[Any, ...] = ()
     ) -> Record:
         """Directly cite a view instance (the hard-coded web-page case)."""
-        return self.registry.get(view_name).citation_for(self.db, params)
+        return self.registry.get(view_name).citation_for(
+            self.db, params, planner=self.planner
+        )

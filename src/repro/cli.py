@@ -169,12 +169,28 @@ def cmd_rewrite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _is_union_text(text: str) -> bool:
+    """True when Datalog text stacks more than one rule (a UCQ)."""
+    rules = [
+        chunk for chunk in text.replace(";", "\n").splitlines()
+        if chunk.strip()
+    ]
+    return len(rules) > 1
+
+
 def cmd_cite(args: argparse.Namespace) -> int:
-    """Cite a query (Datalog by default, SQL with --sql)."""
+    """Cite a query (Datalog by default, SQL with --sql).
+
+    Multi-rule Datalog text (rules separated by ``;`` or newlines) is
+    cited as a union of conjunctive queries: per-tuple citations combine
+    with ``+`` across the disjuncts that produce the tuple.
+    """
     db, registry = _load(args.project)
     engine = _build_engine(db, registry, args.policy)
     if args.sql:
         result = engine.cite_sql(args.query)
+    elif _is_union_text(args.query):
+        result = engine.cite_union(args.query)
     else:
         result = engine.cite(args.query)
     renderer = _FORMATS[args.format]
@@ -194,6 +210,11 @@ def cmd_plan(args: argparse.Namespace) -> int:
     composite index (equality + range served by one
     hash-lookup-plus-bisect probe) — with the comparisons it absorbs,
     plus per-step residual checks.
+
+    Multi-rule Datalog text plans as a union: one plan per disjunct,
+    with the disjuncts' shared join prefixes reserved in a sub-plan
+    memo so the EXPLAIN shows which steps would be evaluated once and
+    shared (``shared prefix:`` lines).
     """
     from repro.cq.parser import parse_query
     from repro.cq.plan import plan_query
@@ -202,6 +223,13 @@ def cmd_plan(args: argparse.Namespace) -> int:
     db, __ = _load(args.project)
     if args.sql:
         query = parse_sql(args.query, db.schema)
+    elif _is_union_text(args.query):
+        from repro.cq.subplan import SubplanMemo
+        from repro.cq.ucq import parse_union_query
+
+        union = parse_union_query(args.query)
+        print(union.explain(db, memo=SubplanMemo()))
+        return 0
     else:
         query = parse_query(args.query)
     print(plan_query(query, db).explain())

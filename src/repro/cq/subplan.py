@@ -228,6 +228,37 @@ class SubplanMemo:
         self.evictions = 0
 
 
+def reserve_shared_prefixes(
+    plans: Sequence[QueryPlan], memo: SubplanMemo
+) -> int:
+    """Reserve each plan's longest prefix key carried by ≥ 2 plans.
+
+    This is the reservation discipline of
+    :meth:`~repro.citation.generator.CitationEngine.cite_batch`, shared
+    with the UCQ path (disjuncts of one union overlap heavily by
+    construction) and the CLI: prefix keys of all the plans are counted,
+    and each plan reserves only its *longest* key that at least two
+    plans carry — single-shot prefixes never pay materialization, and
+    intermediate levels nobody would seed from stay out of the memo.
+    Returns the number of reservations made (shared prefixes found).
+    """
+    all_keys = [
+        prefix_keys(plan)[0] for plan in plans if not plan.empty
+    ]
+    counts: dict[PrefixKey, int] = {}
+    for keys in all_keys:
+        for key in keys:
+            counts[key] = counts.get(key, 0) + 1
+    reserved = 0
+    for keys in all_keys:
+        for key in reversed(keys):
+            if counts[key] >= 2:
+                memo.reserve(key)
+                reserved += 1
+                break
+    return reserved
+
+
 def execute_plan_shared(
     plan: QueryPlan,
     db: Database,

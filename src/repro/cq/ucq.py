@@ -12,6 +12,17 @@ head predicate::
 
     Q(N) :- Family(F, N, Ty), Ty = "gpcr"
     Q(N) :- Family(F, N, Ty), Ty = "vgic"
+
+Evaluation routes every disjunct through the cost-based pipeline
+(statistics → plan → executor): :meth:`UnionQuery.plan` builds one
+:class:`~repro.cq.plan.QueryPlan` per disjunct — through a shared
+:class:`~repro.cq.plan.QueryPlanner` when one is given, so repeated
+union traffic hits the α-equivalence plan cache — and
+:meth:`UnionQuery.evaluate` executes them through the cross-query
+sub-plan memo: disjuncts of one union overlap heavily by construction
+(they are variations on one head shape), so their common join prefixes
+are reserved in the :class:`~repro.cq.subplan.SubplanMemo` and
+materialized once per evaluation instead of once per disjunct.
 """
 
 from __future__ import annotations
@@ -19,10 +30,17 @@ from __future__ import annotations
 from collections.abc import Iterator, Sequence
 from typing import Any
 
-from repro.cq.evaluation import evaluate_query
 from repro.cq.containment import is_contained_in
+from repro.cq.evaluation import head_tuple
 from repro.cq.parser import parse_query
+from repro.cq.plan import QueryPlan, QueryPlanner, plan_query
 from repro.cq.query import ConjunctiveQuery
+from repro.cq.subplan import (
+    SubplanMemo,
+    execute_plan_shared,
+    explain_with_memo,
+    reserve_shared_prefixes,
+)
 from repro.errors import QueryError
 from repro.relational.database import Database
 
@@ -71,13 +89,103 @@ class UnionQuery:
 
     # -- semantics ---------------------------------------------------------------
 
-    def evaluate(self, db: Database) -> list[tuple[Any, ...]]:
-        """Set-semantics union of the disjuncts' results."""
+    def plan(
+        self,
+        db: Database,
+        planner: QueryPlanner | None = None,
+        virtual: Any = None,
+    ) -> tuple[QueryPlan, ...]:
+        """One cost-based plan per disjunct.
+
+        With a ``planner`` each disjunct goes through the shared
+        α-equivalence plan cache (:meth:`QueryPlanner.plan_union`);
+        without one the disjuncts are planned from scratch.
+        """
+        if planner is not None:
+            return planner.plan_union(self, virtual)
+        return tuple(
+            plan_query(disjunct, db, virtual) for disjunct in self.disjuncts
+        )
+
+    def evaluate(
+        self,
+        db: Database,
+        planner: QueryPlanner | None = None,
+        memo: SubplanMemo | None = None,
+        parallelism: int = 1,
+        use_processes: bool = False,
+        virtual: Any = None,
+    ) -> list[tuple[Any, ...]]:
+        """Set-semantics union of the disjuncts' results.
+
+        Rows are deduplicated in first-derivation order — disjuncts in
+        declaration order, bindings in the executor's (deterministic)
+        order within each disjunct — which matches the seed-era
+        per-disjunct evaluation exactly.
+
+        Parameters
+        ----------
+        db:
+            The database instance.
+        planner:
+            When given, disjunct plans come from (and fill) its shared
+            plan cache.
+        memo:
+            When given, the disjuncts' common join prefixes are reserved
+            in the sub-plan memo and materialized once per evaluation
+            (:func:`~repro.cq.subplan.reserve_shared_prefixes`); later
+            disjuncts — and later evaluations, until data mutations
+            invalidate the entries — seed from the stored bindings.
+        parallelism / use_processes:
+            Worker count (and thread/process choice) for the
+            shard-and-merge executor, per disjunct; results are
+            identical at any setting.
+        virtual:
+            Optional virtual relations visible to the disjunct bodies.
+        """
+        plans = self.plan(db, planner, virtual)
+        if memo is not None:
+            reserve_shared_prefixes(plans, memo)
         seen: dict[tuple[Any, ...], None] = {}
-        for disjunct in self.disjuncts:
-            for row in evaluate_query(disjunct, db):
-                seen.setdefault(row)
+        for disjunct, plan in zip(self.disjuncts, plans):
+            for binding in execute_plan_shared(
+                plan,
+                db,
+                virtual,
+                memo,
+                parallelism=parallelism,
+                use_processes=use_processes,
+            ):
+                seen.setdefault(head_tuple(disjunct, binding))
         return list(seen)
+
+    def explain(
+        self,
+        db: Database,
+        planner: QueryPlanner | None = None,
+        memo: SubplanMemo | None = None,
+        virtual: Any = None,
+    ) -> str:
+        """Per-disjunct EXPLAIN with the memo's shared-prefix view.
+
+        Renders each disjunct's plan; with a ``memo`` the disjuncts'
+        common prefixes are reserved first, so every disjunct whose plan
+        shares a prefix with a sibling carries a ``shared prefix:`` line
+        (reserved on a cold memo, ``reused from memo`` once an
+        evaluation has materialized the bindings).
+        """
+        plans = self.plan(db, planner, virtual)
+        if memo is not None:
+            reserve_shared_prefixes(plans, memo)
+        sections = []
+        for number, plan in enumerate(plans, start=1):
+            rendered = (
+                explain_with_memo(plan, memo, db, virtual)
+                if memo is not None
+                else plan.explain()
+            )
+            sections.append(f"disjunct {number}/{len(plans)}: {rendered}")
+        return "\n".join(sections)
 
     def minimized(self) -> "UnionQuery":
         """Remove disjuncts contained in another disjunct.

@@ -17,6 +17,7 @@ from repro.fixity.versioned import (
 )
 from repro.fixity.temporal import (
     VTAG,
+    TemporalCitationEngine,
     lift_schema,
     lift_database,
     lift_view,
@@ -29,6 +30,7 @@ __all__ = [
     "VersionedDatabase",
     "VersionedCitationEngine",
     "VTAG",
+    "TemporalCitationEngine",
     "lift_schema",
     "lift_database",
     "lift_view",

@@ -24,6 +24,13 @@ Because the timestamp is an ordinary λ-parameter, the whole citation
 pipeline (rewriting, absorption, orders) applies unchanged: a query that
 pins ``VTag = "2016.2"`` gets the comparison absorbed into the lifted
 view's λ-term exactly like ``Ty = "gpcr"`` in Example 2.2.
+
+:class:`TemporalCitationEngine` keeps the lifted database warm behind the
+cost-based planner: queries pinned to a snapshot tag plan once per
+``(query, tag)`` — the tag rides in the query as an ordinary constant, so
+the α-equivalence plan cache separates tags without any bespoke keying —
+and snapshot registration invalidates every cached plan through the same
+``stats_version`` signal ordinary mutations use.
 """
 
 from __future__ import annotations
@@ -32,8 +39,12 @@ from collections.abc import Sequence
 from typing import Any
 
 from repro.cq.atoms import RelationalAtom
+from repro.cq.evaluation import evaluate_query
+from repro.cq.parser import parse_query
+from repro.cq.plan import QueryPlan, QueryPlanner
 from repro.cq.query import ConjunctiveQuery
 from repro.cq.terms import Variable
+from repro.errors import VersionError
 from repro.relational.database import Database
 from repro.relational.schema import Attribute, RelationSchema, Schema
 from repro.relational.types import STRING
@@ -144,3 +155,144 @@ def tag_query(query: ConjunctiveQuery, tag: Any) -> ConjunctiveQuery:
     return ConjunctiveQuery(
         query.name, query.head, atoms, query.comparisons, query.parameters
     )
+
+
+class TemporalCitationEngine:
+    """Snapshot-pinned queries over one warm, planner-backed temporal DB.
+
+    Snapshots of a base-schema database register under a tag
+    (:meth:`register_snapshot`); user queries over the base schema pin a
+    tag and run against the merged temporal database through a shared
+    :class:`~repro.cq.plan.QueryPlanner`.  The plan cache is *version
+    aware* for free: :func:`tag_query` embeds the tag as a constant in
+    every atom, so two tags yield two canonical keys — one plan per
+    ``(query, tag)`` — and registering a new snapshot bumps the temporal
+    database's ``stats_version``, lazily invalidating every cached plan
+    exactly like an ordinary bulk load would.
+
+    With a ``registry`` (over the *unlifted* base schema) the engine also
+    serves version-stamped citations: the registry is lifted
+    (:func:`lift_registry`) and a :class:`~repro.citation.generator
+    .CitationEngine` over the temporal database answers :meth:`cite`,
+    with its own shared planner and materialized lifted views.
+    """
+
+    def __init__(
+        self,
+        base_schema: Schema,
+        registry: ViewRegistry | None = None,
+        snapshots: Sequence[tuple[str, Database]] = (),
+        **engine_options: Any,
+    ) -> None:
+        self.base_schema = base_schema
+        self.lifted_schema = lift_schema(base_schema)
+        self.db = Database(self.lifted_schema)
+        #: Shared plan cache for snapshot-pinned evaluation; one entry
+        #: per (query structure, tag) because the tag is a constant.
+        self.planner = QueryPlanner(self.db)
+        self._tags: dict[str, None] = {}
+        self._engine: Any = None
+        if registry is not None:
+            from repro.citation.generator import CitationEngine
+
+            self._engine = CitationEngine(
+                self.db,
+                lift_registry(registry, self.lifted_schema),
+                **engine_options,
+            )
+        elif engine_options:
+            raise TypeError("engine options need a registry")
+        for tag, snapshot in snapshots:
+            self.register_snapshot(tag, snapshot)
+
+    # -- snapshots -----------------------------------------------------------
+
+    @property
+    def tags(self) -> tuple[str, ...]:
+        """Registered snapshot tags, in registration order."""
+        return tuple(self._tags)
+
+    def register_snapshot(self, tag: str, snapshot: Database) -> int:
+        """Copy a base-schema snapshot into the temporal DB under ``tag``.
+
+        Returns the number of rows loaded.  Loading bumps the temporal
+        database's ``stats_version``, so every cached plan (this
+        engine's and the citation engine's) is invalidated — the same
+        signal PR 5 uses for ordinary mutations.
+        """
+        if tag in self._tags:
+            raise VersionError(f"snapshot tag already registered: {tag!r}")
+        loaded = 0
+        for instance in snapshot.relations():
+            for row in instance:
+                self.db.insert(instance.schema.name, *row.values, tag)
+                loaded += 1
+        self._tags[tag] = None
+        if self._engine is not None:
+            # Materialized lifted views are cached per engine; new data
+            # must drop them (plans invalidate via stats_version anyway).
+            self._engine.refresh()
+        return loaded
+
+    def _check_tag(self, tag: str) -> None:
+        if tag not in self._tags:
+            raise VersionError(f"unknown snapshot tag: {tag!r}")
+
+    def tagged(self, query: ConjunctiveQuery | str, tag: str) -> ConjunctiveQuery:
+        """The base-schema query pinned to one registered snapshot."""
+        self._check_tag(tag)
+        if isinstance(query, str):
+            query = parse_query(query)
+        return tag_query(query, tag)
+
+    # -- planned evaluation ---------------------------------------------------
+
+    def plan(self, query: ConjunctiveQuery | str, tag: str) -> QueryPlan:
+        """The cached cost-based plan for ``query`` as of ``tag``."""
+        return self.planner.plan(self.tagged(query, tag))
+
+    def evaluate(
+        self,
+        query: ConjunctiveQuery | str,
+        tag: str,
+        parallelism: int = 1,
+        use_processes: bool = False,
+    ) -> list[tuple[Any, ...]]:
+        """Evaluate a base-schema query against one snapshot, planned.
+
+        Results are identical to evaluating the query against the
+        original snapshot database directly.
+        """
+        return evaluate_query(
+            self.tagged(query, tag),
+            self.db,
+            planner=self.planner,
+            parallelism=parallelism,
+            use_processes=use_processes,
+        )
+
+    def explain(self, query: ConjunctiveQuery | str, tag: str) -> str:
+        """EXPLAIN for the snapshot-pinned plan."""
+        return (
+            f"as of {tag!r}: " + self.plan(query, tag).explain()
+        )
+
+    # -- citations ------------------------------------------------------------
+
+    @property
+    def citation_engine(self) -> Any:
+        """The lifted-registry citation engine (requires a registry)."""
+        if self._engine is None:
+            raise VersionError(
+                "no registry: construct with registry=... to cite"
+            )
+        return self._engine
+
+    def cite(self, query: ConjunctiveQuery | str, tag: str) -> Any:
+        """Cite a base-schema query as of one snapshot.
+
+        The pinned tag constants are absorbed into the lifted views'
+        timestamp λ-parameters by the ordinary rewriting machinery, so
+        citation records carry the snapshot tag.
+        """
+        return self.citation_engine.cite(self.tagged(query, tag))

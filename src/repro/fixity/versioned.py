@@ -15,6 +15,9 @@ from typing import Any
 
 from repro.citation.generator import CitationEngine, CitationResult, Record
 from repro.citation.policy import CitationPolicy
+from repro.cq.evaluation import evaluate_query
+from repro.cq.parser import parse_query
+from repro.cq.plan import QueryPlan
 from repro.cq.query import ConjunctiveQuery
 from repro.errors import VersionError
 from repro.relational.database import Database
@@ -145,6 +148,63 @@ class VersionedCitationEngine:
             engine = CitationEngine(db, self.registry, policy=self.policy)
             self._engines[version.number] = engine
         return engine
+
+    # -- planned evaluation ---------------------------------------------------
+
+    def plan(
+        self,
+        query: ConjunctiveQuery | str,
+        version: Version | str | int | None = None,
+    ) -> QueryPlan:
+        """The cached cost-based plan for ``query`` as of a version.
+
+        Each committed version keeps its own warm
+        :class:`~repro.citation.generator.CitationEngine` (and hence its
+        own :class:`~repro.cq.plan.QueryPlanner` over the reconstructed
+        state), so plans are naturally keyed by ``(query, version)`` and
+        costed against that version's statistics.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        resolved = self.versioned.resolve(version)
+        return self._engine_for(resolved).planner.plan(query)
+
+    def evaluate(
+        self,
+        query: ConjunctiveQuery | str,
+        version: Version | str | int | None = None,
+        parallelism: int = 1,
+        use_processes: bool = False,
+    ) -> list[tuple[Any, ...]]:
+        """Evaluate a query against a committed version, planned.
+
+        Results match evaluating against ``versioned.as_of(version)``
+        directly; repeated evaluation of the same query at the same
+        version hits the per-version plan cache.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        resolved = self.versioned.resolve(version)
+        engine = self._engine_for(resolved)
+        return evaluate_query(
+            query,
+            engine.db,
+            planner=engine.planner,
+            parallelism=parallelism,
+            use_processes=use_processes,
+        )
+
+    def explain(
+        self,
+        query: ConjunctiveQuery | str,
+        version: Version | str | int | None = None,
+    ) -> str:
+        """EXPLAIN for the version-pinned plan."""
+        resolved = self.versioned.resolve(version)
+        return (
+            f"as of version {resolved.tag!r}: "
+            + self.plan(query, resolved).explain()
+        )
 
     def cite(
         self,

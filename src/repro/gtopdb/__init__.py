@@ -15,7 +15,12 @@ subpackage reconstructs everything the paper uses:
 
 from repro.gtopdb.schema import gtopdb_schema
 from repro.gtopdb.sample import paper_database
-from repro.gtopdb.views import paper_views, paper_registry
+from repro.gtopdb.views import (
+    GtoPdbPortal,
+    PortalPage,
+    paper_registry,
+    paper_views,
+)
 from repro.gtopdb.generator import GtopdbGenerator, generate_database
 
 __all__ = [
@@ -23,6 +28,8 @@ __all__ = [
     "paper_database",
     "paper_views",
     "paper_registry",
+    "GtoPdbPortal",
+    "PortalPage",
     "GtopdbGenerator",
     "generate_database",
 ]

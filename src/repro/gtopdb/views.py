@@ -8,17 +8,27 @@ JSON records shown in the paper:
 - ``FV3``: ``{Owner, URL}``
 - ``FV4``: ``{Type, Contributors: [{Name, Committee: [...]}, ...]}``
 - ``FV5``: like FV4 but crediting introduction contributors.
+
+:class:`GtoPdbPortal` is the portal path over those views: every page
+render (view instance + citation record) routes through one warm
+:class:`~repro.citation.generator.CitationEngine`, so repeated
+instantiations of the same page shape hit the shared plan cache.
 """
 
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
-from typing import Any
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 from repro.gtopdb.schema import gtopdb_schema
 from repro.relational.schema import Schema
 from repro.views.citation_view import CitationView, RecordCitationFunction
 from repro.views.registry import ViewRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.citation.generator import CitationEngine, CitationResult
+    from repro.relational.database import Database
 
 
 def nested_family_citation(
@@ -134,3 +144,112 @@ def paper_views() -> list[CitationView]:
 def paper_registry(schema: Schema | None = None) -> ViewRegistry:
     """A :class:`ViewRegistry` holding V1–V5 over the GtoPdb schema."""
     return ViewRegistry(schema or gtopdb_schema(), paper_views())
+
+
+@dataclass(frozen=True)
+class PortalPage:
+    """One rendered portal page: a view instantiation plus its citation."""
+
+    view_name: str
+    params: tuple[Any, ...]
+    rows: tuple[tuple[Any, ...], ...]
+    citation: dict = field(compare=False)
+
+
+class GtoPdbPortal:
+    """The GtoPdb web portal, served from one warm citation engine.
+
+    Each page of the portal is a view instantiation — a family landing
+    page is ``V1(F)``, an introduction page ``V2(F)``, a type listing
+    ``V4(Ty)`` — and every render needs both the view instance (the
+    page's rows) and its citation record (the ``F_V`` output).  The
+    portal holds a single :class:`~repro.citation.generator
+    .CitationEngine` and routes both evaluations through the engine's
+    shared :class:`~repro.cq.plan.QueryPlanner`: the first page of a
+    view shape plans its (instantiated) view and citation queries, and
+    every later page of the same shape hits the α-equivalence plan
+    cache.  General queries against the portal delegate to the engine's
+    rewriting-based citation pipeline, sharing the same planner and
+    materialized views.
+    """
+
+    def __init__(
+        self,
+        db: "Database",
+        registry: ViewRegistry | None = None,
+        engine: "CitationEngine | None" = None,
+        **engine_options: Any,
+    ) -> None:
+        from repro.citation.generator import CitationEngine
+
+        if engine is None:
+            if registry is None:
+                registry = paper_registry(db.schema)
+            engine = CitationEngine(db, registry, **engine_options)
+        elif engine_options:
+            raise TypeError(
+                "pass engine options or a prebuilt engine, not both"
+            )
+        self.engine = engine
+        self.db = engine.db
+        self.registry = engine.registry
+
+    @property
+    def planner(self) -> Any:
+        """The engine's shared plan cache (exposed for inspection)."""
+        return self.engine.planner
+
+    # -- page rendering ------------------------------------------------------
+
+    def page(
+        self, view_name: str, params: Sequence[Any] = ()
+    ) -> PortalPage:
+        """Render one page: instantiate the view and cite it.
+
+        Both the view instance and the citation query run through the
+        engine's shared planner.
+        """
+        view = self.registry.get(view_name)
+        params_tuple = tuple(params)
+        rows = view.instance(
+            self.db,
+            params=list(params_tuple) if params_tuple else None,
+            planner=self.engine.planner,
+        )
+        citation = view.citation_for(
+            self.db, params_tuple, planner=self.engine.planner
+        )
+        return PortalPage(view_name, params_tuple, tuple(rows), citation)
+
+    def page_valuations(self, view_name: str) -> tuple[tuple[Any, ...], ...]:
+        """Every existing λ-valuation of a view (one page each).
+
+        The unparameterized extension is evaluated through the shared
+        planner and projected onto the parameter positions — how a site
+        generator enumerates the pages it must render.
+        """
+        view = self.registry.get(view_name)
+        if not view.is_parameterized:
+            return ((),)
+        positions = view.parameter_positions()
+        valuations: dict[tuple[Any, ...], None] = {}
+        for row in view.instance(self.db, planner=self.engine.planner):
+            valuations.setdefault(tuple(row[i] for i in positions))
+        return tuple(valuations)
+
+    def render_all(self, view_name: str) -> list[PortalPage]:
+        """Render every page of one view shape (site-generator mode)."""
+        return [
+            self.page(view_name, valuation)
+            for valuation in self.page_valuations(view_name)
+        ]
+
+    # -- general queries ------------------------------------------------------
+
+    def cite(self, query: Any) -> "CitationResult":
+        """Cite a general query through the engine's rewriting pipeline."""
+        return self.engine.cite(query)
+
+    def refresh(self) -> None:
+        """Propagate database updates (drops plans and cached records)."""
+        self.engine.refresh()

@@ -26,6 +26,7 @@ from typing import Any
 
 from repro.cq.evaluation import evaluate_query
 from repro.cq.parser import parse_query
+from repro.cq.plan import QueryPlanner
 from repro.cq.query import ConjunctiveQuery
 from repro.errors import ParameterError, ViewError
 from repro.relational.database import Database
@@ -158,6 +159,19 @@ class CitationView:
             )
         self.labels: tuple[str, ...] = tuple(labels)
         self.description = description
+        # Hoisted parameterless forms: the full-extension queries used by
+        # `instance()`/`citation_rows()` when no valuation is supplied.
+        # Deriving them once here (instead of per call) keeps repeated
+        # portal materializations α-equivalent *and* object-identical, so
+        # a shared planner's exact-match fast path hits.
+        self._view_extension = (
+            view.with_parameters(()) if view.is_parameterized else view
+        )
+        self._citation_extension = (
+            citation_query.with_parameters(())
+            if citation_query.is_parameterized
+            else citation_query
+        )
 
     # -- convenience constructors ------------------------------------------------
 
@@ -213,24 +227,41 @@ class CitationView:
     # -- semantics -----------------------------------------------------------------
 
     def instance(
-        self, db: Database, params: Sequence[Any] | None = None
+        self,
+        db: Database,
+        params: Sequence[Any] | None = None,
+        planner: QueryPlanner | None = None,
     ) -> list[tuple[Any, ...]]:
         """The view instance ``V(Y)(a1..an)`` (or the full unparameterized
-        extension when ``params`` is omitted)."""
+        extension when ``params`` is omitted).
+
+        With a ``planner`` the evaluation goes through its shared plan
+        cache, so repeated portal instantiations plan the view once.
+        """
         if params is None and self.is_parameterized:
-            return evaluate_query(self.view.with_parameters(()), db)
-        return evaluate_query(self.view, db, params=params)
+            return evaluate_query(self._view_extension, db, planner=planner)
+        return evaluate_query(self.view, db, params=params, planner=planner)
 
     def citation_rows(
-        self, db: Database, params: Sequence[Any] | None = None
+        self,
+        db: Database,
+        params: Sequence[Any] | None = None,
+        planner: QueryPlanner | None = None,
     ) -> list[tuple[Any, ...]]:
         """Output of the citation query for a parameter valuation."""
         if params is None and self.is_parameterized:
-            return evaluate_query(self.citation_query.with_parameters(()), db)
-        return evaluate_query(self.citation_query, db, params=params)
+            return evaluate_query(
+                self._citation_extension, db, planner=planner
+            )
+        return evaluate_query(
+            self.citation_query, db, params=params, planner=planner
+        )
 
     def citation_for(
-        self, db: Database, params: Sequence[Any] = ()
+        self,
+        db: Database,
+        params: Sequence[Any] = (),
+        planner: QueryPlanner | None = None,
     ) -> dict:
         """The citation record ``F_V(C_V(Y')(a1..an))``."""
         if len(params) != len(self.parameters):
@@ -238,7 +269,11 @@ class CitationView:
                 f"{self.name} takes {len(self.parameters)} parameter(s), "
                 f"got {len(params)}"
             )
-        rows = self.citation_rows(db, params=list(params) if params else None)
+        rows = self.citation_rows(
+            db,
+            params=list(params) if params else None,
+            planner=planner,
+        )
         param_map = {
             param.name: value
             for param, value in zip(self.parameters, params)

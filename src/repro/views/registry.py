@@ -10,12 +10,15 @@ rewritings (whose atoms mention view names) can be evaluated directly.
 from __future__ import annotations
 
 from collections.abc import Iterator, Sequence
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import DuplicateViewError, UnknownRelationError, ViewError
 from repro.relational.database import Database
 from repro.relational.schema import Schema
 from repro.views.citation_view import CitationView
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cq.plan import QueryPlanner
 
 
 class ViewRegistry:
@@ -75,17 +78,24 @@ class ViewRegistry:
     # -- materialization -----------------------------------------------------------
 
     def materialize(
-        self, db: Database, names: Sequence[str] | None = None
+        self,
+        db: Database,
+        names: Sequence[str] | None = None,
+        planner: "QueryPlanner | None" = None,
     ) -> dict[str, list[tuple[Any, ...]]]:
         """Compute the full extension of each view (λ-parameters free).
 
         Because Def 2.1 requires ``X ⊆ Y``, the unparameterized extension
         is the union of all instantiations, so rewritings that mention view
         atoms can be evaluated against these extensions as virtual
-        relations.
+        relations.  With a ``planner`` each extension query goes through
+        the shared plan cache, so re-materialization replans nothing.
         """
         selected = names if names is not None else self.names
-        return {name: self.get(name).instance(db) for name in selected}
+        return {
+            name: self.get(name).instance(db, planner=planner)
+            for name in selected
+        }
 
     def __repr__(self) -> str:
         return f"ViewRegistry({list(self._views)})"

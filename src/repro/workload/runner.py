@@ -17,7 +17,17 @@ from dataclasses import dataclass, field
 
 from repro.citation.generator import CitationEngine, CitationResult
 from repro.cq.query import ConjunctiveQuery
+from repro.cq.ucq import UnionQuery
 from repro.workload.logs import QueryLog
+
+
+def _is_union_text(text: str) -> bool:
+    """True when a Datalog string stacks more than one rule."""
+    rules = [
+        chunk for chunk in text.replace(";", "\n").splitlines()
+        if chunk.strip()
+    ]
+    return len(rules) > 1
 
 
 @dataclass
@@ -35,6 +45,8 @@ class WorkloadReport:
     subplan_misses: int = 0
     parallelism: int = 1
     shards: int = 1
+    #: Queries run per class ("cq", "ucq"); absent classes are omitted.
+    per_class: dict[str, int] = field(default_factory=dict)
 
     @property
     def rewriting_hit_rate(self) -> float:
@@ -68,6 +80,12 @@ class WorkloadReport:
                 f", subplan memo {self.subplan_hits}/"
                 f"{self.subplan_hits + self.subplan_misses} hits"
             )
+        if len(self.per_class) > 1:
+            breakdown = ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.per_class.items())
+            )
+            suffix += f" [{breakdown}]"
         if self.elapsed_seconds <= 0:
             # Coarse clocks can measure a successful run as zero elapsed
             # time; keep the counts and cache effectiveness, drop only
@@ -82,7 +100,7 @@ class WorkloadReport:
 
 def run_workload(
     engine: CitationEngine,
-    workload: QueryLog | Sequence[ConjunctiveQuery | str],
+    workload: QueryLog | Sequence[ConjunctiveQuery | UnionQuery | str],
     repeat_frequencies: bool = False,
     parallelism: int | None = None,
     use_processes: bool | None = None,
@@ -94,13 +112,20 @@ def run_workload(
     .cite_batch` — i.e. ``cite(D, Q, V)`` (Defs 3.1–3.4) for every query
     of the workload — and measures what the shared caches saved.
 
+    Workloads may mix query classes: :class:`~repro.cq.ucq.UnionQuery`
+    entries (or multi-rule Datalog strings) route through
+    :meth:`~repro.citation.generator.CitationEngine.cite_union`, plain
+    conjunctive queries batch through ``cite_batch``; results come back
+    in workload order either way, and the report counts queries per
+    class in :attr:`WorkloadReport.per_class`.
+
     Parameters
     ----------
     engine:
         The citation engine (its caches are warmed and reused).
     workload:
-        A :class:`QueryLog` or a plain sequence of queries / Datalog
-        strings.
+        A :class:`QueryLog` or a plain sequence of queries / union
+        queries / Datalog strings (multi-rule strings parse as unions).
     repeat_frequencies:
         When the workload is a log and this is True, each entry is cited
         ``frequency`` times — simulating the raw traffic rather than the
@@ -124,13 +149,25 @@ def run_workload(
         list (in workload order, identical at any parallelism) plus
         timing and cache-effectiveness counters.
     """
-    queries: list[ConjunctiveQuery | str] = []
+    queries: list[ConjunctiveQuery | UnionQuery | str] = []
     if isinstance(workload, QueryLog):
         for entry in workload:
             repeats = entry.frequency if repeat_frequencies else 1
             queries.extend([entry.query] * repeats)
     else:
         queries = list(workload)
+
+    def class_of(query: ConjunctiveQuery | UnionQuery | str) -> str:
+        if isinstance(query, UnionQuery):
+            return "ucq"
+        if isinstance(query, str) and _is_union_text(query):
+            return "ucq"
+        return "cq"
+
+    classes = [class_of(query) for query in queries]
+    per_class: dict[str, int] = {}
+    for name in classes:
+        per_class[name] = per_class.get(name, 0) + 1
 
     planner = engine.planner
     # Force the cite_batch rewriting-cache upgrade *before* snapshotting,
@@ -148,12 +185,27 @@ def run_workload(
     subplan_misses_before = memo.misses
 
     started = time.perf_counter()
-    results = engine.cite_batch(
-        queries,
-        parallelism=parallelism,
-        use_processes=use_processes,
-        shards=shards,
+    conjunctive = [
+        query
+        for query, name in zip(queries, classes)
+        if name == "cq"
+    ]
+    # One cite_batch over every CQ entry (maximal cross-query sharing),
+    # then unions through cite_union in place; both pipelines share the
+    # same planner, memo, and rewriting cache, so order of execution
+    # does not affect results — only which call warms which entry first.
+    batch_results = iter(
+        engine.cite_batch(
+            conjunctive,
+            parallelism=parallelism,
+            use_processes=use_processes,
+            shards=shards,
+        )
     )
+    results = [
+        engine.cite_union(query) if name == "ucq" else next(batch_results)
+        for query, name in zip(queries, classes)
+    ]
     elapsed = time.perf_counter() - started
 
     return WorkloadReport(
@@ -168,4 +220,5 @@ def run_workload(
         subplan_misses=memo.misses - subplan_misses_before,
         parallelism=engine.parallelism,
         shards=engine.db.shards,
+        per_class=per_class,
     )

@@ -127,3 +127,104 @@ class TestUnionCitations:
         result = comprehensive_engine.cite_union(self.UNION)
         for tc in result.tuples.values():
             assert len(tc.per_rewriting) == len(result.rewritings)
+
+
+class TestPlannedEvaluation:
+    """Planner/memo routing (PR 7): plans per disjunct through the
+    shared cache, shared prefixes reserved in the sub-plan memo."""
+
+    UNION = ('Q(N) :- Family(F, N, Ty), FC(F, C)\n'
+             'Q(N) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)')
+
+    def _reference(self, union, db):
+        from repro.cq.evaluation import evaluate_query
+        seen = {}
+        for disjunct in union.disjuncts:
+            for row in evaluate_query(disjunct, db):
+                seen.setdefault(row)
+        return list(seen)
+
+    def test_planner_caches_disjunct_plans(self, db):
+        from repro.cq.plan import QueryPlanner
+
+        union = parse_union_query(self.UNION)
+        planner = QueryPlanner(db)
+        union.plan(db, planner)
+        assert planner.misses == len(union)
+        union.plan(db, planner)
+        assert planner.hits == len(union)
+
+    def test_memo_shares_prefixes_across_disjuncts(self, db):
+        from repro.cq.subplan import SubplanMemo
+
+        union = parse_union_query(self.UNION)
+        memo = SubplanMemo()
+        planned = union.evaluate(db, memo=memo)
+        assert planned == self._reference(union, db)
+        # The two-step Family⋈FC prefix is evaluated once and seeded
+        # into the second disjunct (and later evaluations).
+        assert memo.hits >= 1
+        assert union.evaluate(db, memo=memo) == planned
+
+    def test_explain_shows_disjuncts_and_shared_prefixes(self, db):
+        from repro.cq.subplan import SubplanMemo
+
+        union = parse_union_query(self.UNION)
+        rendered = union.explain(db, memo=SubplanMemo())
+        assert "disjunct 1/2" in rendered and "disjunct 2/2" in rendered
+        assert "shared prefix:" in rendered
+
+
+class TestEdgeSemantics:
+    """UCQ edge cases must be planning-invariant: duplicate-producing,
+    contained, and contradiction-short-circuited disjuncts."""
+
+    def _polynomials(self, result):
+        return {
+            output: tc.polynomial for output, tc in result.tuples.items()
+        }
+
+    def test_duplicate_tuples_keep_plus_combination(self, db, registry):
+        # Both disjuncts produce every gpcr family name; the +-combined
+        # citations must be identical with and without sub-plan sharing.
+        from repro.citation.generator import CitationEngine
+
+        union = ('Q(N) :- Family(F, N, Ty), Ty = "gpcr"\n'
+                 'Q(N) :- Family(F, N, Ty), Ty = "gpcr", FC(F, C)')
+        shared = CitationEngine(db, registry, share_subplans=True)
+        unshared = CitationEngine(db, registry, share_subplans=False)
+        left = shared.cite_union(union)
+        right = unshared.cite_union(union)
+        assert list(left.tuples) == list(right.tuples)
+        assert self._polynomials(left) == self._polynomials(right)
+        assert left.records == right.records
+
+    def test_contained_disjuncts_yield_reference_union(self, db):
+        from repro.cq.plan import QueryPlanner
+        from repro.cq.subplan import SubplanMemo
+
+        union = parse_union_query(
+            "Q(N) :- Family(F, N, Ty)\n"
+            'Q(N) :- Family(F, N, Ty), Ty = "gpcr"'
+        )
+        reference = union.evaluate(db)
+        minimized = union.minimized()
+        planned = minimized.evaluate(db, QueryPlanner(db), SubplanMemo())
+        assert sorted(planned) == sorted(reference)
+
+    def test_empty_interval_disjunct_short_circuits(self, db):
+        from repro.cq.plan import QueryPlanner
+        from repro.cq.subplan import SubplanMemo
+
+        union = parse_union_query(
+            'Q(N) :- Family(F, N, Ty), Ty = "gpcr"\n'
+            'Q(N) :- Family(F, N, Ty), N < "A", N > "Z"'
+        )
+        planner = QueryPlanner(db)
+        plans = union.plan(db, planner)
+        assert plans[1].empty  # the contradiction is caught at plan time
+        planned = union.evaluate(db, planner, SubplanMemo())
+        assert planned == union.evaluate(db)
+        gpcr = parse_query('Q(N) :- Family(F, N, Ty), Ty = "gpcr"')
+        from repro.cq.evaluation import evaluate_query
+        assert planned == evaluate_query(gpcr, db)

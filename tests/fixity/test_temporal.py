@@ -153,3 +153,79 @@ class TestTagQuery:
         monomial = result.aggregate_polynomial.monomials()[0]
         token = monomial.tokens()[0]
         assert token.parameters == ("gpcr", "2016.2")
+
+
+class TestTemporalCitationEngine:
+    @pytest.fixture()
+    def engine(self, snapshots):
+        from repro.fixity.temporal import TemporalCitationEngine
+
+        return TemporalCitationEngine(
+            gtopdb_schema(),
+            registry=paper_registry(),
+            snapshots=snapshots,
+        )
+
+    QUERY = 'Q(N) :- Family(F, N, Ty), Ty = "gpcr"'
+
+    def test_tags_in_registration_order(self, engine):
+        assert engine.tags == ("2015.1", "2016.2")
+
+    def test_duplicate_tag_rejected(self, engine):
+        from repro.errors import VersionError
+
+        with pytest.raises(VersionError):
+            engine.register_snapshot("2015.1", paper_database())
+
+    def test_unknown_tag_rejected(self, engine):
+        from repro.errors import VersionError
+
+        with pytest.raises(VersionError):
+            engine.evaluate(self.QUERY, "no-such-tag")
+
+    def test_evaluation_pinned_per_tag(self, engine):
+        from repro.cq.evaluation import evaluate_query
+
+        old = engine.evaluate(self.QUERY, "2015.1")
+        new = engine.evaluate(self.QUERY, "2016.2")
+        assert set(old) == {("Calcitonin",)}
+        assert set(new) == set(
+            evaluate_query(parse_query(self.QUERY), paper_database())
+        )
+
+    def test_plans_cached_per_query_and_tag(self, engine):
+        engine.evaluate(self.QUERY, "2015.1")
+        misses = engine.planner.misses
+        engine.evaluate(self.QUERY, "2015.1")
+        assert engine.planner.misses == misses  # warm repeat
+        engine.evaluate(self.QUERY, "2016.2")
+        assert engine.planner.misses == misses + 1  # new tag, new plan
+
+    def test_snapshot_registration_invalidates(self, engine):
+        before = engine.evaluate(self.QUERY, "2015.1")
+        extra = Database(gtopdb_schema())
+        extra.insert("Family", "77", "Extra", "gpcr")
+        loaded = engine.register_snapshot("2017.1", extra)
+        assert loaded == 1
+        assert set(engine.evaluate(self.QUERY, "2017.1")) == {("Extra",)}
+        assert engine.evaluate(self.QUERY, "2015.1") == before
+
+    def test_explain_names_the_tag(self, engine):
+        rendered = engine.explain(self.QUERY, "2015.1")
+        assert rendered.startswith("as of '2015.1':")
+        assert "2015.1" in rendered
+
+    def test_cite_stamps_the_tag(self, engine):
+        result = engine.cite(self.QUERY, "2015.1")
+        stamped = [r for r in result.records if r.get(VTAG) == "2015.1"]
+        assert stamped
+
+    def test_cite_requires_registry(self, snapshots):
+        from repro.errors import VersionError
+        from repro.fixity.temporal import TemporalCitationEngine
+
+        bare = TemporalCitationEngine(
+            gtopdb_schema(), snapshots=snapshots[:1]
+        )
+        with pytest.raises(VersionError):
+            bare.cite(self.QUERY, "2015.1")

@@ -92,3 +92,40 @@ class TestVersionedCitations:
         engine.cite("Q(N) :- Family(F, N, Ty)", version="r1")
         engine.cite("Q(N) :- Family(F, N, Ty)", version="r1")
         assert len(engine._engines) == 1
+
+
+class TestVersionedPlannedEvaluation:
+    QUERY = "Q(Pn) :- FC(F, C), Person(C, Pn, A)"
+
+    def test_evaluate_matches_reconstruction(self, vdb):
+        from repro.cq.evaluation import evaluate_query
+        from repro.cq.parser import parse_query
+
+        engine = VersionedCitationEngine(vdb, paper_registry())
+        for version in ("r1", "r2", "r3", None):
+            reference = evaluate_query(
+                parse_query(self.QUERY), vdb.as_of(version)
+            )
+            assert engine.evaluate(self.QUERY, version) == reference
+
+    def test_repeat_hits_per_version_plan_cache(self, vdb):
+        engine = VersionedCitationEngine(vdb, paper_registry())
+        engine.evaluate(self.QUERY, "r1")
+        planner = engine._engine_for(vdb.resolve("r1")).planner
+        misses = planner.misses
+        engine.evaluate(self.QUERY, "r1")
+        assert planner.misses == misses
+        assert planner.hits >= 1
+        # A different version plans against its own statistics.
+        engine.evaluate(self.QUERY, "r2")
+        assert planner.misses == misses
+
+    def test_explain_names_the_version(self, vdb):
+        engine = VersionedCitationEngine(vdb, paper_registry())
+        rendered = engine.explain(self.QUERY, "r2")
+        assert rendered.startswith("as of version 'r2':")
+
+    def test_plan_for_unknown_version_rejected(self, vdb):
+        engine = VersionedCitationEngine(vdb, paper_registry())
+        with pytest.raises(VersionError):
+            engine.plan(self.QUERY, "no-such-version")

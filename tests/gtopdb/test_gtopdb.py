@@ -1,5 +1,6 @@
 """Tests for the GtoPdb substrate: schema, sample, views, generator."""
 
+import pytest
 
 from repro.gtopdb.generator import GtopdbGenerator, generate_database
 from repro.gtopdb.schema import gtopdb_schema
@@ -144,3 +145,66 @@ class TestGenerator:
         generator = GtopdbGenerator(types=15)
         names = generator.type_names()
         assert len(names) == 15 and len(set(names)) == 15
+
+
+class TestPortal:
+    """The portal path: every page render rides one shared planner."""
+
+    @pytest.fixture()
+    def portal(self, db):
+        from repro.gtopdb.views import GtoPdbPortal
+
+        return GtoPdbPortal(db)
+
+    def test_page_rows_and_citation_match_direct_path(self, portal, db,
+                                                      registry):
+        page = portal.page("V1", ("11",))
+        assert page.rows == tuple(registry.get("V1").instance(db, ["11"]))
+        assert page.citation == registry.get("V1").citation_for(db, ("11",))
+
+    def test_unparameterized_page(self, portal, db):
+        page = portal.page("V3")
+        assert page.params == ()
+        assert page.citation["Owner"] == "Tony Harmar"
+        assert len(page.rows) == len(db.relation("Family"))
+
+    def test_page_valuations_enumerate_families(self, portal, db):
+        valuations = portal.page_valuations("V1")
+        assert len(valuations) == len(db.relation("Family"))
+        assert ("11",) in valuations
+        assert portal.page_valuations("V3") == ((),)
+
+    def test_render_all_hits_plan_cache(self, portal):
+        first = portal.render_all("V1")
+        hits_before = portal.planner.hits
+        misses_before = portal.planner.misses
+        second = portal.render_all("V1")
+        assert second == first
+        # The warm sweep replans nothing: every page's view and
+        # citation queries are cache hits.
+        assert portal.planner.misses == misses_before
+        assert portal.planner.hits > hits_before
+
+    def test_general_query_citation_delegates_to_engine(self, portal):
+        result = portal.cite(
+            'Q(N) :- Family(F, N, Ty), Ty = "gpcr"'
+        )
+        assert result.tuples
+
+    def test_refresh_after_mutation(self, portal, db):
+        before = portal.page_valuations("V1")
+        db.insert("Family", "88", "Fresh", "gpcr")
+        try:
+            portal.refresh()
+            assert len(portal.page_valuations("V1")) == len(before) + 1
+        finally:
+            db.delete("Family", "88", "Fresh", "gpcr")
+            portal.refresh()
+
+    def test_engine_and_options_are_exclusive(self, db):
+        from repro.citation.generator import CitationEngine
+        from repro.gtopdb.views import GtoPdbPortal
+
+        engine = CitationEngine(db, paper_registry())
+        with pytest.raises(TypeError):
+            GtoPdbPortal(db, engine=engine, parallelism=2)

@@ -192,3 +192,28 @@ class TestErrors:
             "--format", "xml",
         ]) == 0
         assert "<citation>" in capsys.readouterr().out
+
+
+class TestUnionQueries:
+    UNION = ('Q(N) :- Family(F, N, Ty), FC(F, C); '
+             'Q(N) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)')
+
+    def test_plan_union_shows_disjuncts_and_shared_prefix(
+        self, project, capsys
+    ):
+        assert main(["plan", str(project), self.UNION]) == 0
+        out = capsys.readouterr().out
+        assert "disjunct 1/2" in out and "disjunct 2/2" in out
+        assert "shared prefix:" in out
+
+    def test_cite_union_combines_disjuncts(self, project, capsys):
+        assert main([
+            "cite", str(project),
+            'Q(N) :- Family(F, N, Ty), Ty = "gpcr"; '
+            'Q(N) :- Family(F, N, Ty), Ty = "vgic"',
+            "--format", "text",
+        ]) == 0
+        out = capsys.readouterr().out
+        # Citations from both disjuncts' views appear: the gpcr type
+        # page and the vgic (CatSper) family page.
+        assert "gpcr" in out and "CatSper" in out

@@ -119,3 +119,50 @@ class TestCitationFunctions:
             [(1,), ("a",)], ("Mixed",), {}
         )
         assert len(record["Mixed"]) == 2
+
+
+class TestHoistedParameterlessQueries:
+    """Regression: the zero-param extension queries must be derived once
+    at construction, not rebuilt by ``with_parameters(())`` per call."""
+
+    def test_extension_queries_cached_on_construction(self, registry):
+        v1 = registry.get("V1")
+        assert v1._view_extension is v1._view_extension
+        assert not v1._view_extension.is_parameterized
+        assert not v1._citation_extension.is_parameterized
+        # Unparameterized views reuse the original query objects.
+        v3 = registry.get("V3")
+        assert v3._view_extension is v3.view
+        assert v3._citation_extension is v3.citation_query
+
+    def test_zero_param_calls_reuse_the_cached_query(self, db, registry):
+        from repro.cq.plan import QueryPlanner
+
+        v1 = registry.get("V1")
+        planner = QueryPlanner(db)
+        first = v1.instance(db, planner=planner)
+        assert v1.instance(db, planner=planner) == first
+        # Object-identical queries ride the planner's exact-match fast
+        # path: the repeat is a pure hit, with no new entry.
+        assert planner.hits >= 1
+        assert planner.misses == 1
+
+    def test_planned_instance_equals_unplanned(self, db, registry):
+        from repro.cq.plan import QueryPlanner
+
+        planner = QueryPlanner(db)
+        for name in registry.names:
+            view = registry.get(name)
+            assert view.instance(db, planner=planner) == view.instance(db)
+            assert (
+                view.citation_rows(db, planner=planner)
+                == view.citation_rows(db)
+            )
+
+    def test_materialize_accepts_planner(self, db, registry):
+        from repro.cq.plan import QueryPlanner
+
+        planner = QueryPlanner(db)
+        assert registry.materialize(db, planner=planner) == \
+            registry.materialize(db)
+        assert planner.misses > 0

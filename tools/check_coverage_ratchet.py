@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Enforce the coverage ratchet: fail when coverage drops below the floor.
+
+Usage::
+
+    python tools/check_coverage_ratchet.py COVERAGE_JSON [RATCHET_JSON]
+
+``COVERAGE_JSON`` is the report written by
+``pytest --cov=repro --cov-report=json:coverage.json`` (coverage.py's
+JSON format: the overall percentage lives at ``totals.percent_covered``).
+``RATCHET_JSON`` defaults to ``tools/coverage_ratchet.json`` next to
+this script and holds the floor under ``minimum_percent_covered``.
+
+The ratchet only tightens: when the measured coverage clears the floor
+by a comfortable margin the script says so, and the floor should be
+raised in the same change that earned the headroom.  Lowering the floor
+to make a red build green defeats the point — add tests instead.
+
+Exit status: 0 when coverage >= floor, 1 below the floor, 2 on malformed
+input.  Standard library only, so it runs anywhere the repo does.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+#: Headroom (percentage points) above the floor at which the script
+#: suggests raising the ratchet.
+RAISE_HINT_MARGIN = 2.0
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) not in (2, 3):
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print(f"usage: {argv[0]} COVERAGE_JSON [RATCHET_JSON]",
+              file=sys.stderr)
+        return 2
+
+    coverage_path = Path(argv[1])
+    ratchet_path = (
+        Path(argv[2]) if len(argv) == 3
+        else Path(__file__).with_name("coverage_ratchet.json")
+    )
+
+    try:
+        coverage = json.loads(coverage_path.read_text())
+        measured = float(coverage["totals"]["percent_covered"])
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        print(f"error: cannot read coverage from {coverage_path}: {error}",
+              file=sys.stderr)
+        return 2
+    try:
+        ratchet = json.loads(ratchet_path.read_text())
+        floor = float(ratchet["minimum_percent_covered"])
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        print(f"error: cannot read ratchet from {ratchet_path}: {error}",
+              file=sys.stderr)
+        return 2
+
+    if measured < floor:
+        print(
+            f"coverage ratchet FAILED: {measured:.2f}% covered is below "
+            f"the {floor:.2f}% floor in {ratchet_path}.\n"
+            "Add tests for the uncovered lines (see the coverage report "
+            "artifact); do not lower the floor."
+        )
+        return 1
+
+    print(f"coverage ratchet OK: {measured:.2f}% covered "
+          f"(floor {floor:.2f}%).")
+    if measured >= floor + RAISE_HINT_MARGIN:
+        print(
+            f"hint: {measured - floor:.2f} points of headroom — consider "
+            f"raising minimum_percent_covered in {ratchet_path} to "
+            f"{measured - 1.0:.1f} to lock the gain in."
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
