@@ -16,3 +16,21 @@ def pytest_addoption(parser):
         default=False,
         help="run benchmarks on reduced sizes (assertions kept)",
     )
+    parser.addoption(
+        "--verify-plans",
+        action="store_true",
+        default=False,
+        help=(
+            "sanitizer mode: run the plan verifier "
+            "(repro.analysis.verifier) on every plan the suite produces"
+        ),
+    )
+
+
+def pytest_configure(config):
+    # The switch must flip before any module builds a plan; the same
+    # effect is available without pytest via REPRO_VERIFY_PLANS=always.
+    if config.getoption("--verify-plans"):
+        from repro.cq.plan import set_plan_verification
+
+        set_plan_verification("always")

@@ -1,0 +1,45 @@
+"""Static analysis over the planning pipeline.
+
+Two layers, both purely observational (they never change what a plan
+computes):
+
+- :mod:`repro.analysis.verifier` — a rulebook of structural invariants
+  checked against any :class:`~repro.cq.plan.QueryPlan`; violations
+  raise :class:`~repro.analysis.verifier.PlanVerificationError` with
+  step-indexed messages.  ``QueryPlanner(verify="always")`` (or the
+  ``REPRO_VERIFY_PLANS=always`` sanitizer switch) runs it on every plan
+  produced, turning the optimizer's implicit correctness contract into
+  machine-checked rules.
+- :mod:`repro.analysis.diagnostics` — stable-coded lint findings
+  (``QA1xx`` warnings, ``QA2xx`` errors) for query shapes that are
+  legal but almost certainly wrong: cartesian products, contradictory
+  closures, subsumed union disjuncts, dangling atoms, mixed-type
+  comparison risk.  Surfaced through ``repro analyze``, EXPLAIN, and
+  the workload report.
+"""
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    analyze_query,
+    analyze_union,
+    has_errors,
+    render_diagnostics,
+)
+from repro.analysis.verifier import (
+    PlanVerificationError,
+    check_plan,
+    verify_plan,
+    verify_plans,
+)
+
+__all__ = [
+    "Diagnostic",
+    "PlanVerificationError",
+    "analyze_query",
+    "analyze_union",
+    "check_plan",
+    "has_errors",
+    "render_diagnostics",
+    "verify_plan",
+    "verify_plans",
+]

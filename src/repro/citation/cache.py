@@ -21,9 +21,9 @@ from collections import OrderedDict
 
 from repro.cq.canonical import canonical_key
 from repro.cq.query import ConjunctiveQuery
-from repro.util.lru import check_max_entries, evict_lru
 from repro.rewriting.engine import RewritingEngine
 from repro.rewriting.rewriting import Rewriting
+from repro.util.lru import check_max_entries, evict_lru
 from repro.views.registry import ViewRegistry
 
 __all__ = ["CachedRewritingEngine", "cached_engine", "canonical_key"]

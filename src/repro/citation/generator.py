@@ -40,8 +40,8 @@ from repro.cq.executor import IndexedVirtualRelations
 from repro.cq.parser import parse_query
 from repro.cq.plan import QueryPlan, QueryPlanner
 from repro.cq.query import ConjunctiveQuery
-from repro.cq.subplan import SubplanMemo, reserve_shared_prefixes
 from repro.cq.sql_parser import parse_sql
+from repro.cq.subplan import SubplanMemo, reserve_shared_prefixes
 from repro.cq.terms import Constant, Variable
 from repro.relational.database import Database
 from repro.rewriting.engine import RewritingEngine
@@ -158,6 +158,13 @@ class CitationEngine:
         (:mod:`repro.cq.subplan`); False keeps per-query evaluation (the
         unshared baseline the batch-overlap benchmark compares against).
         Results are identical either way.
+    verify_plans:
+        Per-engine override of the plan-verification mode
+        (:func:`~repro.cq.plan.set_plan_verification`): ``"always"``
+        runs the structural verifier of :mod:`repro.analysis.verifier`
+        on every plan this engine's planner hands out, ``"off"``
+        disables it, None (the default) defers to the process-wide
+        switch.
 
     Plans for queries with range comparisons run unchanged through this
     engine: the shared :class:`~repro.cq.plan.QueryPlanner` pushes them
@@ -181,6 +188,7 @@ class CitationEngine:
         use_processes: bool = False,
         shards: int | None = None,
         share_subplans: bool = True,
+        verify_plans: str | None = None,
     ) -> None:
         self.db = db
         if shards is not None:
@@ -203,7 +211,10 @@ class CitationEngine:
         self.database_citation = database_citation
         #: Shared plan cache: every rewriting of every query evaluated by
         #: this engine reuses plans across α-equivalent structures.
-        self.planner = QueryPlanner(db)
+        #: ``verify_plans="always"`` makes it a sanitizing planner: every
+        #: plan behind every citation is checked against the structural
+        #: rulebook of :mod:`repro.analysis.verifier` before it runs.
+        self.planner = QueryPlanner(db, verify=verify_plans)
         #: Cross-query sub-plan memo: batches evaluate each shared join
         #: prefix once (:mod:`repro.cq.subplan`).
         self.subplan_memo = SubplanMemo()

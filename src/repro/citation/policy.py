@@ -22,8 +22,8 @@ Three policies ship with the library:
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Callable
 
 from repro.citation.combiners import (
     AGG_INTERPRETATIONS,

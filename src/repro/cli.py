@@ -14,10 +14,14 @@ end to end:
         --policy comprehensive --format text
     python -m repro.cli plan gtopdb.json 'Q(N) :- Family(F,N,Ty), Ty = "gpcr"'
     python -m repro.cli plan gtopdb.json 'Q(N) :- Family(F,N,Ty), F < "F0020"'
+    python -m repro.cli analyze gtopdb.json 'Q(N) :- Family(F,N,Ty), Ty = "x", Ty = "y"'
     python -m repro.cli cite-batch gtopdb.json queries.txt --stats
     python -m repro.cli cite-batch gtopdb.json queries.txt --parallelism 4
 
-Exit codes: 0 on success, 1 on usage errors, 2 on processing errors.
+Exit codes: 0 on success, 1 on usage errors, 2 on processing errors,
+3 when static analysis proves the query can never return a row (the
+``QA2xx`` diagnostics of :mod:`repro.analysis.diagnostics`, reported by
+``analyze`` and by ``plan``/``cite`` on such queries).
 """
 
 from __future__ import annotations
@@ -178,14 +182,76 @@ def _is_union_text(text: str) -> bool:
     return len(rules) > 1
 
 
+def _parse_for_analysis(text: str, db: Any, sql: bool) -> Any:
+    """The query object behind CLI text: a CQ, or a UnionQuery."""
+    if sql:
+        from repro.cq.sql_parser import parse_sql
+
+        return parse_sql(text, db.schema)
+    if _is_union_text(text):
+        from repro.cq.ucq import parse_union_query
+
+        return parse_union_query(text)
+    from repro.cq.parser import parse_query
+
+    return parse_query(text)
+
+
+def _analyze(query: Any, db: Any) -> list:
+    """Diagnostics for a parsed CQ or union (see ``repro analyze``)."""
+    from repro.analysis import analyze_query, analyze_union
+    from repro.cq.ucq import UnionQuery
+
+    if isinstance(query, UnionQuery):
+        return analyze_union(query, db)
+    return analyze_query(query, db)
+
+
+def _report_empty_query(diagnostics: list) -> int:
+    """Print the error-severity findings; exit status 3 (provably empty)."""
+    for finding in diagnostics:
+        if finding.severity == "error":
+            print(f"error: {finding.describe()}", file=sys.stderr)
+    return 3
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Run static analysis on a query and print the QA findings.
+
+    ``QA1xx`` findings are warnings (legal but suspicious query shapes:
+    cartesian products, subsumed union disjuncts, dangling atoms,
+    mixed-type comparison risks); ``QA2xx`` findings are errors — the
+    query can provably never return a row — and set exit status 3.
+    """
+    from repro.analysis import has_errors, render_diagnostics
+
+    db, __ = _load(args.project)
+    query = _parse_for_analysis(args.query, db, args.sql)
+    diagnostics = _analyze(query, db)
+    print(render_diagnostics(diagnostics))
+    return 3 if has_errors(diagnostics) else 0
+
+
 def cmd_cite(args: argparse.Namespace) -> int:
     """Cite a query (Datalog by default, SQL with --sql).
 
     Multi-rule Datalog text (rules separated by ``;`` or newlines) is
     cited as a union of conjunctive queries: per-tuple citations combine
     with ``+`` across the disjuncts that produce the tuple.
+
+    A query that static analysis proves empty (contradictory equalities,
+    an empty range interval, a false ground comparison) is reported with
+    its QA diagnostic on stderr and exit status 3 instead of an empty
+    citation.
     """
+    from repro.analysis import has_errors
+
     db, registry = _load(args.project)
+    diagnostics = _analyze(
+        _parse_for_analysis(args.query, db, args.sql), db
+    )
+    if has_errors(diagnostics):
+        return _report_empty_query(diagnostics)
     engine = _build_engine(db, registry, args.policy)
     if args.sql:
         result = engine.cite_sql(args.query)
@@ -216,23 +282,22 @@ def cmd_plan(args: argparse.Namespace) -> int:
     memo so the EXPLAIN shows which steps would be evaluated once and
     shared (``shared prefix:`` lines).
     """
-    from repro.cq.parser import parse_query
+    from repro.analysis import has_errors
     from repro.cq.plan import plan_query
-    from repro.cq.sql_parser import parse_sql
+    from repro.cq.ucq import UnionQuery
 
     db, __ = _load(args.project)
-    if args.sql:
-        query = parse_sql(args.query, db.schema)
-    elif _is_union_text(args.query):
+    query = _parse_for_analysis(args.query, db, args.sql)
+    diagnostics = _analyze(query, db)
+    if isinstance(query, UnionQuery):
         from repro.cq.subplan import SubplanMemo
-        from repro.cq.ucq import parse_union_query
 
-        union = parse_union_query(args.query)
-        print(union.explain(db, memo=SubplanMemo()))
-        return 0
+        print(query.explain(db, memo=SubplanMemo(),
+                            diagnostics=diagnostics))
     else:
-        query = parse_query(args.query)
-    print(plan_query(query, db).explain())
+        print(plan_query(query, db).explain(diagnostics=diagnostics))
+    if has_errors(diagnostics):
+        return _report_empty_query(diagnostics)
     return 0
 
 
@@ -245,8 +310,9 @@ def cmd_cite_batch(args: argparse.Namespace) -> int:
     (--processes switches them from threads to a process pool);
     --shards N partitions relation storage into N shards so first-step
     scans/probes fan out per shard and process workers receive only
-    their shard's slice; --stats prints the cache-effectiveness report
-    afterwards.
+    their shard's slice; --analyze runs the QA diagnostics over every
+    query and folds per-code counters into the report; --stats prints
+    the cache-effectiveness report afterwards.
     """
     from repro.workload.runner import run_workload
 
@@ -264,6 +330,7 @@ def cmd_cite_batch(args: argparse.Namespace) -> int:
         parallelism=args.parallelism,
         use_processes=args.processes,
         shards=args.shards,
+        analyze=args.analyze,
     )
     renderer = _FORMATS[args.format]
     for result in report.results:
@@ -318,6 +385,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="interpret the query as SQL")
     plan.set_defaults(func=cmd_plan)
 
+    analyze = commands.add_parser(
+        "analyze",
+        help="static analysis: QA diagnostics for a query "
+             "(exit 3 when provably empty)",
+    )
+    analyze.add_argument("project")
+    analyze.add_argument("query")
+    analyze.add_argument("--sql", action="store_true",
+                         help="interpret the query as SQL")
+    analyze.set_defaults(func=cmd_analyze)
+
     cite_batch = commands.add_parser(
         "cite-batch",
         help="cite a file of queries as one batch (shared plans/rewritings)",
@@ -343,6 +421,9 @@ def build_parser() -> argparse.ArgumentParser:
                                  "workers receive only their shard's slice)")
     cite_batch.add_argument("--stats", action="store_true",
                             help="print cache-effectiveness statistics")
+    cite_batch.add_argument("--analyze", action="store_true",
+                            help="aggregate per-query QA diagnostics "
+                                 "into the --stats report")
     cite_batch.set_defaults(func=cmd_cite_batch)
     return parser
 

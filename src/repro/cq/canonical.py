@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.cq.atoms import RelationalAtom
 from repro.cq.query import ConjunctiveQuery
-from repro.cq.terms import Variable
+from repro.cq.terms import Term, Variable
 
 
 def _canonical_parts(
@@ -82,7 +82,7 @@ def canonical_query(
 ) -> ConjunctiveQuery:
     """Build the canonical representative given a precomputed renaming."""
 
-    def canon_term(term):
+    def canon_term(term: Term) -> Term:
         if isinstance(term, Variable):
             return renaming[term]
         return term

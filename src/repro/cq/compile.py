@@ -19,6 +19,7 @@ Translation scheme:
 
 from __future__ import annotations
 
+from repro.cq.atoms import RelationalAtom
 from repro.cq.query import ConjunctiveQuery
 from repro.cq.terms import Constant, Variable
 from repro.errors import QueryError
@@ -36,7 +37,7 @@ from repro.util.naming import NameSupply
 
 
 def _compile_atom(
-    atom, supply: NameSupply
+    atom: RelationalAtom, supply: NameSupply
 ) -> tuple[AlgebraExpr, list[str]]:
     """One atom: scan + positional selections + rename to variable names."""
     expr: AlgebraExpr = Scan(atom.relation)

@@ -35,8 +35,8 @@ from repro.cq.atoms import ComparisonAtom, RelationalAtom
 from repro.cq.executor import Binding, IndexedVirtualRelations, execute_plan
 from repro.cq.parallel import execute_plan_parallel
 from repro.cq.plan import QueryPlan, QueryPlanner, plan_query
-from repro.cq.subplan import SubplanMemo, execute_plan_shared
 from repro.cq.query import ConjunctiveQuery
+from repro.cq.subplan import SubplanMemo, execute_plan_shared
 from repro.cq.terms import Constant, Variable
 from repro.errors import QueryError
 from repro.relational.database import Database

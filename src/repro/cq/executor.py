@@ -23,8 +23,8 @@ probe or scan plus residual re-checks on mixed-type columns/buckets.
 from __future__ import annotations
 
 import warnings
-from collections.abc import Iterator, Mapping, Sequence
-from typing import Any, Callable
+from collections.abc import Callable, Iterator, Mapping, Sequence
+from typing import Any
 
 from repro.cq.atoms import ComparisonAtom
 from repro.cq.plan import JoinStep, QueryPlan, _content_token

@@ -41,6 +41,7 @@ the rewriting cache uses.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
@@ -64,6 +65,55 @@ from repro.util.lru import check_max_entries, evict_lru
 #: method (e.g. :class:`repro.cq.executor.IndexedVirtualRelations`) serves
 #: cached statistics; plain mappings are profiled on the fly.
 VirtualRelations = Mapping[str, Sequence[tuple[Any, ...]]]
+
+#: Plan-verification modes (see :mod:`repro.analysis.verifier`).
+VERIFY_MODES = ("off", "always")
+
+#: Process-wide sanitizer switch, seeded from the environment so test
+#: runs (and CI) can verify every plan the whole process produces.
+_verify_mode = os.environ.get("REPRO_VERIFY_PLANS", "off")
+
+
+def set_plan_verification(mode: str) -> str:
+    """Set the process-wide plan-verification mode; returns the old one.
+
+    ``"always"`` runs :func:`repro.analysis.verifier.verify_plan` on
+    every plan built by :func:`plan_query` or returned by
+    :class:`QueryPlanner` (including cache hits, whose rebinding is
+    itself a verified transformation); ``"off"`` restores the default.
+    """
+    global _verify_mode
+    if mode not in VERIFY_MODES:
+        raise ValueError(
+            f"plan verification mode must be one of {VERIFY_MODES}, "
+            f"got {mode!r}"
+        )
+    previous = _verify_mode
+    _verify_mode = mode
+    return previous
+
+
+def plan_verification() -> str:
+    """The current process-wide plan-verification mode."""
+    return _verify_mode
+
+
+def _maybe_verify(
+    plan: QueryPlan,
+    db: Database | None = None,
+    mode: str | None = None,
+) -> QueryPlan:
+    """Run the verifier on ``plan`` when the effective mode says so.
+
+    The import is deferred: :mod:`repro.analysis` depends on this
+    module, and in the default ``off`` mode the verifier never loads.
+    """
+    effective = _verify_mode if mode is None else mode
+    if effective == "always":
+        from repro.analysis.verifier import verify_plan
+
+        verify_plan(plan, db)
+    return plan
 
 
 def _group_pushed(
@@ -434,16 +484,30 @@ class QueryPlan:
     empty: bool = False
     empty_reason: str = "false ground comparison"
 
-    def explain(self) -> str:
-        """Render the plan the way EXPLAIN would."""
+    def explain(self, diagnostics: Sequence[Any] | None = None) -> str:
+        """Render the plan the way EXPLAIN would.
+
+        ``diagnostics`` (findings from
+        :func:`repro.analysis.diagnostics.analyze_query`) are appended
+        as a trailing section, so EXPLAIN output carries the lint
+        findings next to the plan they are about.
+        """
         lines = [
             f"plan for {self.query}",
             f"  estimated cost {self.estimated_cost:.1f}, "
             f"estimated bindings {self.estimated_bindings:.1f}",
         ]
+
+        def with_diagnostics() -> str:
+            if diagnostics:
+                lines.append("  diagnostics:")
+                for finding in diagnostics:
+                    lines.append(f"    {finding.describe()}")
+            return "\n".join(lines)
+
         if self.empty:
             lines.append(f"  empty result ({self.empty_reason})")
-            return "\n".join(lines)
+            return with_diagnostics()
         # Pushed predicates are attributed to the steps whose access
         # paths serve them, and each step lists its single chosen path —
         # one line per probe, so an equality + range pair served by one
@@ -470,7 +534,7 @@ class QueryPlan:
                 checks = ", ".join(repr(c) for c in step.comparisons)
                 line += f"  then check residual {checks}"
             lines.append(line)
-        return "\n".join(lines)
+        return with_diagnostics()
 
     def rebind(
         self,
@@ -896,7 +960,9 @@ def plan_query(
     for comparison in query.comparisons:
         if comparison.is_ground:
             if not comparison.evaluate_ground():
-                return QueryPlan(query, (), 0.0, 0.0, empty=True)
+                return _maybe_verify(
+                    QueryPlan(query, (), 0.0, 0.0, empty=True)
+                )
             continue
         if closure.absorb(comparison):
             if closure.needs_recheck(comparison):
@@ -906,7 +972,7 @@ def plan_query(
         if comparison.op in _RANGE_OPS:
             range_candidates.append(comparison)
     if closure.contradiction:
-        return QueryPlan(
+        return _maybe_verify(QueryPlan(
             query,
             (),
             0.0,
@@ -914,13 +980,13 @@ def plan_query(
             pushed=tuple(closure.pushed),
             empty=True,
             empty_reason="contradictory equality comparisons",
-        )
+        ))
     intervals = _IntervalClosure(closure)
     for comparison in range_candidates:
         intervals.absorb(comparison)
     intervals.finalize()
     if intervals.empty:
-        return QueryPlan(
+        return _maybe_verify(QueryPlan(
             query,
             (),
             0.0,
@@ -929,7 +995,7 @@ def plan_query(
             pushed_ranges=tuple(intervals.pushed),
             empty=True,
             empty_reason="empty range interval",
-        )
+        ))
 
     resolved = [
         _statistics_for_atom(atom, db, virtual) for atom in query.atoms
@@ -1000,13 +1066,16 @@ def plan_query(
     if pending:
         # Safety check above should prevent this.
         raise QueryError("comparison variables not bound by relational atoms")
-    return QueryPlan(
-        query,
-        tuple(steps),
-        cost,
-        bindings,
-        pushed=tuple(closure.pushed),
-        pushed_ranges=tuple(intervals.pushed),
+    return _maybe_verify(
+        QueryPlan(
+            query,
+            tuple(steps),
+            cost,
+            bindings,
+            pushed=tuple(closure.pushed),
+            pushed_ranges=tuple(intervals.pushed),
+        ),
+        db,
     )
 
 
@@ -1059,9 +1128,22 @@ class QueryPlanner:
     """
 
     def __init__(
-        self, db: Database, max_entries: int = DEFAULT_PLAN_CACHE_ENTRIES
+        self,
+        db: Database,
+        max_entries: int = DEFAULT_PLAN_CACHE_ENTRIES,
+        verify: str | None = None,
     ) -> None:
+        if verify is not None and verify not in VERIFY_MODES:
+            raise ValueError(
+                f"verify must be one of {VERIFY_MODES} or None, "
+                f"got {verify!r}"
+            )
         self.db = db
+        #: Per-planner override of the process-wide sanitizer switch
+        #: (None defers to :func:`plan_verification`).  ``"always"``
+        #: verifies every plan this planner hands out — fresh builds,
+        #: cache hits, and rebound plans alike.
+        self.verify = verify
         self.max_entries = check_max_entries(max_entries)
         self._cache: OrderedDict[str, tuple[QueryPlan, int, tuple]] = (
             OrderedDict()
@@ -1125,7 +1207,7 @@ class QueryPlanner:
             if cached_version == version and cached_fingerprint == fingerprint:
                 self.hits += 1
                 self._exact.move_to_end(query)
-                return plan
+                return _maybe_verify(plan, self.db, self.verify)
         key, renaming = canonical_key_and_renaming(query)
         entry = self._cache.get(key)
         if entry is not None:
@@ -1138,7 +1220,7 @@ class QueryPlanner:
                                       cached_fingerprint)
                 self._exact.move_to_end(query)
                 self._bound(self._exact)
-                return rebound
+                return _maybe_verify(rebound, self.db, self.verify)
         self.misses += 1
         plan = plan_query(canonical_query(query, renaming), self.db, virtual)
         self._cache[key] = (plan, version, fingerprint)
@@ -1148,7 +1230,7 @@ class QueryPlanner:
         self._exact[query] = (rebound, version, fingerprint)
         self._exact.move_to_end(query)
         self._bound(self._exact)
-        return rebound
+        return _maybe_verify(rebound, self.db, self.verify)
 
     def plan_union(
         self,

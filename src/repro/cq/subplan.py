@@ -45,6 +45,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from collections.abc import Iterator, Sequence
+from typing import Any
 
 from repro.cq.executor import (
     Binding,
@@ -288,7 +289,7 @@ def execute_plan_shared(
     if plan.empty:
         return
 
-    def plain(relations):
+    def plain(relations: IndexedVirtualRelations | None) -> Iterator[Binding]:
         if parallelism > 1:
             return execute_plan_parallel(
                 plan, db, relations,
@@ -388,6 +389,7 @@ def explain_with_memo(
     memo: SubplanMemo | None,
     db: Database,
     virtual: VirtualRelations | None = None,
+    diagnostics: Any = None,
 ) -> str:
     """EXPLAIN with the sub-plan memo's view of the plan appended.
 
@@ -395,9 +397,10 @@ def explain_with_memo(
     plan would seed from a valid memo entry, and the reservation state
     when the batch has marked a prefix as shared but nobody has
     materialized it yet.  Purely observational: neither counters nor
-    LRU order change.
+    LRU order change.  ``diagnostics`` forwards to
+    :meth:`~repro.cq.plan.QueryPlan.explain`.
     """
-    text = plan.explain()
+    text = plan.explain(diagnostics=diagnostics)
     if memo is None or plan.empty or not plan.steps:
         return text
     indexed = IndexedVirtualRelations.wrap(virtual)

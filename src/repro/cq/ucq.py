@@ -165,6 +165,7 @@ class UnionQuery:
         planner: QueryPlanner | None = None,
         memo: SubplanMemo | None = None,
         virtual: Any = None,
+        diagnostics: Any = None,
     ) -> str:
         """Per-disjunct EXPLAIN with the memo's shared-prefix view.
 
@@ -172,7 +173,9 @@ class UnionQuery:
         common prefixes are reserved first, so every disjunct whose plan
         shares a prefix with a sibling carries a ``shared prefix:`` line
         (reserved on a cold memo, ``reused from memo`` once an
-        evaluation has materialized the bindings).
+        evaluation has materialized the bindings).  ``diagnostics``
+        (findings from :func:`repro.analysis.diagnostics.analyze_union`)
+        are appended as a trailing section.
         """
         plans = self.plan(db, planner, virtual)
         if memo is not None:
@@ -185,6 +188,9 @@ class UnionQuery:
                 else plan.explain()
             )
             sections.append(f"disjunct {number}/{len(plans)}: {rendered}")
+        if diagnostics:
+            findings = "\n".join(f.describe() for f in diagnostics)
+            sections.append(f"diagnostics:\n{findings}")
         return "\n".join(sections)
 
     def minimized(self) -> "UnionQuery":

@@ -12,9 +12,13 @@ Relations (keys underlined in the paper)::
 
 from __future__ import annotations
 
-from repro.relational.schema import ForeignKey, RelationSchema, Schema
+from repro.relational.schema import (
+    Attribute,
+    ForeignKey,
+    RelationSchema,
+    Schema,
+)
 from repro.relational.types import STRING
-from repro.relational.schema import Attribute
 
 
 def gtopdb_schema() -> Schema:

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import enum
 import operator
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any
 
 from repro.errors import QueryError
 

@@ -9,8 +9,8 @@ paper (Example 2.1) is expressed in these terms in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
 
 from repro.errors import SchemaError, UnknownRelationError
 from repro.relational.types import ANY, AttributeType

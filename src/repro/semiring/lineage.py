@@ -9,11 +9,9 @@ the set of base tuples that contributed to it in *some* derivation.  Both
 
 from __future__ import annotations
 
-from typing import FrozenSet, Optional
-
 from repro.semiring.base import Semiring
 
-LineageValue = Optional[FrozenSet[object]]
+LineageValue = frozenset[object] | None
 
 
 class LineageSemiring(Semiring[LineageValue]):

@@ -16,8 +16,8 @@ Representation
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Mapping
-from typing import Any, Callable
+from collections.abc import Callable, Iterable, Mapping
+from typing import Any
 
 from repro.semiring.base import Semiring
 

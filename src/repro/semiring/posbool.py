@@ -14,12 +14,10 @@ minimal implicants — an antichain under ⊆).
 
 from __future__ import annotations
 
-from typing import FrozenSet
-
 from repro.semiring.base import Semiring
 
-Implicant = FrozenSet[object]
-PosBoolValue = FrozenSet[Implicant]
+Implicant = frozenset[object]
+PosBoolValue = frozenset[Implicant]
 
 
 def _minimal(implicants: frozenset[Implicant]) -> PosBoolValue:

@@ -11,12 +11,10 @@ witness built from views instead of tuples.
 
 from __future__ import annotations
 
-from typing import FrozenSet
-
 from repro.semiring.base import Semiring
 
-Witness = FrozenSet[object]
-WhyValue = FrozenSet[Witness]
+Witness = frozenset[object]
+WhyValue = frozenset[Witness]
 
 
 class WhySemiring(Semiring[WhyValue]):

@@ -47,6 +47,9 @@ class WorkloadReport:
     shards: int = 1
     #: Queries run per class ("cq", "ucq"); absent classes are omitted.
     per_class: dict[str, int] = field(default_factory=dict)
+    #: Diagnostic findings per QA code across the workload (populated by
+    #: ``run_workload(..., analyze=True)``); empty when analysis is off.
+    diagnostics: dict[str, int] = field(default_factory=dict)
 
     @property
     def rewriting_hit_rate(self) -> float:
@@ -86,6 +89,12 @@ class WorkloadReport:
                 for name, count in sorted(self.per_class.items())
             )
             suffix += f" [{breakdown}]"
+        if self.diagnostics:
+            findings = ", ".join(
+                f"{code}={count}"
+                for code, count in sorted(self.diagnostics.items())
+            )
+            suffix += f"; diagnostics: {findings}"
         if self.elapsed_seconds <= 0:
             # Coarse clocks can measure a successful run as zero elapsed
             # time; keep the counts and cache effectiveness, drop only
@@ -105,6 +114,7 @@ def run_workload(
     parallelism: int | None = None,
     use_processes: bool | None = None,
     shards: int | None = None,
+    analyze: bool = False,
 ) -> WorkloadReport:
     """Cite every query of a workload through the batch pipeline.
 
@@ -141,6 +151,13 @@ def run_workload(
         into that many shards before the batch (shard-parallel scans
         and probes, shard-sliced process payloads); forwarded to
         ``cite_batch`` and persisted on the database.
+    analyze:
+        When True, run static analysis
+        (:mod:`repro.analysis.diagnostics`) over every workload query
+        and aggregate findings per QA code into
+        :attr:`WorkloadReport.diagnostics` — a cheap way to audit a
+        whole query log for contradictions, cartesian products, and
+        subsumed disjuncts in one pass.
 
     Returns
     -------
@@ -208,6 +225,29 @@ def run_workload(
     ]
     elapsed = time.perf_counter() - started
 
+    diagnostics: dict[str, int] = {}
+    if analyze:
+        from repro.analysis import analyze_query, analyze_union
+        from repro.cq.parser import parse_query
+        from repro.cq.ucq import parse_union_query
+
+        for query, name in zip(queries, classes):
+            if isinstance(query, str):
+                query = (
+                    parse_union_query(query)
+                    if name == "ucq"
+                    else parse_query(query)
+                )
+            findings = (
+                analyze_union(query, engine.db)
+                if isinstance(query, UnionQuery)
+                else analyze_query(query, engine.db)
+            )
+            for finding in findings:
+                diagnostics[finding.code] = (
+                    diagnostics.get(finding.code, 0) + 1
+                )
+
     return WorkloadReport(
         results=results,
         queries_run=len(queries),
@@ -221,4 +261,5 @@ def run_workload(
         parallelism=engine.parallelism,
         shards=engine.db.shards,
         per_class=per_class,
+        diagnostics=diagnostics,
     )

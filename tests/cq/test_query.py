@@ -2,9 +2,9 @@
 
 import pytest
 
+from repro.cq.atoms import RelationalAtom
 from repro.cq.parser import parse_query
 from repro.cq.query import ConjunctiveQuery
-from repro.cq.atoms import RelationalAtom
 from repro.cq.terms import Constant, Variable
 from repro.errors import ParameterError, UnsafeQueryError
 

@@ -217,3 +217,79 @@ class TestUnionQueries:
         # Citations from both disjuncts' views appear: the gpcr type
         # page and the vgic (CatSper) family page.
         assert "gpcr" in out and "CatSper" in out
+
+
+class TestAnalyze:
+    CONTRADICTION = 'Q(N) :- Family(F, N, Ty), Ty = "a", Ty = "b"'
+    EMPTY_RANGE = 'Q(N) :- Family(F, N, Ty), F > "z", F < "a"'
+
+    def test_clean_query_reports_findings_and_exits_zero(
+        self, project, capsys
+    ):
+        assert main([
+            "analyze", str(project),
+            'Q(N) :- Family(F, N, Ty), Ty = "gpcr"',
+        ]) == 0
+        out = capsys.readouterr().out
+        # The singleton N-is-head case is clean; F is a join-less
+        # single-use variable unless underscore-prefixed.
+        assert "QA" in out or "no findings" in out
+
+    def test_contradiction_reports_qa201_and_exits_three(
+        self, project, capsys
+    ):
+        assert main(["analyze", str(project), self.CONTRADICTION]) == 3
+        assert "QA201" in capsys.readouterr().out
+
+    def test_empty_interval_reports_qa202(self, project, capsys):
+        assert main(["analyze", str(project), self.EMPTY_RANGE]) == 3
+        assert "QA202" in capsys.readouterr().out
+
+    def test_union_analysis(self, project, capsys):
+        union = (
+            'Q(N) :- Family(F, N, Ty), Ty = "a", Ty = "b"; '
+            'Q(N) :- Family(F, N, Ty), F > "z", F < "a"'
+        )
+        assert main(["analyze", str(project), union]) == 3
+        out = capsys.readouterr().out
+        assert "QA204" in out and "QA110" in out
+
+    def test_plan_renders_diagnostics_and_exits_three(
+        self, project, capsys
+    ):
+        assert main(["plan", str(project), self.CONTRADICTION]) == 3
+        out = capsys.readouterr().out
+        assert "diagnostics:" in out
+        assert "QA201" in out
+
+    def test_plan_on_clean_query_still_exits_zero(self, project, capsys):
+        assert main([
+            "plan", str(project),
+            'Q(N) :- Family(F, N, Ty), Ty = "gpcr"',
+        ]) == 0
+
+    def test_cite_refuses_provably_empty_query(self, project, capsys):
+        assert main(["cite", str(project), self.CONTRADICTION]) == 3
+        captured = capsys.readouterr()
+        assert "QA201" in captured.err
+        assert "error" in captured.err
+
+    def test_cite_empty_interval_exit_code(self, project, capsys):
+        assert main(["cite", str(project), self.EMPTY_RANGE]) == 3
+        assert "QA202" in capsys.readouterr().err
+
+    def test_cite_batch_analyze_flag_reports_counters(
+        self, project, tmp_path, capsys
+    ):
+        query_file = tmp_path / "queries.txt"
+        query_file.write_text(
+            'Q(N) :- Family(F, N, Ty), Ty = "a", Ty = "b"\n'
+            'Q(N) :- Family(F, N, Ty), Ty = "gpcr"\n'
+        )
+        assert main([
+            "cite-batch", str(project), str(query_file),
+            "--analyze", "--stats",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "diagnostics:" in err
+        assert "QA201=1" in err

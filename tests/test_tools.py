@@ -1,0 +1,89 @@
+"""Tests for the CI gate helpers in tools/."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture
+def typing_ratchet():
+    sys.path.insert(0, str(REPO / "tools"))
+    try:
+        import check_typing_ratchet
+    finally:
+        sys.path.pop(0)
+    return check_typing_ratchet
+
+
+class TestCountErrors:
+    def test_parses_summary_line(self, typing_ratchet):
+        report = (
+            "src/repro/x.py:1: error: boom\n"
+            "Found 12 errors in 3 files (checked 40 source files)\n"
+        )
+        assert typing_ratchet.count_errors(report) == 12
+
+    def test_singular_error(self, typing_ratchet):
+        assert typing_ratchet.count_errors(
+            "Found 1 error in 1 file (checked 40 source files)\n"
+        ) == 1
+
+    def test_success_counts_zero(self, typing_ratchet):
+        assert typing_ratchet.count_errors(
+            "Success: no issues found in 40 source files\n"
+        ) == 0
+
+    def test_missing_summary_is_none(self, typing_ratchet):
+        assert typing_ratchet.count_errors("mypy: command crashed\n") is None
+
+
+class TestMain:
+    def write(self, tmp_path, report, ceiling):
+        report_path = tmp_path / "mypy_report.txt"
+        report_path.write_text(report)
+        ratchet_path = tmp_path / "ratchet.json"
+        ratchet_path.write_text(json.dumps({"maximum_errors": ceiling}))
+        return report_path, ratchet_path
+
+    def test_under_ceiling_passes(self, typing_ratchet, tmp_path, capsys):
+        report, ratchet = self.write(
+            tmp_path, "Found 3 errors in 2 files (checked 9 source files)", 5
+        )
+        assert typing_ratchet.main(["prog", str(report), str(ratchet)]) == 0
+        assert "typing ratchet OK" in capsys.readouterr().out
+
+    def test_over_ceiling_fails(self, typing_ratchet, tmp_path, capsys):
+        report, ratchet = self.write(
+            tmp_path, "Found 7 errors in 2 files (checked 9 source files)", 5
+        )
+        assert typing_ratchet.main(["prog", str(report), str(ratchet)]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_headroom_hint(self, typing_ratchet, tmp_path, capsys):
+        report, ratchet = self.write(
+            tmp_path, "Success: no issues found in 9 source files", 50
+        )
+        assert typing_ratchet.main(["prog", str(report), str(ratchet)]) == 0
+        assert "lowering maximum_errors" in capsys.readouterr().out
+
+    def test_malformed_report_is_an_error(self, typing_ratchet, tmp_path):
+        report, ratchet = self.write(tmp_path, "no summary here", 5)
+        assert typing_ratchet.main(["prog", str(report), str(ratchet)]) == 2
+
+    def test_missing_report_file_is_an_error(self, typing_ratchet, tmp_path):
+        assert typing_ratchet.main(
+            ["prog", str(tmp_path / "absent.txt")]
+        ) == 2
+
+    def test_repo_ratchet_file_is_well_formed(self, typing_ratchet):
+        payload = json.loads(
+            (REPO / "tools" / "typing_ratchet.json").read_text()
+        )
+        assert int(payload["maximum_errors"]) >= 0
+
+    def test_py_typed_marker_exists(self):
+        assert (REPO / "src" / "repro" / "py.typed").exists()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Enforce the typing ratchet: fail when mypy's error count grows.
+
+Usage::
+
+    python tools/check_typing_ratchet.py MYPY_REPORT [RATCHET_JSON]
+
+``MYPY_REPORT`` is a file holding mypy's stdout (CI runs
+``mypy > mypy_report.txt || true`` so the ratchet, not mypy's exit
+status, decides the build).  The count is parsed from mypy's summary
+line — ``Found N errors in M files (checked K source files)`` — or
+taken as zero on ``Success: no issues found``.
+
+``RATCHET_JSON`` defaults to ``tools/typing_ratchet.json`` next to this
+script and holds the ceiling under ``maximum_errors``.  The ratchet
+only tightens: when the measured count is comfortably under the ceiling
+the script says so, and the ceiling should be lowered in the same
+change that earned the headroom.  Raising it to make a red build green
+defeats the point — annotate the new code instead.
+
+Exit status: 0 when errors <= ceiling, 1 above the ceiling, 2 on
+malformed input.  Standard library only, so it runs anywhere the repo
+does.
+"""
+
+import json
+import re
+import sys
+from pathlib import Path
+
+#: Error-count headroom at which the script suggests lowering the
+#: ceiling.
+LOWER_HINT_MARGIN = 10
+
+SUMMARY = re.compile(r"Found (\d+) errors? in \d+ files?")
+SUCCESS = re.compile(r"Success: no issues found")
+
+
+def count_errors(report: str) -> int | None:
+    """Parse mypy's error count from its stdout, or None if absent."""
+    match = SUMMARY.search(report)
+    if match:
+        return int(match.group(1))
+    if SUCCESS.search(report):
+        return 0
+    return None
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) not in (2, 3):
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print(f"usage: {argv[0]} MYPY_REPORT [RATCHET_JSON]",
+              file=sys.stderr)
+        return 2
+
+    report_path = Path(argv[1])
+    ratchet_path = (
+        Path(argv[2]) if len(argv) == 3
+        else Path(__file__).with_name("typing_ratchet.json")
+    )
+
+    try:
+        report = report_path.read_text()
+    except OSError as error:
+        print(f"error: cannot read mypy report from {report_path}: {error}",
+              file=sys.stderr)
+        return 2
+    measured = count_errors(report)
+    if measured is None:
+        print(
+            f"error: no mypy summary line in {report_path} (did mypy "
+            "crash before checking?)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        ratchet = json.loads(ratchet_path.read_text())
+        ceiling = int(ratchet["maximum_errors"])
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        print(f"error: cannot read ratchet from {ratchet_path}: {error}",
+              file=sys.stderr)
+        return 2
+
+    if measured > ceiling:
+        print(
+            f"typing ratchet FAILED: {measured} mypy errors exceed the "
+            f"ceiling of {ceiling} in {ratchet_path}.\n"
+            "Annotate or fix the new errors (see the mypy report "
+            "artifact); do not raise the ceiling."
+        )
+        return 1
+
+    print(f"typing ratchet OK: {measured} mypy errors "
+          f"(ceiling {ceiling}).")
+    if measured <= ceiling - LOWER_HINT_MARGIN:
+        print(
+            f"hint: {ceiling - measured} errors of headroom — consider "
+            f"lowering maximum_errors in {ratchet_path} to "
+            f"{measured} to lock the gain in."
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
