@@ -18,6 +18,7 @@ The :class:`CitationEngine` pipeline:
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Any
@@ -223,6 +224,12 @@ class CitationEngine:
         self.use_processes = use_processes
         self._virtual: IndexedVirtualRelations | None = None
         self._record_cache: dict[CitationToken, Record] = {}
+        # Serializes the async entry points (acite_batch/acite_union):
+        # the engine and its caches are not thread-safe, so concurrent
+        # awaiters take turns on the engine while the event loop stays
+        # free.  Reentrant because cite_union batches through the same
+        # pipeline internally.
+        self._exec_lock = threading.RLock()
 
     @property
     def shards(self) -> int:
@@ -237,6 +244,78 @@ class CitationEngine:
         self._record_cache.clear()
         self.planner.clear()
         self.subplan_memo.clear()
+
+    def invalidate_data(self) -> None:
+        """Graceful invalidation after database mutations.
+
+        Unlike :meth:`refresh` — which drops *everything* — this keeps
+        the version-aware caches warm: the plan cache and the sub-plan
+        memo key their entries on
+        :attr:`~repro.relational.database.Database.stats_version` (and
+        virtual-content fingerprints), so the mutation's version bump
+        already makes them refuse stale entries lazily.  Only state
+        derived from the data with no version tag is dropped — the
+        materialized-view relations and the rendered-record cache.  The
+        citation service calls this after every ``/insert``/``/delete``.
+        """
+        self._virtual = None
+        self._record_cache.clear()
+
+    def materialized_views(self) -> IndexedVirtualRelations:
+        """The (lazily built) indexed materialization of the registry.
+
+        Public accessor for callers that plan against the same virtual
+        relations this engine evaluates with (the service's ``/plan``
+        endpoint shares plan-cache entries with ``/cite`` through it).
+        """
+        return self._materialized()
+
+    # ------------------------------------------------------------------
+    # async-safe entry points
+    # ------------------------------------------------------------------
+
+    def locked_call(self, fn: Any, *args: Any, **kwargs: Any) -> Any:
+        """Run ``fn`` holding the engine's execution lock.
+
+        The building block of the async entry points: anything that
+        touches the engine off the event loop (a mutation job, a batch)
+        can route through here to serialize with concurrent
+        :meth:`acite_batch`/:meth:`acite_union` calls.
+        """
+        with self._exec_lock:
+            return fn(*args, **kwargs)
+
+    async def acite_batch(
+        self,
+        queries: "Sequence[ConjunctiveQuery | str]",
+        parallelism: int | None = None,
+        use_processes: bool | None = None,
+        shards: int | None = None,
+    ) -> list[CitationResult]:
+        """Async-safe :meth:`cite_batch`: awaitable from an event loop.
+
+        The batch runs on a worker thread (:func:`asyncio.to_thread`)
+        under the engine's execution lock, so the loop keeps serving
+        while the engine computes and concurrent awaiters never
+        interleave engine state.  This is the entry point the service's
+        micro-batcher drives; results are identical to
+        :meth:`cite_batch`.
+        """
+        import asyncio
+
+        return await asyncio.to_thread(
+            self.locked_call, self.cite_batch, queries,
+            parallelism, use_processes, shards,
+        )
+
+    async def acite_union(self, union: "UnionQuery | str") -> CitationResult:
+        """Async-safe :meth:`cite_union` (same contract as
+        :meth:`acite_batch`)."""
+        import asyncio
+
+        return await asyncio.to_thread(
+            self.locked_call, self.cite_union, union
+        )
 
     def ensure_rewriting_cache(self) -> Any:
         """Upgrade to a memoizing rewriting engine (idempotent).

@@ -17,11 +17,20 @@ end to end:
     python -m repro.cli analyze gtopdb.json 'Q(N) :- Family(F,N,Ty), Ty = "x", Ty = "y"'
     python -m repro.cli cite-batch gtopdb.json queries.txt --stats
     python -m repro.cli cite-batch gtopdb.json queries.txt --parallelism 4
+    python -m repro.cli serve --db gtopdb.json --port 8747 --shards 4
+    python -m repro.cli replay --url http://127.0.0.1:8747 queries.txt
+
+``serve`` starts the long-running asyncio citation service
+(:mod:`repro.service`): one warm engine whose plan cache, rewriting
+cache, sub-plan memo, and indexes amortize across all HTTP traffic;
+``replay`` drives a query file against a live server and reports the
+server-side cache hits the traffic earned.
 
 Exit codes: 0 on success, 1 on usage errors, 2 on processing errors,
 3 when static analysis proves the query can never return a row (the
 ``QA2xx`` diagnostics of :mod:`repro.analysis.diagnostics`, reported by
-``analyze`` and by ``plan``/``cite`` on such queries).
+``analyze`` and by ``plan``/``cite`` on such queries; the service
+answers HTTP 422 for the same condition).
 """
 
 from __future__ import annotations
@@ -340,6 +349,96 @@ def cmd_cite_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the asyncio citation service over one shared warm engine.
+
+    Binds an HTTP/1.1 front end (see :mod:`repro.service`) and serves
+    ``/cite``, ``/cite-batch``, ``/plan``, ``/analyze``, ``/insert``,
+    ``/delete``, and ``/stats`` until SIGTERM/SIGINT, then drains
+    gracefully (stops accepting, finishes in-flight requests, exits 0).
+    Concurrent single-query ``/cite`` traffic is micro-batched into
+    ``cite_batch`` calls so it shares the sub-plan memo across clients.
+    """
+    import asyncio
+
+    from repro.service.server import CitationService, ServiceConfig
+
+    db, registry = _load(args.db)
+    engine = _build_engine(db, registry, args.policy)
+    if args.shards is not None:
+        db.reshard(args.shards)
+    if args.parallelism is not None:
+        engine.parallelism = args.parallelism
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        request_timeout_s=args.timeout,
+        max_pending=args.max_pending,
+        max_batch=args.max_batch,
+    )
+    if args.verbose:
+        import logging
+
+        logging.basicConfig(level=logging.INFO, format="%(message)s")
+    service = CitationService(engine, config)
+
+    async def main() -> None:
+        await service.start()
+        # Parseable by wrappers (the smoke harness reads the port off
+        # this line when --port 0 binds an ephemeral one).
+        print(
+            f"serving {args.db} on http://{config.host}:{service.port} "
+            f"(shards={db.shards}, policy={args.policy})",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        import signal as signal_module
+
+        for signum in (signal_module.SIGTERM, signal_module.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        try:
+            await stop.wait()
+        finally:
+            await service.shutdown()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Replay a query file against a live citation service.
+
+    POSTs every query (one Datalog query per line; blank lines and
+    ``#`` comments skipped) to the server's ``/cite`` endpoint in order
+    and prints the replay report: per-status counts, latency, and the
+    *server-side* cache-hit deltas the traffic earned — the warm-cache
+    amortization a long-running service exists for.  Exits 2 when any
+    request failed with a 5xx or transport error.
+    """
+    from repro.workload.runner import replay_workload
+
+    with open(args.queries, encoding="utf-8") as handle:
+        queries = [
+            line.strip()
+            for line in handle
+            if line.strip() and not line.strip().startswith("#")
+        ]
+    report = replay_workload(args.url, queries, timeout=args.timeout)
+    print(report.describe())
+    server_errors = sum(
+        count for status, count in report.statuses.items()
+        if status >= 500
+    )
+    return 2 if server_errors else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -425,6 +524,49 @@ def build_parser() -> argparse.ArgumentParser:
                             help="aggregate per-query QA diagnostics "
                                  "into the --stats report")
     cite_batch.set_defaults(func=cmd_cite_batch)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the asyncio citation service (one warm shared engine)",
+    )
+    serve.add_argument("--db", required=True, metavar="PROJECT",
+                       help="project file (schema + data + views)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8747,
+                       help="bind port (0 picks an ephemeral port, "
+                            "printed on startup)")
+    serve.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="partition relation storage into N shards")
+    serve.add_argument("--parallelism", type=int, default=None,
+                       metavar="N",
+                       help="shard-and-merge worker count per evaluation")
+    serve.add_argument("--policy", default="focused",
+                       choices=sorted(_POLICIES))
+    serve.add_argument("--timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="per-request deadline (expiry answers 504)")
+    serve.add_argument("--max-pending", type=int, default=64, metavar="N",
+                       help="admission-queue bound; beyond it requests "
+                            "get 429 + Retry-After")
+    serve.add_argument("--max-batch", type=int, default=16, metavar="N",
+                       help="largest cross-client micro-batch")
+    serve.add_argument("--verbose", action="store_true",
+                       help="structured request logging to stderr")
+    serve.set_defaults(func=cmd_serve)
+
+    replay = commands.add_parser(
+        "replay",
+        help="replay a query file against a live citation service",
+    )
+    replay.add_argument("queries",
+                        help="file with one Datalog query per line")
+    replay.add_argument("--url", required=True,
+                        help="service base URL, e.g. "
+                             "http://127.0.0.1:8747")
+    replay.add_argument("--timeout", type=float, default=60.0,
+                        metavar="SECONDS",
+                        help="client-side timeout per request")
+    replay.set_defaults(func=cmd_replay)
     return parser
 
 

@@ -216,6 +216,12 @@ class SubplanMemo:
         return len(self._entries)
 
     @property
+    def reserved_count(self) -> int:
+        """How many prefix keys are currently reserved (shared by ≥2
+        plans at some point); the service exposes this on ``/stats``."""
+        return len(self._reserved)
+
+    @property
     def worth_checking(self) -> bool:
         """False while the memo can neither serve nor want anything —
         callers skip prefix-key computation entirely then."""

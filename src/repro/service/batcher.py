@@ -1,0 +1,260 @@
+"""The engine lane: one worker serializing all engine work, with
+cross-client micro-batching of single-query citation requests.
+
+The :class:`~repro.citation.generator.CitationEngine` (and the database
+under it) is not thread-safe, and its whole value in a service is the
+*shared* warm state — plan cache, rewriting cache, sub-plan memo,
+secondary indexes.  The lane therefore gives the engine exactly one
+execution thread:
+
+- every engine-touching job (cite, plan, analyze, insert, delete) is
+  queued and executed in admission order on a single worker, so a write
+  is either entirely before or entirely after any read — in-flight
+  citations always see a consistent snapshot;
+- consecutive queued single-query ``cite`` jobs coalesce into **one**
+  :meth:`~repro.citation.generator.CitationEngine.cite_batch` call
+  (after a short linger window that lets concurrently-arriving clients
+  pile on), so concurrent traffic shares the sub-plan memo and plan
+  cache exactly like a hand-built batch would;
+- the queue is bounded: when ``max_pending`` jobs are outstanding,
+  :meth:`EngineLane.submit_cite` / :meth:`EngineLane.submit` raise
+  :class:`AdmissionFull` and the server answers 429 with
+  ``Retry-After`` — backpressure instead of unbounded buffering.
+
+Jobs run via :func:`asyncio.to_thread`, so the event loop keeps
+accepting (and rejecting, and timing out) requests while the engine
+computes.  A caller that times out abandons its future; the lane still
+completes the job (results are delivered to whoever is still waiting)
+and the worker never leaks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from repro.citation.generator import CitationEngine, CitationResult
+from repro.cq.query import ConjunctiveQuery
+
+
+class AdmissionFull(Exception):
+    """The bounded admission queue is full; the caller should retry."""
+
+
+class LaneClosed(Exception):
+    """The lane is draining or stopped; no new work is admitted."""
+
+
+class _Job:
+    __slots__ = ("kind", "payload", "future")
+
+    def __init__(self, kind: str, payload: Any,
+                 future: "asyncio.Future[Any]") -> None:
+        self.kind = kind
+        self.payload = payload
+        self.future = future
+
+
+def _deliver(future: "asyncio.Future[Any]", result: Any = None,
+             error: BaseException | None = None) -> None:
+    """Complete a future unless its waiter already gave up on it."""
+    if future.done():
+        return
+    if error is not None:
+        future.set_exception(error)
+        # A waiter that timed out never retrieves the exception; mark it
+        # retrieved so the event loop does not log a spurious warning.
+        future.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None
+        )
+    else:
+        future.set_result(result)
+
+
+class EngineLane:
+    """Single-worker job lane over one shared :class:`CitationEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The shared engine; only the lane's worker ever touches it.
+    max_pending:
+        Bound on *outstanding* jobs (queued + running).  Submissions
+        beyond it raise :class:`AdmissionFull`.
+    max_batch:
+        Largest number of single-query cite jobs coalesced into one
+        ``cite_batch`` call.
+    batch_linger_s:
+        How long the worker waits after picking up a cite job for more
+        cite jobs to arrive before executing the batch.  A couple of
+        milliseconds is enough to coalesce genuinely concurrent clients;
+        0 disables the wait (consecutive already-queued jobs still
+        coalesce).
+    on_batch:
+        Optional callback ``(size) -> None`` invoked per executed
+        coalesced batch (feeds the service metrics).
+    """
+
+    def __init__(
+        self,
+        engine: CitationEngine,
+        max_pending: int = 64,
+        max_batch: int = 16,
+        batch_linger_s: float = 0.002,
+        on_batch: Callable[[int], None] | None = None,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.engine = engine
+        self.max_pending = max_pending
+        self.max_batch = max_batch
+        self.batch_linger_s = batch_linger_s
+        self.on_batch = on_batch
+        self._jobs: deque[_Job] = deque()
+        self._wakeup = asyncio.Event()
+        self._outstanding = 0
+        self._closing = False
+        self._worker: asyncio.Task[None] | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._worker is None:
+            self._worker = asyncio.get_running_loop().create_task(
+                self._run(), name="repro-engine-lane"
+            )
+
+    async def stop(self) -> None:
+        """Drain: finish every admitted job, reject new ones, stop."""
+        self._closing = True
+        self._wakeup.set()
+        if self._worker is not None:
+            await self._worker
+            self._worker = None
+
+    @property
+    def outstanding(self) -> int:
+        """Jobs admitted but not yet completed (queued + running)."""
+        return self._outstanding
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def _admit(self, kind: str, payload: Any) -> "asyncio.Future[Any]":
+        if self._closing:
+            raise LaneClosed("service is draining")
+        if self._outstanding >= self.max_pending:
+            raise AdmissionFull(
+                f"{self._outstanding} jobs outstanding "
+                f"(limit {self.max_pending})"
+            )
+        future: asyncio.Future[Any] = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._outstanding += 1
+        future.add_done_callback(self._job_done)
+        self._jobs.append(_Job(kind, payload, future))
+        self._wakeup.set()
+        return future
+
+    def _job_done(self, __future: "asyncio.Future[Any]") -> None:
+        self._outstanding -= 1
+
+    def submit_cite(
+        self, query: ConjunctiveQuery
+    ) -> "asyncio.Future[CitationResult]":
+        """Queue one conjunctive query for micro-batched citation."""
+        return self._admit("cite", query)
+
+    def submit(self, fn: Callable[[], Any]) -> "asyncio.Future[Any]":
+        """Queue an exclusive engine job (mutation, plan, union cite…).
+
+        ``fn`` runs alone on the worker thread, strictly ordered against
+        every other job — the consistency story for writes.
+        """
+        return self._admit("call", fn)
+
+    # ------------------------------------------------------------------
+    # the worker
+    # ------------------------------------------------------------------
+
+    async def _run(self) -> None:
+        while True:
+            while not self._jobs:
+                if self._closing:
+                    return
+                self._wakeup.clear()
+                await self._wakeup.wait()
+            job = self._jobs.popleft()
+            if job.kind == "cite":
+                await self._run_cite_batch(job)
+            else:
+                await self._run_call(job)
+
+    async def _run_call(self, job: _Job) -> None:
+        try:
+            result = await asyncio.to_thread(job.payload)
+        except BaseException as exc:  # noqa: B036 - forwarded, not handled
+            _deliver(job.future, error=exc)
+        else:
+            _deliver(job.future, result)
+
+    def _coalesce(self, first: _Job) -> list[_Job]:
+        """The micro-batch: ``first`` plus every immediately-following
+        queued cite job, up to ``max_batch``."""
+        batch = [first]
+        while (
+            len(batch) < self.max_batch
+            and self._jobs
+            and self._jobs[0].kind == "cite"
+        ):
+            batch.append(self._jobs.popleft())
+        return batch
+
+    async def _run_cite_batch(self, first: _Job) -> None:
+        if self.batch_linger_s > 0 and len(self._jobs) < self.max_batch:
+            # Give concurrently-arriving clients a beat to pile on; the
+            # lane is idle-waiting either way, so this costs latency only
+            # when it buys batching.
+            await asyncio.sleep(self.batch_linger_s)
+        batch = self._coalesce(first)
+        queries = [job.payload for job in batch]
+        try:
+            results = await self.engine.acite_batch(queries)
+        except BaseException as exc:  # noqa: B036 - forwarded per future
+            for job in batch:
+                _deliver(job.future, error=exc)
+        else:
+            for job, result in zip(batch, results):
+                _deliver(job.future, result)
+        if self.on_batch is not None:
+            self.on_batch(len(batch))
+
+
+async def wait_bounded(
+    future: "asyncio.Future[Any]", timeout: float | None
+) -> Any:
+    """Await a lane future under a deadline without cancelling the job.
+
+    The future is shielded: on timeout the job keeps running to
+    completion on the lane (keeping the engine's serialization intact
+    and letting batch-mates receive their results); only this waiter
+    gives up.  Raises :class:`asyncio.TimeoutError` on expiry.
+    """
+    if timeout is None:
+        return await future
+    return await asyncio.wait_for(asyncio.shield(future), timeout)
+
+
+def parse_queries(texts: Sequence[str]) -> list[ConjunctiveQuery]:
+    """Parse a batch of Datalog strings (service-side helper)."""
+    from repro.cq.parser import parse_query
+
+    return [parse_query(text) for text in texts]

@@ -1,0 +1,138 @@
+"""Service-side observability: request counters and latency histograms.
+
+Everything the ``GET /stats`` endpoint reports about the *service* layer
+lives here (the engine-side cache counters are read straight off the
+:class:`~repro.citation.generator.CitationEngine`).  Histograms use
+fixed log-spaced bucket bounds so snapshots are cheap, mergeable, and
+stable across runs — the standard shape for service latency metrics.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+#: Log-spaced latency bucket upper bounds, in milliseconds.  The last
+#: bucket is open-ended (``+inf``).
+LATENCY_BUCKET_BOUNDS_MS: tuple[float, ...] = (
+    0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000,
+)
+
+
+class LatencyHistogram:
+    """Counts of observations per log-spaced latency bucket."""
+
+    __slots__ = ("counts", "count", "sum_ms", "max_ms")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(LATENCY_BUCKET_BOUNDS_MS) + 1)
+        self.count = 0
+        self.sum_ms = 0.0
+        self.max_ms = 0.0
+
+    def observe(self, elapsed_ms: float) -> None:
+        index = len(LATENCY_BUCKET_BOUNDS_MS)
+        for position, bound in enumerate(LATENCY_BUCKET_BOUNDS_MS):
+            if elapsed_ms <= bound:
+                index = position
+                break
+        self.counts[index] += 1
+        self.count += 1
+        self.sum_ms += elapsed_ms
+        self.max_ms = max(self.max_ms, elapsed_ms)
+
+    def snapshot(self) -> dict[str, Any]:
+        buckets: dict[str, int] = {}
+        for position, bound in enumerate(LATENCY_BUCKET_BOUNDS_MS):
+            buckets[f"<={bound:g}ms"] = self.counts[position]
+        buckets[f">{LATENCY_BUCKET_BOUNDS_MS[-1]:g}ms"] = self.counts[-1]
+        mean = self.sum_ms / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "mean_ms": round(mean, 3),
+            "max_ms": round(self.max_ms, 3),
+            "buckets": buckets,
+        }
+
+
+class EndpointMetrics:
+    """Requests, per-status counts, and latencies for one endpoint."""
+
+    __slots__ = ("requests", "statuses", "latency")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.statuses: dict[int, int] = {}
+        self.latency = LatencyHistogram()
+
+    def observe(self, status: int, elapsed_ms: float) -> None:
+        self.requests += 1
+        self.statuses[status] = self.statuses.get(status, 0) + 1
+        self.latency.observe(elapsed_ms)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "statuses": {
+                str(code): count
+                for code, count in sorted(self.statuses.items())
+            },
+            "latency": self.latency.snapshot(),
+        }
+
+
+class ServiceMetrics:
+    """Everything the service layer counts, snapshot-able for ``/stats``.
+
+    Micro-batching effectiveness is first-class: ``batches_executed``
+    counts :meth:`~repro.citation.generator.CitationEngine.cite_batch`
+    calls made by the engine lane, ``batched_requests`` the client
+    requests they carried — the ratio is the cross-client coalescing
+    factor — and ``max_batch_size`` the largest coalesced batch seen.
+    """
+
+    def __init__(self) -> None:
+        self.started = time.monotonic()
+        self.endpoints: dict[str, EndpointMetrics] = {}
+        self.rejected = 0
+        self.timeouts = 0
+        self.protocol_errors = 0
+        self.batches_executed = 0
+        self.batched_requests = 0
+        self.max_batch_size = 0
+        self.connections_accepted = 0
+
+    def observe_request(
+        self, endpoint: str, status: int, elapsed_ms: float
+    ) -> None:
+        metrics = self.endpoints.get(endpoint)
+        if metrics is None:
+            metrics = self.endpoints[endpoint] = EndpointMetrics()
+        metrics.observe(status, elapsed_ms)
+        if status == 429:
+            self.rejected += 1
+        elif status == 504:
+            self.timeouts += 1
+
+    def observe_batch(self, size: int) -> None:
+        self.batches_executed += 1
+        self.batched_requests += size
+        self.max_batch_size = max(self.max_batch_size, size)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "uptime_s": round(time.monotonic() - self.started, 3),
+            "connections_accepted": self.connections_accepted,
+            "rejected": self.rejected,
+            "timeouts": self.timeouts,
+            "protocol_errors": self.protocol_errors,
+            "batching": {
+                "batches_executed": self.batches_executed,
+                "batched_requests": self.batched_requests,
+                "max_batch_size": self.max_batch_size,
+            },
+            "endpoints": {
+                name: metrics.snapshot()
+                for name, metrics in sorted(self.endpoints.items())
+            },
+        }

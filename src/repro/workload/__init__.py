@@ -16,7 +16,12 @@ from repro.workload.queries import QueryGenerator
 from repro.workload.logs import QueryLog, LogEntry
 from repro.workload.suggest import suggest_views, coverage_of_views
 from repro.workload.analyzer import LogAnalyzer, LogProfile, analyze_log
-from repro.workload.runner import WorkloadReport, run_workload
+from repro.workload.runner import (
+    ReplayReport,
+    WorkloadReport,
+    replay_workload,
+    run_workload,
+)
 
 __all__ = [
     "QueryGenerator",
@@ -27,6 +32,8 @@ __all__ = [
     "LogAnalyzer",
     "LogProfile",
     "analyze_log",
+    "ReplayReport",
     "WorkloadReport",
+    "replay_workload",
     "run_workload",
 ]

@@ -1,4 +1,4 @@
-"""Batch execution of citation workloads.
+"""Batch execution of citation workloads — in-process or over HTTP.
 
 The paper's target deployment is a repository front-end issuing heavy,
 repetitive query traffic.  :func:`run_workload` drives a
@@ -7,6 +7,12 @@ repetitive query traffic.  :func:`run_workload` drives a
 through :meth:`~repro.citation.generator.CitationEngine.cite_batch`, and
 reports how much work the shared caches — rewriting enumeration, query
 plans, materialized-view indexes — actually saved.
+
+:func:`replay_workload` is the client-side twin: it replays the same
+workload against a *live* citation service (``repro serve``) over HTTP
+and reports per-status counts, client-side latency, and the delta of
+the server's cache counters across the run — the measurement the
+service's "one warm process amortizes all traffic" claim rests on.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from __future__ import annotations
 import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.citation.generator import CitationEngine, CitationResult
 from repro.cq.query import ConjunctiveQuery
@@ -262,4 +269,166 @@ def run_workload(
         shards=engine.db.shards,
         per_class=per_class,
         diagnostics=diagnostics,
+    )
+
+
+# ---------------------------------------------------------------------------
+# HTTP replay: the same workload against a live citation service
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReplayReport:
+    """One workload replayed against a live service, with the server's
+    cache-counter deltas across the run.
+
+    The server-side counters come from ``GET /stats`` before and after
+    the replay, so they measure exactly what *this* traffic hit — the
+    cross-request amortization the warm service exists for.
+    """
+
+    queries_run: int = 0
+    elapsed_seconds: float = 0.0
+    #: HTTP status → count across the replay.
+    statuses: dict[int, int] = field(default_factory=dict)
+    mean_latency_ms: float = 0.0
+    max_latency_ms: float = 0.0
+    #: Server-side cache deltas (hits gained during the replay).
+    plan_hits: int = 0
+    plan_misses: int = 0
+    rewriting_hits: int = 0
+    rewriting_misses: int = 0
+    subplan_hits: int = 0
+    subplan_misses: int = 0
+    #: Server-side micro-batches executed for this traffic.
+    batches_executed: int = 0
+
+    @property
+    def ok_count(self) -> int:
+        return sum(
+            count for status, count in self.statuses.items()
+            if 200 <= status < 300
+        )
+
+    @property
+    def error_count(self) -> int:
+        return self.queries_run - self.ok_count
+
+    def describe(self) -> str:
+        status_part = ", ".join(
+            f"{status}={count}"
+            for status, count in sorted(self.statuses.items())
+        )
+        caches = (
+            f"server caches: plan +{self.plan_hits}/"
+            f"{self.plan_hits + self.plan_misses} hits, "
+            f"rewriting +{self.rewriting_hits}/"
+            f"{self.rewriting_hits + self.rewriting_misses} hits, "
+            f"subplan +{self.subplan_hits}/"
+            f"{self.subplan_hits + self.subplan_misses} hits"
+        )
+        timing = ""
+        if self.elapsed_seconds > 0:
+            timing = (
+                f" in {self.elapsed_seconds:.3f}s "
+                f"({self.queries_run / self.elapsed_seconds:.1f} req/s, "
+                f"mean {self.mean_latency_ms:.1f}ms, "
+                f"max {self.max_latency_ms:.1f}ms)"
+            )
+        return (
+            f"{self.queries_run} requests{timing} [{status_part}]; "
+            f"{caches}; {self.batches_executed} server batches"
+        )
+
+
+def _counter(stats: dict, *path: str) -> int:
+    """A counter out of a nested ``/stats`` payload; 0 when absent."""
+    node: Any = stats
+    for key in path:
+        if not isinstance(node, dict):
+            return 0
+        node = node.get(key)
+    return node if isinstance(node, int) else 0
+
+
+def replay_workload(
+    url: str,
+    workload: QueryLog | Sequence[ConjunctiveQuery | UnionQuery | str],
+    repeat_frequencies: bool = False,
+    timeout: float = 60.0,
+) -> ReplayReport:
+    """Replay a workload against a live citation service over HTTP.
+
+    Every entry is POSTed to ``/cite`` (query objects are rendered back
+    to Datalog text; multi-rule strings cite as unions server-side), in
+    order, on one keep-alive connection — the sequential-client shape
+    of the service benchmark.  Responses are *not* parsed into
+    :class:`~repro.citation.generator.CitationResult` objects; the
+    report carries status counts and latencies instead, plus the deltas
+    of the server's cache counters (from ``GET /stats`` before/after),
+    so cross-request plan-cache and sub-plan-memo amortization is
+    directly visible.
+
+    Parameters
+    ----------
+    url:
+        Service base URL, e.g. ``http://127.0.0.1:8747``.
+    workload:
+        Same shapes as :func:`run_workload`.
+    repeat_frequencies:
+        As in :func:`run_workload`: replay each log entry ``frequency``
+        times (raw traffic) instead of once (distinct-query set).
+    timeout:
+        Client-side socket timeout per request, in seconds.
+    """
+    from repro.service.client import ServiceClient
+
+    texts: list[str] = []
+    if isinstance(workload, QueryLog):
+        for entry in workload:
+            repeats = entry.frequency if repeat_frequencies else 1
+            text = (
+                entry.query if isinstance(entry.query, str)
+                else repr(entry.query)
+            )
+            texts.extend([text] * repeats)
+    else:
+        texts = [
+            query if isinstance(query, str) else repr(query)
+            for query in workload
+        ]
+
+    statuses: dict[int, int] = {}
+    latencies: list[float] = []
+    with ServiceClient(url=url, timeout=timeout) as client:
+        before = client.stats()
+        started = time.perf_counter()
+        for text in texts:
+            sent = time.perf_counter()
+            reply = client.cite(text)
+            latencies.append((time.perf_counter() - sent) * 1000.0)
+            statuses[reply.status] = statuses.get(reply.status, 0) + 1
+        elapsed = time.perf_counter() - started
+        after = client.stats()
+
+    def delta(*path: str) -> int:
+        return _counter(after, *path) - _counter(before, *path)
+
+    return ReplayReport(
+        queries_run=len(texts),
+        elapsed_seconds=elapsed,
+        statuses=statuses,
+        mean_latency_ms=(
+            sum(latencies) / len(latencies) if latencies else 0.0
+        ),
+        max_latency_ms=max(latencies, default=0.0),
+        plan_hits=delta("engine", "plan_cache", "hits"),
+        plan_misses=delta("engine", "plan_cache", "misses"),
+        rewriting_hits=delta("engine", "rewriting_cache", "hits"),
+        rewriting_misses=delta("engine", "rewriting_cache", "misses"),
+        subplan_hits=delta("engine", "subplan_memo", "hits"),
+        subplan_misses=delta("engine", "subplan_memo", "misses"),
+        batches_executed=delta(
+            "service", "batching", "batches_executed"
+        ),
     )

@@ -1,0 +1,36 @@
+"""Fixtures for the citation-service tests.
+
+Service tests get *fresh* engines (not the session-scoped read-only
+ones): mutation endpoints and cache-counter assertions need private
+state, and every service binds an ephemeral port so parallel runs never
+collide.
+"""
+
+import pytest
+
+from repro.citation.generator import CitationEngine
+from repro.citation.policy import focused_policy
+from repro.gtopdb.sample import paper_database
+from repro.gtopdb.views import paper_registry
+from repro.service import ServiceClient, ServiceThread
+
+
+@pytest.fixture
+def fresh_engine():
+    registry = paper_registry()
+    return CitationEngine(
+        paper_database(), registry, policy=focused_policy(registry)
+    )
+
+
+@pytest.fixture
+def service(fresh_engine):
+    with ServiceThread(fresh_engine) as handle:
+        yield handle
+
+
+@pytest.fixture
+def client(service):
+    handle = ServiceClient(service.base_url)
+    yield handle
+    handle.close()

@@ -1,0 +1,208 @@
+"""Unit tests for the engine lane (repro.service.batcher).
+
+A stub engine stands in for :class:`CitationEngine` — the lane only
+needs ``acite_batch`` — so coalescing, admission control, ordering, and
+timeout semantics are tested deterministically without citation work.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service.batcher import (
+    AdmissionFull,
+    EngineLane,
+    LaneClosed,
+    wait_bounded,
+)
+
+
+class StubEngine:
+    """Records every batch; returns the queries themselves as results."""
+
+    def __init__(self, delay_s: float = 0.0):
+        self.batches: list[list[str]] = []
+        self.calls: list[str] = []
+        self.delay_s = delay_s
+
+    async def acite_batch(self, queries):
+        self.batches.append(list(queries))
+        if self.delay_s:
+            await asyncio.sleep(self.delay_s)
+        return [f"cited:{query}" for query in queries]
+
+
+class TestCoalescing:
+    def test_queued_cites_coalesce_into_one_batch(self):
+        async def go():
+            engine = StubEngine()
+            lane = EngineLane(engine, batch_linger_s=0)
+            futures = [lane.submit_cite(f"q{i}") for i in range(4)]
+            lane.start()
+            results = await asyncio.gather(*futures)
+            await lane.stop()
+            return engine.batches, results
+
+        batches, results = asyncio.run(go())
+        assert batches == [["q0", "q1", "q2", "q3"]]
+        assert results == [f"cited:q{i}" for i in range(4)]
+
+    def test_max_batch_splits(self):
+        async def go():
+            engine = StubEngine()
+            lane = EngineLane(engine, max_batch=2, batch_linger_s=0)
+            futures = [lane.submit_cite(f"q{i}") for i in range(5)]
+            lane.start()
+            await asyncio.gather(*futures)
+            await lane.stop()
+            return engine.batches
+
+        batches = asyncio.run(go())
+        assert [len(batch) for batch in batches] == [2, 2, 1]
+
+    def test_call_job_breaks_the_batch(self):
+        async def go():
+            engine = StubEngine()
+            lane = EngineLane(engine, batch_linger_s=0)
+            order = []
+            first = lane.submit_cite("a")
+            call = lane.submit(lambda: order.append("call") or "mid")
+            second = lane.submit_cite("b")
+            lane.start()
+            results = await asyncio.gather(first, call, second)
+            await lane.stop()
+            return engine.batches, results
+
+        batches, results = asyncio.run(go())
+        # The exclusive job separates the two cites: two batches of one.
+        assert batches == [["a"], ["b"]]
+        assert results == ["cited:a", "mid", "cited:b"]
+
+    def test_linger_waits_for_concurrent_arrivals(self):
+        async def go():
+            engine = StubEngine()
+            lane = EngineLane(engine, batch_linger_s=0.05)
+            lane.start()
+            first = lane.submit_cite("early")
+            # Arrives while the lane lingers on the first job.
+            await asyncio.sleep(0.01)
+            second = lane.submit_cite("late")
+            await asyncio.gather(first, second)
+            await lane.stop()
+            return engine.batches
+
+        assert asyncio.run(go()) == [["early", "late"]]
+
+
+class TestAdmission:
+    def test_admission_full(self):
+        async def go():
+            engine = StubEngine(delay_s=0.2)
+            lane = EngineLane(engine, max_pending=2, batch_linger_s=0)
+            lane.start()
+            first = lane.submit_cite("a")
+            second = lane.submit_cite("b")
+            with pytest.raises(AdmissionFull):
+                lane.submit_cite("c")
+            assert lane.outstanding == 2
+            await asyncio.gather(first, second)
+            # Completion frees admission slots again.
+            assert lane.outstanding == 0
+            third = lane.submit_cite("c")
+            await third
+            await lane.stop()
+
+        asyncio.run(go())
+
+    def test_closed_lane_rejects(self):
+        async def go():
+            lane = EngineLane(StubEngine(), batch_linger_s=0)
+            lane.start()
+            await lane.stop()
+            with pytest.raises(LaneClosed):
+                lane.submit_cite("q")
+            with pytest.raises(LaneClosed):
+                lane.submit(lambda: None)
+
+        asyncio.run(go())
+
+    def test_stop_drains_admitted_jobs(self):
+        async def go():
+            engine = StubEngine(delay_s=0.02)
+            lane = EngineLane(engine, batch_linger_s=0)
+            futures = [lane.submit_cite(f"q{i}") for i in range(3)]
+            lane.start()
+            await lane.stop()
+            return await asyncio.gather(*futures)
+
+        assert asyncio.run(go()) == [f"cited:q{i}" for i in range(3)]
+
+
+class TestErrorsAndTimeouts:
+    def test_call_exception_forwarded(self):
+        async def go():
+            lane = EngineLane(StubEngine(), batch_linger_s=0)
+            lane.start()
+
+            def boom():
+                raise ValueError("nope")
+
+            with pytest.raises(ValueError, match="nope"):
+                await lane.submit(boom)
+            await lane.stop()
+
+        asyncio.run(go())
+
+    def test_batch_exception_forwarded_to_every_member(self):
+        class FailingEngine(StubEngine):
+            async def acite_batch(self, queries):
+                raise RuntimeError("engine died")
+
+        async def go():
+            lane = EngineLane(FailingEngine(), batch_linger_s=0)
+            first = lane.submit_cite("a")
+            second = lane.submit_cite("b")
+            lane.start()
+            outcomes = await asyncio.gather(
+                first, second, return_exceptions=True
+            )
+            await lane.stop()
+            return outcomes
+
+        outcomes = asyncio.run(go())
+        assert all(
+            isinstance(outcome, RuntimeError) for outcome in outcomes
+        )
+
+    def test_timeout_abandons_waiter_not_job(self):
+        async def go():
+            engine = StubEngine(delay_s=0.1)
+            lane = EngineLane(engine, batch_linger_s=0)
+            lane.start()
+            future = lane.submit_cite("slow")
+            with pytest.raises(asyncio.TimeoutError):
+                await wait_bounded(future, 0.01)
+            # The job still completes on the lane.
+            result = await wait_bounded(future, 5.0)
+            await lane.stop()
+            return result
+
+        assert asyncio.run(go()) == "cited:slow"
+
+    def test_wait_bounded_without_timeout(self):
+        async def go():
+            lane = EngineLane(StubEngine(), batch_linger_s=0)
+            lane.start()
+            result = await wait_bounded(lane.submit_cite("q"), None)
+            await lane.stop()
+            return result
+
+        assert asyncio.run(go()) == "cited:q"
+
+
+class TestValidation:
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            EngineLane(StubEngine(), max_pending=0)
+        with pytest.raises(ValueError):
+            EngineLane(StubEngine(), max_batch=0)

@@ -1,0 +1,77 @@
+"""Unit tests for service observability (repro.service.metrics)."""
+
+from repro.service.metrics import (
+    LATENCY_BUCKET_BOUNDS_MS,
+    EndpointMetrics,
+    LatencyHistogram,
+    ServiceMetrics,
+)
+
+
+class TestLatencyHistogram:
+    def test_bucket_assignment(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.3)    # <=0.5ms
+        histogram.observe(1.5)    # <=2ms
+        histogram.observe(9999.0)  # overflow bucket
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 3
+        assert snapshot["buckets"]["<=0.5ms"] == 1
+        assert snapshot["buckets"]["<=2ms"] == 1
+        assert snapshot["buckets"][">5000ms"] == 1
+
+    def test_mean_and_max(self):
+        histogram = LatencyHistogram()
+        histogram.observe(10.0)
+        histogram.observe(30.0)
+        snapshot = histogram.snapshot()
+        assert snapshot["mean_ms"] == 20.0
+        assert snapshot["max_ms"] == 30.0
+
+    def test_boundary_lands_in_lower_bucket(self):
+        histogram = LatencyHistogram()
+        histogram.observe(LATENCY_BUCKET_BOUNDS_MS[0])
+        assert histogram.counts[0] == 1
+
+    def test_empty_snapshot(self):
+        snapshot = LatencyHistogram().snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["mean_ms"] == 0.0
+
+
+class TestEndpointMetrics:
+    def test_per_status_counts(self):
+        endpoint = EndpointMetrics()
+        endpoint.observe(200, 1.0)
+        endpoint.observe(200, 2.0)
+        endpoint.observe(422, 0.5)
+        snapshot = endpoint.snapshot()
+        assert snapshot["requests"] == 3
+        assert snapshot["statuses"] == {"200": 2, "422": 1}
+
+
+class TestServiceMetrics:
+    def test_429_counts_as_rejected(self):
+        metrics = ServiceMetrics()
+        metrics.observe_request("POST /cite", 429, 0.1)
+        metrics.observe_request("POST /cite", 504, 0.1)
+        metrics.observe_request("POST /cite", 200, 0.1)
+        assert metrics.rejected == 1
+        assert metrics.timeouts == 1
+
+    def test_batching_counters(self):
+        metrics = ServiceMetrics()
+        metrics.observe_batch(3)
+        metrics.observe_batch(1)
+        snapshot = metrics.snapshot()["batching"]
+        assert snapshot["batches_executed"] == 2
+        assert snapshot["batched_requests"] == 4
+        assert snapshot["max_batch_size"] == 3
+
+    def test_snapshot_shape(self):
+        metrics = ServiceMetrics()
+        metrics.observe_request("GET /stats", 200, 5.0)
+        snapshot = metrics.snapshot()
+        assert snapshot["uptime_s"] >= 0
+        assert "GET /stats" in snapshot["endpoints"]
+        assert snapshot["endpoints"]["GET /stats"]["requests"] == 1

@@ -1,0 +1,155 @@
+"""Unit tests for the minimal HTTP/1.1 framing (repro.service.protocol)."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    HttpRequest,
+    PayloadTooLarge,
+    ProtocolError,
+    read_request,
+    render_response,
+)
+
+
+def parse(raw: bytes, max_body: int = 1_000_000):
+    """Feed raw bytes to a StreamReader and parse one request."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, max_body)
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_simple_get(self):
+        request = parse(b"GET /stats HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/stats"
+        assert request.body == b""
+        assert request.keep_alive
+
+    def test_body_framed_by_content_length(self):
+        body = b'{"query": "Q"}'
+        raw = (
+            b"POST /cite HTTP/1.1\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n\r\n"
+            + body
+        )
+        request = parse(raw)
+        assert request.body == body
+        assert request.json() == {"query": "Q"}
+
+    def test_clean_close_returns_none(self):
+        assert parse(b"") is None
+
+    def test_path_strips_query_string(self):
+        request = parse(b"GET /stats?verbose=1 HTTP/1.1\r\n\r\n")
+        assert request.target == "/stats?verbose=1"
+        assert request.path == "/stats"
+
+    def test_connection_close_header(self):
+        request = parse(
+            b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n"
+        )
+        assert not request.keep_alive
+
+    def test_malformed_request_line(self):
+        with pytest.raises(ProtocolError):
+            parse(b"NONSENSE\r\n\r\n")
+
+    def test_http2_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse(b"GET / HTTP/2.0\r\n\r\n")
+
+    def test_header_without_colon(self):
+        with pytest.raises(ProtocolError):
+            parse(b"GET / HTTP/1.1\r\nbadheader\r\n\r\n")
+
+    def test_too_many_headers(self):
+        headers = b"".join(
+            b"X-H%d: v\r\n" % i for i in range(150)
+        )
+        with pytest.raises(ProtocolError, match="too many headers"):
+            parse(b"GET / HTTP/1.1\r\n" + headers + b"\r\n")
+
+    def test_bad_content_length(self):
+        with pytest.raises(ProtocolError, match="Content-Length"):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+
+    def test_negative_content_length(self):
+        with pytest.raises(ProtocolError, match="Content-Length"):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n")
+
+    def test_chunked_encoding_rejected(self):
+        with pytest.raises(ProtocolError, match="chunked"):
+            parse(
+                b"POST / HTTP/1.1\r\n"
+                b"Transfer-Encoding: chunked\r\n\r\n"
+            )
+
+    def test_oversized_body_refused_and_drained(self):
+        body = b"x" * 2048
+        raw = (
+            b"POST /cite HTTP/1.1\r\n"
+            b"Content-Length: 2048\r\n\r\n" + body
+        )
+
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(raw)
+            reader.feed_eof()
+            with pytest.raises(PayloadTooLarge):
+                await read_request(reader, max_body_bytes=1024)
+            # The oversized body was drained so the connection could
+            # still deliver the 413 and carry a follow-up request.
+            return await reader.read()
+
+        assert asyncio.run(go()) == b""
+
+    def test_truncated_body(self):
+        with pytest.raises(ProtocolError, match="mid-body"):
+            parse(
+                b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort"
+            )
+
+    def test_invalid_json_body(self):
+        request = HttpRequest(method="POST", target="/cite",
+                              body=b"{nope")
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            request.json()
+
+
+class TestRenderResponse:
+    def test_status_line_and_framing(self):
+        raw = render_response(200, {"ok": True})
+        head, __, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert json.loads(body) == {"ok": True}
+        assert f"Content-Length: {len(body)}".encode() in head
+
+    def test_deterministic_bytes(self):
+        payload = {"b": 2, "a": [1, {"z": 0, "y": 9}]}
+        assert render_response(200, payload) == \
+            render_response(200, payload)
+
+    def test_connection_close(self):
+        raw = render_response(400, {"error": "x"}, keep_alive=False)
+        assert b"Connection: close" in raw
+
+    def test_extra_headers(self):
+        raw = render_response(
+            429, {"error": "busy"},
+            extra_headers={"Retry-After": "1"},
+        )
+        assert b"Retry-After: 1\r\n" in raw
+
+    def test_unknown_status_reason(self):
+        assert render_response(599, None).startswith(
+            b"HTTP/1.1 599 Unknown"
+        )

@@ -7,7 +7,9 @@ fails fast locally:
 - README.md exists and covers the CLI commands;
 - every example script is documented in docs/examples.md and runnable
   as ``python -m examples.<name>``;
-- relative links in the Markdown front door resolve.
+- relative links across the Markdown front door resolve;
+- every public module and example is reachable from docs/index.md
+  (the check_doc_links ``--coverage`` contract).
 """
 
 import os
@@ -18,7 +20,16 @@ from pathlib import Path
 import pytest
 
 REPO = Path(__file__).resolve().parent.parent
-DOC_FILES = ["README.md", "ARCHITECTURE.md", "docs/examples.md"]
+DOC_FILES = [
+    "README.md",
+    "ARCHITECTURE.md",
+    "docs/index.md",
+    "docs/service.md",
+    "docs/examples.md",
+] + sorted(
+    path.relative_to(REPO).as_posix()
+    for path in (REPO / "docs" / "examples").glob("*.md")
+)
 EXAMPLES = sorted(
     path.stem
     for path in (REPO / "examples").glob("*.py")
@@ -65,6 +76,17 @@ class TestExamplesDoc:
         documented = set(re.findall(r"\[`([a-z_]+)\.py`\]", text))
         assert documented == set(EXAMPLES)
 
+    def test_every_example_has_a_subsystem_paragraph(self):
+        """The hub links out to per-subsystem pages; every example must
+        carry a real ``## [`name.py`]`` walk-through on one of them."""
+        import re
+
+        headed = set()
+        for page in (REPO / "docs" / "examples").glob("*.md"):
+            text = page.read_text(encoding="utf-8")
+            headed.update(re.findall(r"^## \[`([a-z_]+)\.py`\]", text, re.M))
+        assert headed == set(EXAMPLES)
+
 
 class TestLinks:
     @pytest.mark.parametrize("doc", DOC_FILES)
@@ -75,6 +97,32 @@ class TestLinks:
         finally:
             sys.path.pop(0)
         assert broken_links(REPO / doc) == []
+
+
+class TestCoverage:
+    def test_front_door_reaches_every_module_and_example(self):
+        """check_doc_links --coverage: every public module under
+        src/repro and every example script must be mentioned on some
+        page reachable from docs/index.md."""
+        sys.path.insert(0, str(REPO / "tools"))
+        try:
+            from check_doc_links import coverage_orphans
+        finally:
+            sys.path.pop(0)
+        assert coverage_orphans(REPO) == []
+
+    def test_front_door_walk_spans_the_doc_set(self):
+        sys.path.insert(0, str(REPO / "tools"))
+        try:
+            from check_doc_links import reachable_pages
+        finally:
+            sys.path.pop(0)
+        pages = {
+            page.relative_to(REPO).as_posix()
+            for page in reachable_pages(REPO / "docs" / "index.md")
+        }
+        for doc in DOC_FILES:
+            assert doc in pages, f"{doc} is unreachable from docs/index.md"
 
 
 class TestExamplesRun:

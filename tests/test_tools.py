@@ -19,6 +19,16 @@ def typing_ratchet():
     return check_typing_ratchet
 
 
+@pytest.fixture
+def doc_links():
+    sys.path.insert(0, str(REPO / "tools"))
+    try:
+        import check_doc_links
+    finally:
+        sys.path.pop(0)
+    return check_doc_links
+
+
 class TestCountErrors:
     def test_parses_summary_line(self, typing_ratchet):
         report = (
@@ -87,3 +97,88 @@ class TestMain:
 
     def test_py_typed_marker_exists(self):
         assert (REPO / "src" / "repro" / "py.typed").exists()
+
+
+class TestDocLinks:
+    def test_broken_link_is_reported(self, doc_links, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("[gone](missing.md) and [ok](other.md)")
+        (tmp_path / "other.md").write_text("fine")
+        failures = doc_links.broken_links(page)
+        assert len(failures) == 1
+        assert "missing.md" in failures[0]
+
+    def test_urls_and_anchors_are_ignored(self, doc_links, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("[web](https://example.org) [self](#section)")
+        assert doc_links.broken_links(page) == []
+
+    def test_fragment_is_stripped(self, doc_links, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("[sect](other.md#heading)")
+        (tmp_path / "other.md").write_text("## heading")
+        assert doc_links.broken_links(page) == []
+
+
+class TestDocCoverage:
+    def scaffold(self, tmp_path):
+        """Minimal repo: two public modules, one private, one example."""
+        pkg = tmp_path / "src" / "repro"
+        (pkg / "cq").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "cq" / "__init__.py").write_text("")
+        (pkg / "cq" / "plan.py").write_text("")
+        (pkg / "cli.py").write_text("")
+        (tmp_path / "examples").mkdir()
+        (tmp_path / "examples" / "quickstart.py").write_text("")
+        (tmp_path / "docs").mkdir()
+        return tmp_path
+
+    def test_public_modules_skip_private_parts(self, doc_links, tmp_path):
+        repo = self.scaffold(tmp_path)
+        assert doc_links.public_modules(repo) == ["cli.py", "cq/plan.py"]
+
+    def test_reachable_pages_walks_relative_md_links(
+        self, doc_links, tmp_path
+    ):
+        repo = self.scaffold(tmp_path)
+        (repo / "docs" / "index.md").write_text("[next](sub/page.md)")
+        (repo / "docs" / "sub").mkdir()
+        (repo / "docs" / "sub" / "page.md").write_text(
+            "[back](../index.md) [root](../../README.md)"
+        )
+        (repo / "README.md").write_text("no onward links")
+        pages = doc_links.reachable_pages(repo / "docs" / "index.md")
+        assert {page.name for page in pages} == {
+            "index.md", "page.md", "README.md",
+        }
+
+    def test_full_coverage_passes(self, doc_links, tmp_path):
+        repo = self.scaffold(tmp_path)
+        (repo / "docs" / "index.md").write_text(
+            "`repro/cli.py` and `repro.cq.plan` and "
+            "[`quickstart.py`](../examples/quickstart.py)"
+        )
+        assert doc_links.coverage_orphans(repo) == []
+
+    def test_orphan_module_and_example_are_listed(self, doc_links, tmp_path):
+        repo = self.scaffold(tmp_path)
+        (repo / "docs" / "index.md").write_text("`repro/cli.py` only")
+        failures = doc_links.coverage_orphans(repo)
+        assert any("cq/plan.py" in failure for failure in failures)
+        assert any("quickstart.py" in failure for failure in failures)
+
+    def test_missing_front_door_is_an_error(self, doc_links, tmp_path):
+        repo = self.scaffold(tmp_path)
+        failures = doc_links.coverage_orphans(repo)
+        assert failures and "front door" in failures[0]
+
+    def test_main_coverage_flag_runs_against_this_repo(
+        self, doc_links, capsys
+    ):
+        assert doc_links.main(["--coverage"]) == 0
+        assert "coverage OK" in capsys.readouterr().out
+
+    def test_main_without_arguments_is_usage_error(self, doc_links, capsys):
+        assert doc_links.main([]) == 1
+        assert "usage" in capsys.readouterr().err

@@ -1,15 +1,30 @@
 #!/usr/bin/env python3
-"""Fail when a Markdown file contains a broken relative link.
+"""Fail when the Markdown docs drift from the code.
 
 Usage::
 
     python tools/check_doc_links.py README.md ARCHITECTURE.md docs/*.md
+    python tools/check_doc_links.py --coverage
+    python tools/check_doc_links.py --coverage README.md docs/*.md
 
-Checks every inline link ``[text](target)`` whose target is relative
-(no URL scheme, not an in-page ``#anchor``): the target path, resolved
-against the file's directory and stripped of any ``#fragment``, must
-exist.  External URLs and anchors are ignored — this is a docs-drift
-guard, not a crawler.  Exits 1 listing every broken link.
+Two independent guards:
+
+**Link checking** (any file arguments): every inline link
+``[text](target)`` whose target is relative (no URL scheme, not an
+in-page ``#anchor``) must resolve — the target path, resolved against
+the file's directory and stripped of any ``#fragment``, must exist.
+External URLs and anchors are ignored — this is a docs-drift guard,
+not a crawler.
+
+**Coverage** (``--coverage``): walks every Markdown page reachable
+from ``docs/index.md`` via relative links and requires that
+
+- every *public* module under ``src/repro`` (no path component
+  starting with ``_``) is mentioned on some reachable page, either as
+  a ``repro/pkg/mod.py`` path or as dotted ``repro.pkg.mod``;
+- every example script under ``examples/`` is referenced by name.
+
+Exits 1 listing every broken link and every orphaned module/example.
 """
 
 from __future__ import annotations
@@ -24,6 +39,9 @@ LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
 
+#: The documentation front door the coverage walk starts from.
+FRONT_DOOR = Path("docs") / "index.md"
+
 
 def broken_links(path: Path) -> list[str]:
     failures = []
@@ -36,23 +54,98 @@ def broken_links(path: Path) -> list[str]:
     return failures
 
 
+def reachable_pages(start: Path) -> list[Path]:
+    """Every Markdown file reachable from *start* via relative links."""
+    pages: list[Path] = []
+    seen: set[Path] = set()
+    queue = [start.resolve()]
+    while queue:
+        page = queue.pop()
+        if page in seen or not page.exists():
+            continue
+        seen.add(page)
+        pages.append(page)
+        for target in LINK.findall(page.read_text(encoding="utf-8")):
+            if SCHEME.match(target) or target.startswith("#"):
+                continue
+            resolved = (page.parent / target.split("#", 1)[0]).resolve()
+            if resolved.suffix == ".md":
+                queue.append(resolved)
+    return pages
+
+
+def public_modules(repo: Path) -> list[str]:
+    """``pkg/mod.py``-style paths of every public module in src/repro."""
+    root = repo / "src" / "repro"
+    modules = []
+    for path in root.rglob("*.py"):
+        rel = path.relative_to(root)
+        if any(part.startswith("_") for part in rel.parts):
+            continue
+        modules.append(rel.as_posix())
+    return sorted(modules)
+
+
+def coverage_orphans(repo: Path) -> list[str]:
+    """Public modules and examples no reachable docs page mentions."""
+    front = repo / FRONT_DOOR
+    if not front.exists():
+        return [f"{front}: documentation front door does not exist"]
+    pages = reachable_pages(front)
+    text = "\n".join(page.read_text(encoding="utf-8") for page in pages)
+    failures = []
+    for module in public_modules(repo):
+        dotted = "repro." + module[: -len(".py")].replace("/", ".")
+        if f"repro/{module}" not in text and dotted not in text:
+            failures.append(
+                f"src/repro/{module}: not mentioned on any page reachable "
+                f"from {FRONT_DOOR.as_posix()}"
+            )
+    for example in sorted((repo / "examples").glob("*.py")):
+        if example.stem.startswith("_"):
+            continue
+        if example.name not in text:
+            failures.append(
+                f"examples/{example.name}: not referenced on any page "
+                f"reachable from {FRONT_DOOR.as_posix()}"
+            )
+    return failures
+
+
 def main(argv: list[str]) -> int:
-    if not argv:
-        print("usage: check_doc_links.py FILE.md [FILE.md ...]",
-              file=sys.stderr)
+    coverage = "--coverage" in argv
+    files = [name for name in argv if name != "--coverage"]
+    if not files and not coverage:
+        print(
+            "usage: check_doc_links.py [--coverage] [FILE.md ...]",
+            file=sys.stderr,
+        )
         return 1
     failures: list[str] = []
-    for name in argv:
+    for name in files:
         path = Path(name)
         if not path.exists():
             failures.append(f"{path}: file does not exist")
             continue
         failures.extend(broken_links(path))
+    if coverage:
+        repo = Path(__file__).resolve().parent.parent
+        failures.extend(coverage_orphans(repo))
     for failure in failures:
         print(failure, file=sys.stderr)
     if failures:
         return 1
-    print(f"checked {len(argv)} file(s): all relative links resolve")
+    parts = []
+    if files:
+        parts.append(
+            f"checked {len(files)} file(s): all relative links resolve"
+        )
+    if coverage:
+        parts.append(
+            "coverage OK: every public module and example is reachable "
+            f"from {FRONT_DOOR.as_posix()}"
+        )
+    print("; ".join(parts))
     return 0
 
 
