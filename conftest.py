@@ -25,6 +25,17 @@ def pytest_addoption(parser):
             "(repro.analysis.verifier) on every plan the suite produces"
         ),
     )
+    parser.addoption(
+        "--sanitize",
+        action="store_true",
+        default=False,
+        help=(
+            "sanitizer mode: enable the runtime concurrency sanitizer "
+            "(repro.analysis.sanitizer) — ownership/affinity checks, "
+            "cache-serve re-validation, ordinal-merge monotonicity, "
+            "event-loop blocking detection — for the whole run"
+        ),
+    )
 
 
 def pytest_configure(config):
@@ -34,3 +45,9 @@ def pytest_configure(config):
         from repro.cq.plan import set_plan_verification
 
         set_plan_verification("always")
+    # Same discipline for the runtime concurrency sanitizer; the same
+    # effect is available without pytest via REPRO_SANITIZE=always.
+    if config.getoption("--sanitize"):
+        from repro.analysis.sanitizer import set_sanitize
+
+        set_sanitize("always")

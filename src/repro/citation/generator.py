@@ -23,6 +23,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Any
 
+from repro.analysis.sanitizer import set_sanitize
 from repro.citation.combiners import with_neutral
 from repro.citation.order import absorbing_sum, best_polynomials, normal_form
 from repro.citation.policy import CitationPolicy, focused_policy
@@ -166,6 +167,14 @@ class CitationEngine:
         on every plan this engine's planner hands out, ``"off"``
         disables it, None (the default) defers to the process-wide
         switch.
+    sanitize:
+        Sets the **process-wide** concurrency-sanitizer mode
+        (:func:`~repro.analysis.sanitizer.set_sanitize`): ``"always"``
+        turns on lane-ownership/affinity checks, independent cache-serve
+        re-validation, ordinal-merge monotonicity checks and event-loop
+        blocking detection for the whole process; ``"off"`` disables
+        them; None (the default) leaves the current mode (seeded from
+        ``REPRO_SANITIZE``) untouched.
 
     Plans for queries with range comparisons run unchanged through this
     engine: the shared :class:`~repro.cq.plan.QueryPlanner` pushes them
@@ -190,7 +199,12 @@ class CitationEngine:
         shards: int | None = None,
         share_subplans: bool = True,
         verify_plans: str | None = None,
+        sanitize: str | None = None,
     ) -> None:
+        if sanitize is not None:
+            # Process-wide, like REPRO_SANITIZE: ownership and fan-out
+            # state are properties of the whole process, not one engine.
+            set_sanitize(sanitize)
         self.db = db
         if shards is not None:
             db.reshard(shards)
@@ -224,6 +238,7 @@ class CitationEngine:
         self.use_processes = use_processes
         self._virtual: IndexedVirtualRelations | None = None
         self._record_cache: dict[CitationToken, Record] = {}
+        self._record_cache_max = 4096
         # Serializes the async entry points (acite_batch/acite_union):
         # the engine and its caches are not thread-safe, so concurrent
         # awaiters take turns on the engine while the event loop stays
@@ -439,6 +454,11 @@ class CitationEngine:
         else:  # pragma: no cover - no other token kinds exist
             record = {"Token": repr(token)}
         self._record_cache[token] = record
+        if len(self._record_cache) > self._record_cache_max:
+            # FIFO bound: distinct tokens grow with the view registry
+            # and parameter space, so a long-lived service engine must
+            # not accumulate rendered records without limit.
+            self._record_cache.pop(next(iter(self._record_cache)))
         return record
 
     def _monomial_records(self, monomial: CitationMonomial) -> list[Record]:

@@ -82,8 +82,10 @@ class ViewInclusionOrder(MonomialOrder):
     def __init__(self, registry: ViewRegistry) -> None:
         self._registry = registry
         # Cache pairwise strict-finer decisions (containment checks are
-        # not free).
+        # not free).  The domain is view-name pairs, so the bound only
+        # matters for very large registries — but every cache is bounded.
         self._finer_cache: dict[tuple[str, str], bool] = {}
+        self._finer_cache_max = 4096
 
     def _finer(self, finer_name: str, coarser_name: str) -> bool:
         key = (finer_name, coarser_name)
@@ -94,6 +96,8 @@ class ViewInclusionOrder(MonomialOrder):
                 self._registry.get(coarser_name),
             )
             self._finer_cache[key] = cached
+            if len(self._finer_cache) > self._finer_cache_max:
+                self._finer_cache.pop(next(iter(self._finer_cache)))
         return cached
 
     def token_leq(self, a: CitationToken, b: CitationToken) -> bool:

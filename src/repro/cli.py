@@ -231,6 +231,11 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     cartesian products, subsumed union disjuncts, dangling atoms,
     mixed-type comparison risks); ``QA2xx`` findings are errors — the
     query can provably never return a row — and set exit status 3.
+
+    ``--lint`` additionally runs the repo-invariant lint
+    (:mod:`repro.analysis.lint`, the ``RL1xx`` codes) over the
+    installed ``repro`` sources and prints any findings after the QA
+    diagnostics; RL findings alone set exit status 1.
     """
     from repro.analysis import has_errors, render_diagnostics
 
@@ -238,7 +243,24 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     query = _parse_for_analysis(args.query, db, args.sql)
     diagnostics = _analyze(query, db)
     print(render_diagnostics(diagnostics))
-    return 3 if has_errors(diagnostics) else 0
+    lint_findings = []
+    if args.lint:
+        from pathlib import Path
+
+        import repro
+        from repro.analysis.lint import run_lint
+
+        lint_findings = run_lint([Path(repro.__file__).parent])
+        if lint_findings:
+            print()
+            for finding in lint_findings:
+                print(finding.describe())
+            print(f"{len(lint_findings)} RL finding(s)")
+        else:
+            print("\nrepro lint: clean")
+    if has_errors(diagnostics):
+        return 3
+    return 1 if lint_findings else 0
 
 
 def cmd_cite(args: argparse.Namespace) -> int:
@@ -493,6 +515,10 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("query")
     analyze.add_argument("--sql", action="store_true",
                          help="interpret the query as SQL")
+    analyze.add_argument("--lint", action="store_true",
+                         help="also run the RL1xx repo-invariant lint "
+                              "over the installed repro sources "
+                              "(exit 1 on findings)")
     analyze.set_defaults(func=cmd_analyze)
 
     cite_batch = commands.add_parser(

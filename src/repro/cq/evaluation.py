@@ -28,9 +28,11 @@ results, and the planner benchmark uses it as the baseline.
 
 from __future__ import annotations
 
+import contextlib
 from collections.abc import Iterator, Mapping, Sequence
 from typing import Any
 
+from repro.analysis import sanitizer as _sanitizer
 from repro.cq.atoms import ComparisonAtom, RelationalAtom
 from repro.cq.executor import Binding, IndexedVirtualRelations, execute_plan
 from repro.cq.parallel import execute_plan_parallel
@@ -219,12 +221,22 @@ def evaluate_with_bindings(
     if params is not None:
         query = query.instantiate(params)
         plan = None  # a caller-supplied plan cannot cover the instantiation
+    region = (
+        _sanitizer.execution_region(db)
+        if _sanitizer._active
+        else contextlib.nullcontext()
+    )
     grouped: dict[tuple[Any, ...], list[Binding]] = {}
-    for binding in enumerate_bindings(
-        query, db, virtual, planner, parallelism, use_processes,
-        plan=plan, memo=memo,
-    ):
-        grouped.setdefault(head_tuple(query, binding), []).append(binding)
+    # Every citation evaluation materializes through this loop, so the
+    # sanitizer's execution region here covers the whole pipeline: a
+    # mutation of ``db`` from any other thread mid-stream tears the
+    # snapshot this grouping is built from.
+    with region:
+        for binding in enumerate_bindings(
+            query, db, virtual, planner, parallelism, use_processes,
+            plan=plan, memo=memo,
+        ):
+            grouped.setdefault(head_tuple(query, binding), []).append(binding)
     return grouped
 
 

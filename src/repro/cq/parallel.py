@@ -53,6 +53,7 @@ identically at any ``parallelism`` and any shard count.
 
 from __future__ import annotations
 
+import contextlib
 import heapq
 import pickle
 import queue
@@ -62,6 +63,7 @@ from dataclasses import dataclass
 from operator import itemgetter
 from typing import Any
 
+from repro.analysis import sanitizer as _sanitizer
 from repro.cq.executor import (
     Binding,
     IndexedVirtualRelations,
@@ -194,6 +196,11 @@ def _run_thread_shards(
     so parallelism never changes downstream iteration order (citation
     record order, first-derivation dedup order, ...).
     """
+    fan_out = (
+        _sanitizer.parallel_region(db)
+        if _sanitizer._active
+        else contextlib.nullcontext()
+    )
     results: queue.SimpleQueue = queue.SimpleQueue()
     cancelled = threading.Event()
 
@@ -220,41 +227,46 @@ def _run_thread_shards(
         threading.Thread(target=work, args=(index, shard), daemon=True)
         for index, shard in enumerate(shards)
     ]
-    for worker in workers:
-        worker.start()
-    buffered: list[list[list[Binding]]] = [[] for __ in shards]
-    finished: set[int] = set()
-    failure: BaseException | None = None
-    next_shard = 0
-    try:
-        while next_shard < len(shards):
-            kind, index, payload = results.get()
-            if kind == "error":
-                failure = failure or payload
-                finished.add(index)
-            else:
-                if kind == "done":
-                    finished.add(index)
-                buffered[index].append(payload)
-            if failure is not None:
-                if len(finished) == len(shards):
-                    break
-                continue
-            while next_shard < len(shards):
-                chunks = buffered[next_shard]
-                while chunks:
-                    yield from chunks.pop(0)
-                if next_shard in finished:
-                    next_shard += 1
-                else:
-                    break
-    finally:
-        # Runs on normal completion, worker failure, and generator close
-        # (the consumer stopped early): tell workers to stop, then wait —
-        # they check the flag per binding, so this is prompt.
-        cancelled.set()
+    # The fan-out span covers the workers' whole lifetime: while any of
+    # them is scanning the database's shards/indexes, the sanitizer
+    # rejects mutations of it from every thread.
+    with fan_out:
         for worker in workers:
-            worker.join()
+            worker.start()
+        buffered: list[list[list[Binding]]] = [[] for __ in shards]
+        finished: set[int] = set()
+        failure: BaseException | None = None
+        next_shard = 0
+        try:
+            while next_shard < len(shards):
+                kind, index, payload = results.get()
+                if kind == "error":
+                    failure = failure or payload
+                    finished.add(index)
+                else:
+                    if kind == "done":
+                        finished.add(index)
+                    buffered[index].append(payload)
+                if failure is not None:
+                    if len(finished) == len(shards):
+                        break
+                    continue
+                while next_shard < len(shards):
+                    chunks = buffered[next_shard]
+                    while chunks:
+                        yield from chunks.pop(0)
+                    if next_shard in finished:
+                        next_shard += 1
+                    else:
+                        break
+        finally:
+            # Runs on normal completion, worker failure, and generator
+            # close (the consumer stopped early): tell workers to stop,
+            # then wait — they check the flag per binding, so this is
+            # prompt.
+            cancelled.set()
+            for worker in workers:
+                worker.join()
     if failure is not None:
         raise failure
 
@@ -303,6 +315,7 @@ def _constant_probe(step: JoinStep) -> tuple[Any, ...] | None:
 
 def _seed_across_shards(
     step: JoinStep,
+    db: Database,
     instance: RelationInstance,
     check: Any,
     parallelism: int,
@@ -327,10 +340,20 @@ def _seed_across_shards(
         pairs = instance.shard_lookup_pairs(shard, positions, probe)
         return seed_bindings_from_pairs(step, pairs, check)
 
+    if _sanitizer._active:
+        _sanitizer.check_shard_partition(instance)
+    fan_out = (
+        _sanitizer.parallel_region(db)
+        if _sanitizer._active
+        else contextlib.nullcontext()
+    )
     workers = min(parallelism, instance.shard_count)
-    with ThreadPoolExecutor(max_workers=workers) as pool:
+    with fan_out, ThreadPoolExecutor(max_workers=workers) as pool:
         per_shard = list(pool.map(seed_shard, range(instance.shard_count)))
-    return list(heapq.merge(*per_shard, key=itemgetter(0)))
+    merged = list(heapq.merge(*per_shard, key=itemgetter(0)))
+    if _sanitizer._active:
+        _sanitizer.check_ordinal_run("storage-shard seed merge", merged)
+    return merged
 
 
 # -- process-pool workers -----------------------------------------------------
@@ -532,7 +555,19 @@ def _run_storage_process_shards(
         finally:
             for future in futures:
                 future.cancel()
-        for __, binding in heapq.merge(*results, key=itemgetter(0)):
+        merged: Iterator[tuple[int, Binding]] = heapq.merge(
+            *results, key=itemgetter(0)
+        )
+        if _sanitizer._active:
+            # Non-strict: every output binding carries its *seed's*
+            # ordinal, so one seed's derivations share one ordinal.
+            merged = _sanitizer.monotonic_stream(
+                "storage-shard process merge",
+                merged,
+                itemgetter(0),
+                strict=False,
+            )
+        for __, binding in merged:
             yield binding
 
 
@@ -582,7 +617,11 @@ def execute_plan_parallel(
         seeds = [
             binding
             for __, binding in _seed_across_shards(
-                step0, db.relation(step0.atom.relation), check, parallelism
+                step0,
+                db,
+                db.relation(step0.atom.relation),
+                check,
+                parallelism,
             )
         ]
     else:

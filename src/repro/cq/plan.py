@@ -47,6 +47,7 @@ from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
 from typing import Any
 
+from repro.analysis import sanitizer as _sanitizer
 from repro.cq.atoms import ComparisonAtom, RelationalAtom
 from repro.cq.canonical import canonical_key_and_renaming, canonical_query
 from repro.cq.query import ConjunctiveQuery
@@ -1205,6 +1206,11 @@ class QueryPlanner:
         if exact is not None:
             plan, cached_version, cached_fingerprint = exact
             if cached_version == version and cached_fingerprint == fingerprint:
+                if _sanitizer._active:
+                    _sanitizer.check_cache_serve(
+                        "plan cache (exact)", self.db,
+                        cached_version, cached_fingerprint, fingerprint,
+                    )
                 self.hits += 1
                 self._exact.move_to_end(query)
                 return _maybe_verify(plan, self.db, self.verify)
@@ -1213,6 +1219,11 @@ class QueryPlanner:
         if entry is not None:
             plan, cached_version, cached_fingerprint = entry
             if cached_version == version and cached_fingerprint == fingerprint:
+                if _sanitizer._active:
+                    _sanitizer.check_cache_serve(
+                        "plan cache (canonical)", self.db,
+                        cached_version, cached_fingerprint, fingerprint,
+                    )
                 self.hits += 1
                 self._cache.move_to_end(key)
                 rebound = plan.rebind(query, renaming)

@@ -47,6 +47,7 @@ from collections import OrderedDict
 from collections.abc import Iterator, Sequence
 from typing import Any
 
+from repro.analysis import sanitizer as _sanitizer
 from repro.cq.executor import (
     Binding,
     IndexedVirtualRelations,
@@ -174,6 +175,20 @@ class SubplanMemo:
             return None
         self._entries.move_to_end(key)
         return bindings
+
+    def entry_tags(self, key: PrefixKey) -> tuple[int, tuple] | None:
+        """The ``(stats_version, fingerprint)`` tags stored for ``key``.
+
+        Purely observational; the concurrency sanitizer re-validates a
+        served entry against these tags independently of
+        :meth:`lookup`'s own checks, so a bypassed or patched-out
+        validation still gets caught at the serve point.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        __, __, stored_version, stored_fingerprint = entry
+        return stored_version, stored_fingerprint
 
     def peek(
         self,
@@ -326,6 +341,12 @@ def execute_plan_shared(
             continue  # unsharable prefix (unfingerprintable virtual rows)
         entry = memo.lookup(keys[length - 1], db, version, current)
         if entry is not None:
+            if _sanitizer._active:
+                tags = memo.entry_tags(keys[length - 1])
+                if tags is not None:
+                    _sanitizer.check_cache_serve(
+                        "sub-plan memo", db, tags[0], tags[1], current
+                    )
             hit_length, canonical_seeds = length, entry
             break
     pending = [

@@ -56,7 +56,10 @@ class VersionedDatabase:
         self._log: list[_Event] = []
         self._versions: list[Version] = [Version(0, initial_tag, 0)]
         self._working = Database(schema)
+        # Reconstructed snapshots are whole databases, so keep only a
+        # handful: FIFO-bounded, replays rebuild evicted versions.
         self._cache: dict[int, Database] = {}
+        self._cache_max = 8
 
     # -- mutation --------------------------------------------------------------
 
@@ -120,6 +123,8 @@ class VersionedDatabase:
             else:
                 db.delete(event.relation, *event.values)
         self._cache[resolved.number] = db
+        if len(self._cache) > self._cache_max:
+            self._cache.pop(next(iter(self._cache)))
         return db
 
 

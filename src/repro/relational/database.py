@@ -13,6 +13,7 @@ from bisect import bisect_left, bisect_right
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from typing import Any
 
+from repro.analysis import sanitizer as _sanitizer
 from repro.errors import (
     ArityError,
     ForeignKeyViolationError,
@@ -260,6 +261,11 @@ class RelationInstance:
     def _note_mutation(self, count: int) -> None:
         """Report effective mutations to the owning database's version."""
         if self._owner is not None:
+            if _sanitizer._active:
+                # Shadow the expected version *before* the bump, so a
+                # patched-out or forgotten bump desynchronizes the two
+                # and the next version-keyed cache serve reports it.
+                _sanitizer.note_effective_mutations(self._owner, count)
             self._owner._note_stats_mutations(count)
 
     def _shard_of(self, row: Row, ordinal: int) -> int:
@@ -344,6 +350,8 @@ class RelationInstance:
         :class:`KeyViolationError` on constraint violations.  Re-inserting an
         identical row is a no-op (set semantics).
         """
+        if _sanitizer._active:
+            _sanitizer.check_mutation(self._owner or self)
         row = self._validated_row(values)
         if row in self._rows:
             return row
@@ -481,6 +489,8 @@ class RelationInstance:
         of one dict update per (row, column) pair, so large loads (and
         :meth:`Database.copy`) skip all per-row maintenance.
         """
+        if _sanitizer._active:
+            _sanitizer.check_mutation(self._owner or self)
         batch = [values for values in rows]
         if len(batch) <= max(64, len(self._rows)):
             return [
@@ -536,6 +546,8 @@ class RelationInstance:
 
     def delete(self, row: Row) -> bool:
         """Remove a row; returns True if it was present."""
+        if _sanitizer._active:
+            _sanitizer.check_mutation(self._owner or self)
         if row not in self._rows:
             return False
         ordinal = self._rows.pop(row)

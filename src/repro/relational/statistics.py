@@ -202,6 +202,7 @@ class RelationStatistics:
         "version",
         "_column_counts",
         "_order_cache",
+        "_order_cache_max",
     )
 
     def __init__(self, arity: int) -> None:
@@ -218,6 +219,9 @@ class RelationStatistics:
         self._order_cache: dict[
             int, tuple[int, EquiDepthHistogram | None, Any, Any]
         ] = {}
+        #: Structural bound on the order cache: keys are column
+        #: positions, so it can never exceed the arity.
+        self._order_cache_max = arity
 
     # -- maintenance ----------------------------------------------------------
 
@@ -271,6 +275,30 @@ class RelationStatistics:
             ):
                 counter.update(other)
         return merged
+
+    def matches_partition(
+        self, parts: Sequence["RelationStatistics"]
+    ) -> bool:
+        """Whether ``parts`` still partition these aggregate statistics.
+
+        True when the shard cardinalities sum to the aggregate and every
+        per-column frequency adds up, i.e. no shard has lost or
+        duplicated a row relative to the whole.  The concurrency
+        sanitizer checks this before seeding a parallel fan-out from the
+        shards.
+        """
+        if sum(part.cardinality for part in parts) != self.cardinality:
+            return False
+        if any(part.arity != self.arity for part in parts):
+            return False
+        for position, counter in enumerate(self._column_counts):
+            combined: Counter = Counter()
+            for part in parts:
+                combined.update(part._column_counts[position])
+            combined += Counter()  # drop zero entries, as remove_row does
+            if combined != +counter:
+                return False
+        return True
 
     def remove_row(self, values: Sequence[Any]) -> None:
         """Retract one row's contribution.

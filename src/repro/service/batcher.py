@@ -35,6 +35,7 @@ from collections import deque
 from collections.abc import Callable, Sequence
 from typing import Any
 
+from repro.analysis import sanitizer as _sanitizer
 from repro.citation.generator import CitationEngine, CitationResult
 from repro.cq.query import ConjunctiveQuery
 
@@ -119,6 +120,7 @@ class EngineLane:
         self._outstanding = 0
         self._closing = False
         self._worker: asyncio.Task[None] | None = None
+        self._owned_db: Any = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -126,6 +128,14 @@ class EngineLane:
 
     def start(self) -> None:
         if self._worker is None:
+            if _sanitizer.is_active() and self._owned_db is None:
+                # Declare the lane the database's owning context: from
+                # here until drain, the sanitizer rejects mutations that
+                # bypass the lane's serialized jobs.
+                db = getattr(self.engine, "db", None)
+                if db is not None:
+                    _sanitizer.bind_owner(db, "engine lane")
+                    self._owned_db = db
             self._worker = asyncio.get_running_loop().create_task(
                 self._run(), name="repro-engine-lane"
             )
@@ -137,6 +147,9 @@ class EngineLane:
         if self._worker is not None:
             await self._worker
             self._worker = None
+        if self._owned_db is not None:
+            _sanitizer.release_owner(self._owned_db)
+            self._owned_db = None
 
     @property
     def outstanding(self) -> int:
@@ -198,9 +211,21 @@ class EngineLane:
             else:
                 await self._run_call(job)
 
+    def _run_owned(self, fn: Callable[[], Any]) -> Any:
+        """Run a lane job with the lane's mutation grant.
+
+        Jobs execute via :func:`asyncio.to_thread` on *varying* executor
+        threads, so the sanitizer's ownership grant is a thread-local
+        token taken per job, not a thread identity.
+        """
+        if self._owned_db is None or not _sanitizer.is_active():
+            return fn()
+        with _sanitizer.owner_context(self._owned_db):
+            return fn()
+
     async def _run_call(self, job: _Job) -> None:
         try:
-            result = await asyncio.to_thread(job.payload)
+            result = await asyncio.to_thread(self._run_owned, job.payload)
         except BaseException as exc:  # noqa: B036 - forwarded, not handled
             _deliver(job.future, error=exc)
         else:

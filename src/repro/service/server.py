@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.analysis import analyze_query, analyze_union, has_errors
+from repro.analysis import sanitizer as _sanitizer
 from repro.citation.generator import CitationEngine, CitationResult
 from repro.cq.ucq import UnionQuery, parse_union_query
 from repro.errors import ReproError
@@ -404,6 +405,10 @@ class CitationService:
         key = (repr(query), engine.db.stats_version)
         cached = self._analysis_cache.get(key)
         if cached is not None:
+            if _sanitizer._active:
+                _sanitizer.check_cache_serve(
+                    "analysis cache", engine.db, key[1]
+                )
             return cached
 
         def job() -> list[Any]:

@@ -23,9 +23,18 @@ def evict_lru(store: OrderedDict, max_entries: int) -> int:
 
     Returns the number of evictions so callers can maintain their
     ``evictions`` counters (or ignore it, as the reservation set does).
+
+    Safe under concurrent eviction: ``len`` and ``popitem`` are separate
+    operations, so another thread draining the same store can empty it
+    between the two — that surfaces as ``popitem`` raising ``KeyError``
+    on an empty dict, which just means the other thread finished the
+    job.
     """
     evicted = 0
     while len(store) > max_entries:
-        store.popitem(last=False)
+        try:
+            store.popitem(last=False)
+        except KeyError:
+            break
         evicted += 1
     return evicted

@@ -1,0 +1,21 @@
+"""RL102 fixture: a cache-named dict attribute with no bound.
+
+Deliberately violating file — the lint self-test asserts RL102 flags
+it.  Never imported; excluded from ruff (see pyproject.toml).
+"""
+
+from collections import OrderedDict
+
+
+class UnboundedCaches:
+    def __init__(self):
+        # VIOLATION x2: no `*max*` attribute anywhere in the class.
+        self._plan_cache = {}
+        self._result_memo = OrderedDict()
+
+
+class BoundedCache:
+    def __init__(self):
+        # OK: a max sibling declares the bound.
+        self._plan_cache = {}
+        self._plan_cache_max = 128

@@ -1,0 +1,25 @@
+"""RL104 fixture: shard-internal attribute access outside relational/.
+
+Deliberately violating file — the lint self-test asserts RL104 flags
+it.  Never imported; excluded from ruff (see pyproject.toml).
+"""
+
+
+def count_rows_badly(db, relation):
+    instance = db.relation(relation)
+    # VIOLATION: reaches into the storage representation.
+    return len(instance._rows)
+
+
+def peek_shards_badly(instance):
+    # VIOLATION: shard list is an internal of the relational layer.
+    return [len(shard.rows) for shard in instance._shards]
+
+
+class FineInternally:
+    def __init__(self):
+        self._rows = {}
+
+    def size(self):
+        # OK: `self._rows` is this class's own attribute.
+        return len(self._rows)

@@ -1,0 +1,27 @@
+"""RL105 fixture: bare and silently-swallowing excepts.
+
+Deliberately violating file — the lint self-test asserts RL105 flags
+it.  Never imported; excluded from ruff (see pyproject.toml).
+"""
+
+
+def swallow_everything(engine, query):
+    try:
+        return engine.cite(query)
+    except:  # VIOLATION: bare except
+        return None
+
+
+def swallow_silently(engine, query):
+    try:
+        return engine.cite(query)
+    except Exception:  # VIOLATION: broad except, pass-only body
+        pass
+
+
+def handled_fine(engine, query, log):
+    try:
+        return engine.cite(query)
+    except Exception as exc:  # OK: the failure is reported
+        log.warning("citation failed: %s", exc)
+        return None

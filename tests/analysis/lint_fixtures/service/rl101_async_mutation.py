@@ -1,0 +1,18 @@
+"""RL101 fixture: async service code mutating the engine directly.
+
+Deliberately violating file — the lint self-test asserts RL101 flags
+it.  Never imported; excluded from ruff (see pyproject.toml).
+"""
+
+
+class BadHandler:
+    def __init__(self, engine, lane):
+        self.engine = engine
+        self.lane = lane
+
+    async def handle_insert(self, relation, rows):
+        # VIOLATION: the mutation runs on the event-loop thread instead
+        # of being queued as a lane job.
+        inserted = self.engine.db.insert_all(relation, rows)
+        self.engine.invalidate_data()
+        return inserted

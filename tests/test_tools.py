@@ -20,6 +20,16 @@ def typing_ratchet():
 
 
 @pytest.fixture
+def coverage_ratchet():
+    sys.path.insert(0, str(REPO / "tools"))
+    try:
+        import check_coverage_ratchet
+    finally:
+        sys.path.pop(0)
+    return check_coverage_ratchet
+
+
+@pytest.fixture
 def doc_links():
     sys.path.insert(0, str(REPO / "tools"))
     try:
@@ -73,12 +83,39 @@ class TestMain:
         assert typing_ratchet.main(["prog", str(report), str(ratchet)]) == 1
         assert "FAILED" in capsys.readouterr().out
 
-    def test_headroom_hint(self, typing_ratchet, tmp_path, capsys):
+    def test_improvement_auto_tightens_ceiling(
+        self, typing_ratchet, tmp_path, capsys
+    ):
         report, ratchet = self.write(
-            tmp_path, "Success: no issues found in 9 source files", 50
+            tmp_path, "Found 3 errors in 2 files (checked 9 source files)", 50
         )
         assert typing_ratchet.main(["prog", str(report), str(ratchet)]) == 0
-        assert "lowering maximum_errors" in capsys.readouterr().out
+        assert "tightened" in capsys.readouterr().out
+        assert json.loads(ratchet.read_text())["maximum_errors"] == 3
+
+    def test_tightening_preserves_other_keys(
+        self, typing_ratchet, tmp_path
+    ):
+        report = tmp_path / "mypy_report.txt"
+        report.write_text("Success: no issues found in 9 source files")
+        ratchet = tmp_path / "ratchet.json"
+        ratchet.write_text(
+            json.dumps({"comment": "keep me", "maximum_errors": 50})
+        )
+        assert typing_ratchet.main(["prog", str(report), str(ratchet)]) == 0
+        payload = json.loads(ratchet.read_text())
+        assert payload == {"comment": "keep me", "maximum_errors": 0}
+
+    def test_exactly_at_ceiling_leaves_file_alone(
+        self, typing_ratchet, tmp_path, capsys
+    ):
+        report, ratchet = self.write(
+            tmp_path, "Found 5 errors in 2 files (checked 9 source files)", 5
+        )
+        before = ratchet.read_text()
+        assert typing_ratchet.main(["prog", str(report), str(ratchet)]) == 0
+        assert "tightened" not in capsys.readouterr().out
+        assert ratchet.read_text() == before
 
     def test_malformed_report_is_an_error(self, typing_ratchet, tmp_path):
         report, ratchet = self.write(tmp_path, "no summary here", 5)
@@ -97,6 +134,73 @@ class TestMain:
 
     def test_py_typed_marker_exists(self):
         assert (REPO / "src" / "repro" / "py.typed").exists()
+
+
+class TestCoverageRatchet:
+    def write(self, tmp_path, percent, floor):
+        coverage_path = tmp_path / "coverage.json"
+        coverage_path.write_text(
+            json.dumps({"totals": {"percent_covered": percent}})
+        )
+        ratchet_path = tmp_path / "ratchet.json"
+        ratchet_path.write_text(
+            json.dumps({"minimum_percent_covered": floor})
+        )
+        return coverage_path, ratchet_path
+
+    def test_above_floor_passes(self, coverage_ratchet, tmp_path, capsys):
+        coverage, ratchet = self.write(tmp_path, 85.5, 85.0)
+        assert coverage_ratchet.main(
+            ["prog", str(coverage), str(ratchet)]
+        ) == 0
+        assert "coverage ratchet OK" in capsys.readouterr().out
+
+    def test_below_floor_fails(self, coverage_ratchet, tmp_path, capsys):
+        coverage, ratchet = self.write(tmp_path, 79.0, 85.0)
+        assert coverage_ratchet.main(
+            ["prog", str(coverage), str(ratchet)]
+        ) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_improvement_auto_tightens_floor(
+        self, coverage_ratchet, tmp_path, capsys
+    ):
+        coverage, ratchet = self.write(tmp_path, 90.27, 85.0)
+        assert coverage_ratchet.main(
+            ["prog", str(coverage), str(ratchet)]
+        ) == 0
+        assert "tightened" in capsys.readouterr().out
+        payload = json.loads(ratchet.read_text())
+        # Floor lands one jitter-buffer point under the measurement.
+        assert payload["minimum_percent_covered"] == 89.3
+
+    def test_small_gain_inside_buffer_leaves_file_alone(
+        self, coverage_ratchet, tmp_path, capsys
+    ):
+        coverage, ratchet = self.write(tmp_path, 85.5, 85.0)
+        before = ratchet.read_text()
+        assert coverage_ratchet.main(
+            ["prog", str(coverage), str(ratchet)]
+        ) == 0
+        assert "tightened" not in capsys.readouterr().out
+        assert ratchet.read_text() == before
+
+    def test_malformed_coverage_is_an_error(
+        self, coverage_ratchet, tmp_path
+    ):
+        coverage = tmp_path / "coverage.json"
+        coverage.write_text("{}")
+        ratchet = tmp_path / "ratchet.json"
+        ratchet.write_text(json.dumps({"minimum_percent_covered": 80.0}))
+        assert coverage_ratchet.main(
+            ["prog", str(coverage), str(ratchet)]
+        ) == 2
+
+    def test_repo_ratchet_file_is_well_formed(self, coverage_ratchet):
+        payload = json.loads(
+            (REPO / "tools" / "coverage_ratchet.json").read_text()
+        )
+        assert 0.0 <= float(payload["minimum_percent_covered"]) <= 100.0
 
 
 class TestDocLinks:

@@ -1,0 +1,97 @@
+"""Tests for the shared LRU-bounding helpers, including behaviour
+under concurrent eviction (the caches are served from worker threads)."""
+
+import threading
+from collections import OrderedDict
+
+import pytest
+
+from repro.util.lru import check_max_entries, evict_lru
+
+
+class TestCheckMaxEntries:
+    def test_valid_bound_passes_through(self):
+        assert check_max_entries(1) == 1
+        assert check_max_entries(4096) == 4096
+
+    def test_zero_and_negative_are_rejected(self):
+        with pytest.raises(ValueError):
+            check_max_entries(0)
+        with pytest.raises(ValueError):
+            check_max_entries(-3)
+
+
+class TestEvictLru:
+    def test_evicts_oldest_first(self):
+        store = OrderedDict((i, i) for i in range(5))
+        assert evict_lru(store, 2) == 3
+        assert list(store) == [3, 4]
+
+    def test_within_bound_is_a_noop(self):
+        store = OrderedDict((i, i) for i in range(3))
+        assert evict_lru(store, 3) == 0
+        assert len(store) == 3
+
+    def test_concurrent_drain_is_tolerated(self):
+        # Two threads evict the same over-full store at once.  Between
+        # one thread's len() check and its popitem() the other may have
+        # emptied the store; the KeyError that raises must be treated
+        # as "the other thread finished the job", not propagated.
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def drain(store):
+            barrier.wait()
+            try:
+                for _ in range(200):
+                    evict_lru(store, 1)
+                    store[object()] = None
+                    store[object()] = None
+            except KeyError as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        store = OrderedDict((i, i) for i in range(100))
+        workers = [
+            threading.Thread(target=drain, args=(store,)) for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert errors == []
+
+    def test_concurrent_get_put_evict_stays_bounded(self):
+        # Mixed readers/writers/evictors: no exceptions escape and the
+        # final sweep lands the store at the bound.
+        store = OrderedDict()
+        errors = []
+        stop = threading.Event()
+
+        def writer():
+            try:
+                for i in range(500):
+                    store[(threading.get_ident(), i)] = i
+                    evict_lru(store, 64)
+            except Exception as exc:
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    for key in list(store):
+                        store.get(key)
+                except RuntimeError:
+                    # list() can lose the size-change race; retry.
+                    continue
+
+        threads = [threading.Thread(target=writer) for _ in range(3)]
+        threads.append(threading.Thread(target=reader))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert evict_lru(store, 64) >= 0
+        assert len(store) <= 64

@@ -13,10 +13,11 @@ taken as zero on ``Success: no issues found``.
 
 ``RATCHET_JSON`` defaults to ``tools/typing_ratchet.json`` next to this
 script and holds the ceiling under ``maximum_errors``.  The ratchet
-only tightens: when the measured count is comfortably under the ceiling
-the script says so, and the ceiling should be lowered in the same
-change that earned the headroom.  Raising it to make a red build green
-defeats the point — annotate the new code instead.
+only tightens: when the measured count beats the ceiling the script
+rewrites the JSON to the measured count on the spot, so improvements
+lock in instead of silently eroding as headroom.  Commit the rewritten
+file with the change that earned it.  Raising the ceiling to make a
+red build green defeats the point — annotate the new code instead.
 
 Exit status: 0 when errors <= ceiling, 1 above the ceiling, 2 on
 malformed input.  Standard library only, so it runs anywhere the repo
@@ -27,10 +28,6 @@ import json
 import re
 import sys
 from pathlib import Path
-
-#: Error-count headroom at which the script suggests lowering the
-#: ceiling.
-LOWER_HINT_MARGIN = 10
 
 SUMMARY = re.compile(r"Found (\d+) errors? in \d+ files?")
 SUCCESS = re.compile(r"Success: no issues found")
@@ -92,12 +89,21 @@ def main(argv: list[str]) -> int:
 
     print(f"typing ratchet OK: {measured} mypy errors "
           f"(ceiling {ceiling}).")
-    if measured <= ceiling - LOWER_HINT_MARGIN:
-        print(
-            f"hint: {ceiling - measured} errors of headroom — consider "
-            f"lowering maximum_errors in {ratchet_path} to "
-            f"{measured} to lock the gain in."
-        )
+    if measured < ceiling:
+        ratchet["maximum_errors"] = measured
+        try:
+            ratchet_path.write_text(json.dumps(ratchet, indent=2) + "\n")
+        except OSError as error:
+            print(
+                f"warning: could not auto-tighten {ratchet_path}: {error}",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"typing ratchet tightened: maximum_errors {ceiling} -> "
+                f"{measured} in {ratchet_path}; commit the updated file "
+                "to lock the gain in."
+            )
     return 0
 
 

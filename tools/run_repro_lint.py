@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Run the repo-invariant lint (``RL1xx`` rules) over source trees.
+
+Usage::
+
+    python tools/run_repro_lint.py [PATH ...]
+
+With no arguments, lints ``src`` relative to the repository root (the
+directory above this script).  The rules live in
+:mod:`repro.analysis.lint` and encode this repository's concurrency
+and cache conventions — the static counterpart of the runtime
+sanitizer (``REPRO_SANITIZE`` / ``pytest --sanitize``).  CI runs this
+alongside ruff in the lint job; ``repro analyze --lint`` surfaces the
+same findings next to the ``QA`` query diagnostics.
+
+Exit status: 0 when clean, 1 when any finding is reported, 2 on
+unusable paths.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.lint import run_lint  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    raw = argv or ["src"]
+    paths = []
+    for name in raw:
+        path = Path(name)
+        if not path.is_absolute():
+            path = REPO_ROOT / path
+        if not path.exists():
+            print(f"error: no such path: {name}", file=sys.stderr)
+            return 2
+        paths.append(path)
+    findings = run_lint(paths)
+    for finding in findings:
+        try:
+            shown = finding.path.relative_to(REPO_ROOT)
+        except ValueError:
+            shown = finding.path
+        print(f"{shown}:{finding.line}: {finding.code} {finding.message}")
+    if findings:
+        print(f"{len(findings)} RL finding(s)")
+        return 1
+    print("repro lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
